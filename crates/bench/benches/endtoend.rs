@@ -1,0 +1,154 @@
+//! Criterion benches for the end-to-end pipeline: market realization,
+//! full assign() per algorithm, the egalitarian solver, and the λ sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbta_core::algorithms::Algorithm;
+use mbta_core::budget::{greedy_budgeted, lagrangian_budgeted};
+use mbta_core::frontier::lambda_sweep;
+use mbta_core::incremental::IncrementalAssignment;
+use mbta_core::maxmin::maxmin_bmatching;
+use mbta_core::pipeline::assign;
+use mbta_graph::WorkerId;
+use mbta_market::benefit::edge_weights;
+use mbta_market::{BenefitParams, Combiner};
+use mbta_util::SplitMix64;
+use mbta_workload::{Profile, WorkloadSpec};
+
+fn spec(n: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        profile: Profile::Uniform,
+        n_workers: n,
+        n_tasks: n / 2,
+        avg_worker_degree: 8.0,
+        skill_dims: 8,
+        seed: 60,
+    }
+}
+
+fn bench_realize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realize");
+    group.sample_size(10);
+    let market = spec(10_000).generate();
+    group.bench_function("realize_10k", |b| {
+        b.iter(|| market.realize(&BenefitParams::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign");
+    group.sample_size(10);
+    let market = spec(2_000).generate();
+    for alg in Algorithm::comparison_set() {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                assign(
+                    &market,
+                    &BenefitParams::default(),
+                    Combiner::balanced(),
+                    alg,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("problem_variants");
+    group.sample_size(10);
+    let g = spec(1_000)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    group.bench_function("maxmin_bottleneck", |b| {
+        b.iter(|| maxmin_bmatching(&g, Combiner::balanced()))
+    });
+    group.bench_function("lambda_sweep_3pt", |b| {
+        b.iter(|| lambda_sweep(&g, &[0.0, 0.5, 1.0]))
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    let g = spec(4_000)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let weights = edge_weights(&g, Combiner::balanced());
+    group.bench_function("churn_event", |b| {
+        // One deactivate + one reactivate of a random worker per iteration,
+        // on a persistent maintained assignment.
+        let mut inc = IncrementalAssignment::new(&g, weights.clone());
+        let mut rng = SplitMix64::new(9);
+        b.iter(|| {
+            let w = WorkerId::new(rng.next_index(g.n_workers()) as u32);
+            inc.deactivate_worker(w);
+            inc.activate_worker(w);
+        })
+    });
+    group.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget");
+    group.sample_size(10);
+    let market = spec(800).generate();
+    let g = market.realize(&BenefitParams::default()).unwrap();
+    let weights = edge_weights(&g, Combiner::balanced());
+    let costs = market.edge_costs(&g);
+    let budget: f64 = costs.iter().sum::<f64>() * 0.1;
+    group.bench_function("greedy_budgeted", |b| {
+        b.iter(|| greedy_budgeted(&g, &weights, &costs, budget))
+    });
+    group.bench_function("lagrangian_budgeted_20it", |b| {
+        b.iter(|| lagrangian_budgeted(&g, &weights, &costs, budget, 20))
+    });
+    group.finish();
+}
+
+fn bench_kbest_and_offers(c: &mut Criterion) {
+    use mbta_core::offers::run_offer_loop;
+    use mbta_market::acceptance::AcceptanceModel;
+    use mbta_matching::kbest::k_best_bmatchings;
+
+    let mut group = c.benchmark_group("kbest_offers");
+    group.sample_size(10);
+    // Murty's cost is k·|solution| exact solves; keep the instance small so
+    // the *benchmark suite* stays runnable (the experiments binary covers
+    // large-instance behaviour).
+    let g = spec(120)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let weights = edge_weights(&g, Combiner::balanced());
+    group.bench_function("k_best_5", |b| {
+        b.iter(|| k_best_bmatchings(&g, &weights, 5))
+    });
+    group.bench_function("offer_loop_3rounds", |b| {
+        b.iter(|| {
+            run_offer_loop(
+                &g,
+                Combiner::balanced(),
+                mbta_core::algorithms::Algorithm::GreedyMB,
+                &AcceptanceModel::benefit_sensitive(),
+                3,
+                7,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_realize,
+    bench_assign,
+    bench_variants,
+    bench_incremental,
+    bench_budget,
+    bench_kbest_and_offers
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the market layer: workload generation, benefit
+//! weight computation, answer simulation and aggregation (F10's costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbta_core::algorithms::{solve, Algorithm};
+use mbta_market::aggregate::{dawid_skene, majority_vote};
+use mbta_market::aggregate_full::dawid_skene_full;
+use mbta_market::answers::{simulate_answers, GroundTruth};
+use mbta_market::benefit::edge_weights;
+use mbta_market::{BenefitParams, Combiner};
+use mbta_workload::{Profile, WorkloadSpec};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    for profile in Profile::all() {
+        let spec = WorkloadSpec {
+            profile,
+            n_workers: 10_000,
+            n_tasks: 5_000,
+            avg_worker_degree: 10.0,
+            skill_dims: 8,
+            seed: 70,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("generate", profile.name()),
+            &spec,
+            |b, s| b.iter(|| s.generate()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_weights");
+    let g = WorkloadSpec {
+        profile: Profile::Uniform,
+        n_workers: 20_000,
+        n_tasks: 10_000,
+        avg_worker_degree: 10.0,
+        skill_dims: 8,
+        seed: 71,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .unwrap();
+    for (name, combiner) in [
+        ("linear", Combiner::balanced()),
+        ("harmonic", Combiner::Harmonic),
+        ("min", Combiner::Min),
+    ] {
+        group.bench_function(name, |b| b.iter(|| edge_weights(&g, combiner)));
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+    let n_tasks = 2_000usize;
+    let n_workers = 500usize;
+    let g = WorkloadSpec {
+        profile: Profile::Microtask,
+        n_workers,
+        n_tasks,
+        avg_worker_degree: 25.0,
+        skill_dims: 8,
+        seed: 72,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .unwrap();
+    let m = solve(&g, Combiner::balanced(), Algorithm::GreedyMB);
+    let truth = GroundTruth::random(n_tasks, 4, 73);
+    let answers = simulate_answers(&g, &m, &truth, 74);
+    group.bench_function("simulate_answers", |b| {
+        b.iter(|| simulate_answers(&g, &m, &truth, 74))
+    });
+    group.bench_function("majority_vote", |b| {
+        b.iter(|| majority_vote(&answers, n_tasks, 4))
+    });
+    group.bench_function("dawid_skene_50it", |b| {
+        b.iter(|| dawid_skene(&answers, n_tasks, n_workers, 4, 50, 1e-6))
+    });
+    group.bench_function("dawid_skene_full_50it", |b| {
+        b.iter(|| dawid_skene_full(&answers, n_tasks, n_workers, 4, 50, 1e-6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_weights, bench_aggregation);
+criterion_main!(benches);

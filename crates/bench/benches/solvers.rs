@@ -1,0 +1,162 @@
+//! Criterion microbenches for the matching substrate — the timing
+//! counterparts of figures F6 and F12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbta_graph::random::{complete_bipartite, random_bipartite, RandomGraphSpec};
+use mbta_graph::BipartiteGraph;
+use mbta_market::benefit::edge_weights;
+use mbta_market::Combiner;
+use mbta_matching::auction::auction_max_weight;
+use mbta_matching::dinic::max_cardinality_bmatching;
+use mbta_matching::greedy::greedy_bmatching;
+use mbta_matching::hopcroft_karp::hopcroft_karp;
+use mbta_matching::hungarian::hungarian_max_weight;
+use mbta_matching::local_search::local_search;
+use mbta_matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+use mbta_matching::push_relabel::max_cardinality_bmatching_pr;
+use mbta_matching::stable::deferred_acceptance;
+
+fn unit_graph(n: usize, seed: u64) -> BipartiteGraph {
+    random_bipartite(
+        &RandomGraphSpec {
+            n_workers: n,
+            n_tasks: n / 2,
+            avg_degree: 8.0,
+            capacity: 1,
+            demand: 2,
+        },
+        seed,
+    )
+}
+
+fn bgraph(n: usize, seed: u64) -> BipartiteGraph {
+    random_bipartite(
+        &RandomGraphSpec {
+            n_workers: n,
+            n_tasks: n / 2,
+            avg_degree: 8.0,
+            capacity: 2,
+            demand: 3,
+        },
+        seed,
+    )
+}
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinality");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let unit = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: n,
+                n_tasks: n,
+                avg_degree: 8.0,
+                capacity: 1,
+                demand: 1,
+            },
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &unit, |b, g| {
+            b.iter(|| hopcroft_karp(g))
+        });
+        group.bench_with_input(BenchmarkId::new("dinic", n), &unit, |b, g| {
+            b.iter(|| max_cardinality_bmatching(g))
+        });
+        group.bench_with_input(BenchmarkId::new("push_relabel", n), &unit, |b, g| {
+            b.iter(|| max_cardinality_bmatching_pr(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bmatching");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let g = bgraph(n, 2);
+        let w = edge_weights(&g, Combiner::balanced());
+        group.bench_with_input(BenchmarkId::new("mcmf_dijkstra", n), &n, |b, _| {
+            b.iter(|| max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra))
+        });
+        group.bench_with_input(BenchmarkId::new("mcmf_spfa", n), &n, |b, _| {
+            b.iter(|| max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Spfa))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(10);
+    for n in [2_000usize, 16_000] {
+        let g = bgraph(n, 3);
+        let w = edge_weights(&g, Combiner::balanced());
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_bmatching(&g, &w, 0.0))
+        });
+        group.bench_with_input(BenchmarkId::new("local_search", n), &n, |b, _| {
+            b.iter(|| {
+                let start = greedy_bmatching(&g, &w, 0.0);
+                local_search(&g, &w, start, 8)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stable", n), &n, |b, _| {
+            b.iter(|| deferred_acceptance(&g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_oracles");
+    group.sample_size(10);
+    for n in [32usize, 128] {
+        let g = complete_bipartite(n, n, 4);
+        let w = edge_weights(&g, Combiner::balanced());
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, _| {
+            b.iter(|| hungarian_max_weight(&g, &w))
+        });
+        group.bench_with_input(BenchmarkId::new("auction", n), &n, |b, _| {
+            b.iter(|| auction_max_weight(&g, &w))
+        });
+        group.bench_with_input(BenchmarkId::new("mcmf", n), &n, |b, _| {
+            b.iter(|| max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    use mbta_matching::online::{online_assign, OnlinePolicy};
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+    let g = unit_graph(8_000, 5);
+    let w = edge_weights(&g, Combiner::balanced());
+    let arrivals: Vec<_> = g.workers().collect();
+    for (name, policy) in [
+        ("greedy", OnlinePolicy::Greedy),
+        ("ranking", OnlinePolicy::Ranking { seed: 7 }),
+        (
+            "two_phase",
+            OnlinePolicy::TwoPhase {
+                sample_fraction: 0.5,
+                threshold_quantile: 0.5,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| online_assign(&g, &w, &arrivals, policy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cardinality,
+    bench_exact,
+    bench_heuristics,
+    bench_dense_oracles,
+    bench_online
+);
+criterion_main!(benches);

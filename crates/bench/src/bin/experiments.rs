@@ -1,0 +1,84 @@
+//! The experiment driver: regenerates every table/figure of the evaluation.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] [ids...]
+//! ```
+//!
+//! With no ids, runs everything in the registry. Each table is printed
+//! aligned to stdout and written as `<out>/<id>[_k].csv`.
+
+use mbta_bench::experiments::registry;
+use mbta_bench::{Experiment, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--out DIR] [ids...]");
+                eprintln!("known ids:");
+                for e in registry() {
+                    eprintln!("  {:<5} {}", e.id(), e.title());
+                }
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    let reg = registry();
+    let selected: Vec<&Box<dyn Experiment>> = if ids.is_empty() {
+        reg.iter().collect()
+    } else {
+        for id in &ids {
+            if !reg.iter().any(|e| e.id() == id) {
+                eprintln!("unknown experiment id: {id} (use --help for the list)");
+                std::process::exit(2);
+            }
+        }
+        reg.iter()
+            .filter(|e| ids.iter().any(|i| i == e.id()))
+            .collect()
+    };
+
+    println!(
+        "mbta experiments: {} experiment(s), scale = {:?}, out = {}",
+        selected.len(),
+        scale,
+        out_dir.display()
+    );
+
+    for exp in selected {
+        let start = Instant::now();
+        let tables = exp.run(scale);
+        let elapsed = start.elapsed();
+        for (k, table) in tables.iter().enumerate() {
+            println!("\n{}", table.render());
+            let name = if tables.len() == 1 {
+                format!("{}.csv", exp.id())
+            } else {
+                format!("{}_{}.csv", exp.id(), k)
+            };
+            let path = out_dir.join(name);
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            } else {
+                println!("[written {}]", path.display());
+            }
+        }
+        println!("[{} done in {:.2?}]", exp.id(), elapsed);
+    }
+}

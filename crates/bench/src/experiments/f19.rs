@@ -1,0 +1,171 @@
+//! F19 — multi-round reliability learning (extension).
+
+use crate::harness::{Experiment, Scale};
+use mbta_core::algorithms::{solve, Algorithm};
+use mbta_market::aggregate::{accuracy_against, dawid_skene};
+use mbta_market::answers::{simulate_answers, GroundTruth};
+use mbta_market::history::ReliabilityTracker;
+use mbta_market::{BenefitParams, Combiner, Market};
+use mbta_util::table::{fnum, Table};
+use mbta_workload::{Profile, WorkloadSpec};
+
+/// F19: round-by-round answer accuracy of a platform that *learns* worker
+/// reliability from aggregated labels, vs two bounds: the oracle that
+/// knows true reliabilities, and a platform that never learns (cold
+/// estimates forever).
+///
+/// Expected shape: the learning curve starts at the never-learn baseline
+/// and climbs toward (without crossing) the oracle bound within a few
+/// rounds; the worker-reliability rank correlation between estimates and
+/// truth rises alongside.
+pub struct ReliabilityLearning;
+
+/// Spearman-style rank agreement: fraction of concordant pairs among all
+/// worker pairs (1.0 = identical ranking, 0.5 = random).
+fn rank_concordance(est: &[f64], truth: &[f64]) -> f64 {
+    let n = est.len();
+    let mut concordant = 0usize;
+    let mut comparable = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dt = truth[i] - truth[j];
+            let de = est[i] - est[j];
+            if dt.abs() < 1e-9 {
+                continue;
+            }
+            comparable += 1;
+            if dt * de > 0.0 {
+                concordant += 1;
+            }
+        }
+    }
+    if comparable == 0 {
+        1.0
+    } else {
+        concordant as f64 / comparable as f64
+    }
+}
+
+impl Experiment for ReliabilityLearning {
+    fn id(&self) -> &'static str {
+        "f19"
+    }
+
+    fn title(&self) -> &'static str {
+        "F19: multi-round reliability learning (learned vs oracle vs cold)"
+    }
+
+    fn run(&self, scale: Scale) -> Vec<Table> {
+        let (n_w, n_t, rounds) = match scale {
+            Scale::Quick => (120usize, 90usize, 5u32),
+            Scale::Full => (800, 600, 8),
+        };
+        let k = 4u8;
+        let params = BenefitParams::default();
+        let combiner = Combiner::balanced();
+        let market: Market = WorkloadSpec {
+            profile: Profile::Microtask,
+            n_workers: n_w,
+            n_tasks: n_t,
+            avg_worker_degree: 10.0,
+            skill_dims: 8,
+            seed: 95,
+        }
+        .generate();
+        let g_true = market.realize(&params).unwrap();
+        let true_rel: Vec<f64> = market.workers().iter().map(|w| w.reliability).collect();
+
+        let mut tracker = ReliabilityTracker::new(n_w, 1.0, 1.0, k);
+        let cold_tracker = ReliabilityTracker::new(n_w, 1.0, 1.0, k);
+
+        let mut t = Table::new(
+            self.title(),
+            &[
+                "round",
+                "learned_acc",
+                "cold_acc",
+                "oracle_acc",
+                "rank_concordance",
+            ],
+        );
+        for round in 1..=rounds {
+            // Fresh questions each round; same market.
+            let truth = GroundTruth::random(n_t, k, 95 + u64::from(round));
+            let answer_seed = 195 + u64::from(round);
+
+            // Learned platform: assign on the estimated market.
+            let g_est = tracker.estimated_market(&market).realize(&params).unwrap();
+            let m_learned = solve(&g_est, combiner, Algorithm::GreedyMB);
+            // Answers are produced by *true* reliabilities (edge-aligned
+            // graphs: the matching's edge ids transfer directly).
+            let ans_learned = simulate_answers(&g_true, &m_learned, &truth, answer_seed);
+            let ds = dawid_skene(&ans_learned, n_t, n_w, k, 50, 1e-6);
+            let learned_acc = accuracy_against(&ds.estimates, &truth.labels).unwrap_or(0.0);
+            // Platform update: aggregated labels only — no ground truth.
+            tracker.update_from_estimates(&ans_learned, &ds.estimates);
+
+            // Cold platform: never updates.
+            let g_cold = cold_tracker
+                .estimated_market(&market)
+                .realize(&params)
+                .unwrap();
+            let m_cold = solve(&g_cold, combiner, Algorithm::GreedyMB);
+            let ans_cold = simulate_answers(&g_true, &m_cold, &truth, answer_seed);
+            let ds_cold = dawid_skene(&ans_cold, n_t, n_w, k, 50, 1e-6);
+            let cold_acc = accuracy_against(&ds_cold.estimates, &truth.labels).unwrap_or(0.0);
+
+            // Oracle: knows true reliabilities.
+            let m_oracle = solve(&g_true, combiner, Algorithm::GreedyMB);
+            let ans_oracle = simulate_answers(&g_true, &m_oracle, &truth, answer_seed);
+            let ds_oracle = dawid_skene(&ans_oracle, n_t, n_w, k, 50, 1e-6);
+            let oracle_acc = accuracy_against(&ds_oracle.estimates, &truth.labels).unwrap_or(0.0);
+
+            let est_rel: Vec<f64> = (0..n_w as u32).map(|w| tracker.reliability(w)).collect();
+            t.row(vec![
+                round.to_string(),
+                fnum(learned_acc, 3),
+                fnum(cold_acc, 3),
+                fnum(oracle_acc, 3),
+                fnum(rank_concordance(&est_rel, &true_rel), 3),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learning_improves_rank_agreement() {
+        let t = &ReliabilityLearning.run(Scale::Quick)[0];
+        let csv = t.to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|c| c.parse().unwrap()).collect())
+            .collect();
+        let first_rank = rows.first().unwrap()[3];
+        let last_rank = rows.last().unwrap()[3];
+        assert!(
+            last_rank > first_rank.min(0.95),
+            "rank concordance should improve: {first_rank} -> {last_rank}"
+        );
+        // The learned platform ends at or above the cold baseline.
+        let last = rows.last().unwrap();
+        assert!(
+            last[0] >= last[1] - 0.02,
+            "learned {} vs cold {}",
+            last[0],
+            last[1]
+        );
+    }
+
+    #[test]
+    fn rank_concordance_basics() {
+        assert_eq!(rank_concordance(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(rank_concordance(&[3.0, 2.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(rank_concordance(&[], &[]), 1.0);
+    }
+}

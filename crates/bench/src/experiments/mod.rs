@@ -1,0 +1,116 @@
+//! The experiment registry — one module per table/figure of DESIGN.md §3.
+
+use crate::harness::Experiment;
+use mbta_graph::BipartiteGraph;
+use mbta_market::BenefitParams;
+use mbta_workload::{Profile, WorkloadSpec};
+
+pub mod f10;
+pub mod f11;
+pub mod f12_t13;
+pub mod f14_f15;
+pub mod f16_f17;
+pub mod f18;
+pub mod f19;
+pub mod f20;
+pub mod f21_f22;
+pub mod f2_f3;
+pub mod f4_f5;
+pub mod f6_f7;
+pub mod f8;
+pub mod f9;
+pub mod t1;
+
+/// All experiments, in presentation order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(t1::DatasetStats),
+        Box::new(f2_f3::BenefitVsWorkers),
+        Box::new(f2_f3::BenefitVsTasks),
+        Box::new(f4_f5::PerSideBenefit),
+        Box::new(f4_f5::LambdaSweep),
+        Box::new(f6_f7::RuntimeVsSize),
+        Box::new(f6_f7::DensitySweep),
+        Box::new(f8::Egalitarian),
+        Box::new(f9::OnlinePolicies),
+        Box::new(f10::RealizedQuality),
+        Box::new(f11::CombinerAblation),
+        Box::new(f12_t13::McmfVariants),
+        Box::new(f12_t13::SolverAgreement),
+        Box::new(f14_f15::IncrementalChurn),
+        Box::new(f14_f15::FlowEngines),
+        Box::new(f16_f17::ModelCalibration),
+        Box::new(f16_f17::AdversarialAggregation),
+        Box::new(f18::BudgetSweep),
+        Box::new(f19::ReliabilityLearning),
+        Box::new(f20::AcceptanceThroughput),
+        Box::new(f21_f22::ArrivalAsymmetry),
+        Box::new(f21_f22::RotationFairness),
+    ]
+}
+
+/// Standard realized instance for a profile (default benefit parameters).
+pub(crate) fn profile_graph(
+    profile: Profile,
+    n_workers: usize,
+    n_tasks: usize,
+    avg_degree: f64,
+    seed: u64,
+) -> BipartiteGraph {
+    WorkloadSpec {
+        profile,
+        n_workers,
+        n_tasks,
+        avg_worker_degree: avg_degree,
+        skill_dims: 8,
+        seed,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .expect("generated markets realize")
+}
+
+/// Uniform-profile instance — the default sweep substrate.
+pub(crate) fn uniform_graph(
+    n_workers: usize,
+    n_tasks: usize,
+    avg_degree: f64,
+    seed: u64,
+) -> BipartiteGraph {
+    profile_graph(Profile::Uniform, n_workers, n_tasks, avg_degree, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+    use mbta_util::FxHashSet;
+
+    #[test]
+    fn registry_ids_unique_and_nonempty() {
+        let reg = registry();
+        assert!(reg.len() >= 22);
+        let ids: FxHashSet<&str> = reg.iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), reg.len(), "duplicate experiment id");
+    }
+
+    #[test]
+    fn every_experiment_runs_at_quick_scale() {
+        // The harness's own end-to-end smoke test: every experiment produces
+        // at least one non-empty table at quick scale.
+        for exp in registry() {
+            let tables = exp.run(Scale::Quick);
+            assert!(!tables.is_empty(), "{} produced no tables", exp.id());
+            for t in &tables {
+                assert!(!t.is_empty(), "{} produced an empty table", exp.id());
+            }
+        }
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let a = uniform_graph(100, 50, 4.0, 1);
+        let b = uniform_graph(100, 50, 4.0, 1);
+        assert_eq!(a, b);
+    }
+}

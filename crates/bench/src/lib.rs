@@ -1,0 +1,23 @@
+//! `mbta-bench`: the experiment harness.
+//!
+//! Regenerates every table and figure of the (reconstructed) evaluation —
+//! see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+//! expected-vs-measured shapes. The `experiments` binary prints each
+//! table as aligned text and writes a CSV per table under `results/`:
+//!
+//! ```text
+//! cargo run -p mbta-bench --release --bin experiments            # all
+//! cargo run -p mbta-bench --release --bin experiments -- f2 f6   # subset
+//! cargo run -p mbta-bench --release --bin experiments -- --quick # small sizes
+//! ```
+//!
+//! Criterion microbenches (one group per timing-centric figure) live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Experiment, Scale};

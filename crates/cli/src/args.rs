@@ -1,0 +1,635 @@
+//! Hand-rolled argument parsing (no external CLI dependency is on the
+//! workspace allowlist, and the surface is small enough that a parser
+//! generator would be overhead).
+
+use mbta_core::algorithms::Algorithm;
+use mbta_core::online::ArrivalOrder;
+use mbta_market::Combiner;
+use mbta_matching::mcmf::PathAlgo;
+use mbta_matching::online::OnlinePolicy;
+use mbta_workload::Profile;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  mbta-cli gen --profile <uniform|zipfian|microtask|freelance>
+               [--workers N] [--tasks N] [--degree F] [--dims N] [--seed N]
+               --out FILE
+  mbta-cli stats FILE
+  mbta-cli solve FILE [--algorithm <exact|greedy|local|quality|worker|random|cardinality|stable>]
+                      [--combiner <balanced|harmonic|min|linear:L>] [--pairs]
+  mbta-cli sweep FILE [--steps N]
+  mbta-cli maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
+  mbta-cli budget FILE --limit B [--combiner C] [--iters N]
+  mbta-cli online FILE [--policy <greedy|ranking|twophase|threshold>]
+                       [--order <id|random|best-first|best-last>] [--seed N]
+  mbta-cli report FILE [--algorithm A] [--combiner C] [--top K]
+  mbta-cli topk FILE [--k N] [--combiner C]
+  mbta-cli help";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate an instance and persist it.
+    Gen {
+        /// Workload profile.
+        profile: Profile,
+        /// Worker count.
+        workers: usize,
+        /// Task count.
+        tasks: usize,
+        /// Average worker degree.
+        degree: f64,
+        /// Skill dimensionality.
+        dims: usize,
+        /// Generation seed.
+        seed: u64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Print dataset statistics of a persisted instance.
+    Stats {
+        /// Instance path.
+        file: PathBuf,
+    },
+    /// Solve a persisted instance.
+    Solve {
+        /// Instance path.
+        file: PathBuf,
+        /// Algorithm to run.
+        algorithm: Algorithm,
+        /// Mutual-benefit combiner.
+        combiner: Combiner,
+        /// Whether to print every assigned pair.
+        pairs: bool,
+    },
+    /// λ-sweep frontier of a persisted instance.
+    Sweep {
+        /// Instance path.
+        file: PathBuf,
+        /// Number of λ steps (inclusive endpoints).
+        steps: usize,
+    },
+    /// Egalitarian (bottleneck) solve.
+    MaxMin {
+        /// Instance path.
+        file: PathBuf,
+        /// Mutual-benefit combiner.
+        combiner: Combiner,
+    },
+    /// Budget-constrained solve (Lagrangian + greedy comparison). Edge
+    /// costs default to uniform 1.0 per assignment, since persisted graphs
+    /// carry benefits but not task pay.
+    Budget {
+        /// Instance path.
+        file: PathBuf,
+        /// Budget limit.
+        limit: f64,
+        /// Mutual-benefit combiner.
+        combiner: Combiner,
+        /// Lagrangian binary-search iterations.
+        iters: u32,
+    },
+    /// Online simulation against the hindsight optimum.
+    Online {
+        /// Instance path.
+        file: PathBuf,
+        /// Online policy.
+        policy: OnlinePolicy,
+        /// Arrival order.
+        order: ArrivalOrder,
+    },
+    /// Solve and print an operator audit report.
+    Report {
+        /// Instance path.
+        file: PathBuf,
+        /// Algorithm to run.
+        algorithm: Algorithm,
+        /// Mutual-benefit combiner.
+        combiner: Combiner,
+        /// Rows per report section.
+        top: usize,
+    },
+    /// Enumerate the k best assignments (Murty).
+    TopK {
+        /// Instance path.
+        file: PathBuf,
+        /// How many solutions to list.
+        k: usize,
+        /// Mutual-benefit combiner.
+        combiner: Combiner,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+struct Cursor<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let v = self.args.get(self.pos).map(|s| s.as_str());
+        self.pos += 1;
+        v
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, ParseError> {
+        match self.next() {
+            Some(v) => Ok(v),
+            None => err(format!("{flag} needs a value")),
+        }
+    }
+}
+
+fn parse_profile(s: &str) -> Result<Profile, ParseError> {
+    match s {
+        "uniform" => Ok(Profile::Uniform),
+        "zipfian" => Ok(Profile::Zipfian),
+        "microtask" => Ok(Profile::Microtask),
+        "freelance" => Ok(Profile::Freelance),
+        _ => err(format!("unknown profile '{s}'")),
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, ParseError> {
+    match s {
+        "exact" => Ok(Algorithm::ExactMB {
+            algo: PathAlgo::Dijkstra,
+        }),
+        "exact-spfa" => Ok(Algorithm::ExactMB {
+            algo: PathAlgo::Spfa,
+        }),
+        "greedy" => Ok(Algorithm::GreedyMB),
+        "local" => Ok(Algorithm::LocalSearch { max_passes: 8 }),
+        "quality" => Ok(Algorithm::QualityOnly),
+        "worker" => Ok(Algorithm::WorkerOnly),
+        "random" => Ok(Algorithm::Random { seed: 0 }),
+        "cardinality" => Ok(Algorithm::Cardinality),
+        "stable" => Ok(Algorithm::Stable),
+        _ => err(format!("unknown algorithm '{s}'")),
+    }
+}
+
+fn parse_combiner(s: &str) -> Result<Combiner, ParseError> {
+    if let Some(l) = s.strip_prefix("linear:") {
+        let lambda: f64 = l
+            .parse()
+            .map_err(|_| ParseError(format!("bad lambda '{l}'")))?;
+        if !(0.0..=1.0).contains(&lambda) {
+            return err(format!("lambda {lambda} out of [0,1]"));
+        }
+        return Ok(Combiner::Linear { lambda });
+    }
+    match s {
+        "balanced" => Ok(Combiner::balanced()),
+        "harmonic" => Ok(Combiner::Harmonic),
+        "min" => Ok(Combiner::Min),
+        _ => err(format!(
+            "unknown combiner '{s}' (try balanced|harmonic|min|linear:0.7)"
+        )),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("bad value for {flag}: '{s}'")))
+}
+
+/// Parses a full command line (without `argv[0]`).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut cur = Cursor { args, pos: 0 };
+    let Some(cmd) = cur.next() else {
+        return err("no command given");
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => {
+            let mut profile = None;
+            let mut workers = 1_000usize;
+            let mut tasks = 500usize;
+            let mut degree = 8.0f64;
+            let mut dims = 8usize;
+            let mut seed = 42u64;
+            let mut out = None;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--profile" => profile = Some(parse_profile(cur.value_for(flag)?)?),
+                    "--workers" => workers = parse_num(flag, cur.value_for(flag)?)?,
+                    "--tasks" => tasks = parse_num(flag, cur.value_for(flag)?)?,
+                    "--degree" => degree = parse_num(flag, cur.value_for(flag)?)?,
+                    "--dims" => dims = parse_num(flag, cur.value_for(flag)?)?,
+                    "--seed" => seed = parse_num(flag, cur.value_for(flag)?)?,
+                    "--out" => out = Some(PathBuf::from(cur.value_for(flag)?)),
+                    _ => return err(format!("unknown flag for gen: '{flag}'")),
+                }
+            }
+            let Some(profile) = profile else {
+                return err("gen requires --profile");
+            };
+            let Some(out) = out else {
+                return err("gen requires --out");
+            };
+            Ok(Command::Gen {
+                profile,
+                workers,
+                tasks,
+                degree,
+                dims,
+                seed,
+                out,
+            })
+        }
+        "stats" => {
+            let Some(file) = cur.next() else {
+                return err("stats requires a file");
+            };
+            Ok(Command::Stats {
+                file: PathBuf::from(file),
+            })
+        }
+        "solve" => {
+            let Some(file) = cur.next() else {
+                return err("solve requires a file");
+            };
+            let mut algorithm = Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            };
+            let mut combiner = Combiner::balanced();
+            let mut pairs = false;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--algorithm" => algorithm = parse_algorithm(cur.value_for(flag)?)?,
+                    "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
+                    "--pairs" => pairs = true,
+                    _ => return err(format!("unknown flag for solve: '{flag}'")),
+                }
+            }
+            Ok(Command::Solve {
+                file: PathBuf::from(file),
+                algorithm,
+                combiner,
+                pairs,
+            })
+        }
+        "sweep" => {
+            let Some(file) = cur.next() else {
+                return err("sweep requires a file");
+            };
+            let mut steps = 11usize;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--steps" => {
+                        steps = parse_num(flag, cur.value_for(flag)?)?;
+                        if steps < 2 {
+                            return err("--steps must be >= 2");
+                        }
+                    }
+                    _ => return err(format!("unknown flag for sweep: '{flag}'")),
+                }
+            }
+            Ok(Command::Sweep {
+                file: PathBuf::from(file),
+                steps,
+            })
+        }
+        "maxmin" => {
+            let Some(file) = cur.next() else {
+                return err("maxmin requires a file");
+            };
+            let mut combiner = Combiner::balanced();
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
+                    _ => return err(format!("unknown flag for maxmin: '{flag}'")),
+                }
+            }
+            Ok(Command::MaxMin {
+                file: PathBuf::from(file),
+                combiner,
+            })
+        }
+        "budget" => {
+            let Some(file) = cur.next() else {
+                return err("budget requires a file");
+            };
+            let mut limit = None;
+            let mut combiner = Combiner::balanced();
+            let mut iters = 20u32;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--limit" => {
+                        let v: f64 = parse_num(flag, cur.value_for(flag)?)?;
+                        if !(v.is_finite() && v >= 0.0) {
+                            return err("--limit must be finite and >= 0");
+                        }
+                        limit = Some(v);
+                    }
+                    "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
+                    "--iters" => iters = parse_num(flag, cur.value_for(flag)?)?,
+                    _ => return err(format!("unknown flag for budget: '{flag}'")),
+                }
+            }
+            let Some(limit) = limit else {
+                return err("budget requires --limit");
+            };
+            Ok(Command::Budget {
+                file: PathBuf::from(file),
+                limit,
+                combiner,
+                iters,
+            })
+        }
+        "online" => {
+            let Some(file) = cur.next() else {
+                return err("online requires a file");
+            };
+            let mut policy = OnlinePolicy::Greedy;
+            let mut order_kind = "random".to_string();
+            let mut seed = 0u64;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--policy" => {
+                        policy = match cur.value_for(flag)? {
+                            "greedy" => OnlinePolicy::Greedy,
+                            "ranking" => OnlinePolicy::Ranking { seed: 0 },
+                            "twophase" => OnlinePolicy::TwoPhase {
+                                sample_fraction: 0.5,
+                                threshold_quantile: 0.5,
+                            },
+                            "threshold" => OnlinePolicy::RandomThreshold { seed: 0 },
+                            other => return err(format!("unknown policy '{other}'")),
+                        }
+                    }
+                    "--order" => order_kind = cur.value_for(flag)?.to_string(),
+                    "--seed" => seed = parse_num(flag, cur.value_for(flag)?)?,
+                    _ => return err(format!("unknown flag for online: '{flag}'")),
+                }
+            }
+            // Late-bind the seed into the seeded variants.
+            policy = match policy {
+                OnlinePolicy::Ranking { .. } => OnlinePolicy::Ranking { seed },
+                OnlinePolicy::RandomThreshold { .. } => OnlinePolicy::RandomThreshold { seed },
+                p => p,
+            };
+            let order = match order_kind.as_str() {
+                "id" => ArrivalOrder::ById,
+                "random" => ArrivalOrder::Random { seed },
+                "best-first" => ArrivalOrder::BestFirst,
+                "best-last" => ArrivalOrder::BestLast,
+                other => return err(format!("unknown order '{other}'")),
+            };
+            Ok(Command::Online {
+                file: PathBuf::from(file),
+                policy,
+                order,
+            })
+        }
+        "report" => {
+            let Some(file) = cur.next() else {
+                return err("report requires a file");
+            };
+            let mut algorithm = Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            };
+            let mut combiner = Combiner::balanced();
+            let mut top = 10usize;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--algorithm" => algorithm = parse_algorithm(cur.value_for(flag)?)?,
+                    "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
+                    "--top" => top = parse_num(flag, cur.value_for(flag)?)?,
+                    _ => return err(format!("unknown flag for report: '{flag}'")),
+                }
+            }
+            Ok(Command::Report {
+                file: PathBuf::from(file),
+                algorithm,
+                combiner,
+                top,
+            })
+        }
+        "topk" => {
+            let Some(file) = cur.next() else {
+                return err("topk requires a file");
+            };
+            let mut k = 5usize;
+            let mut combiner = Combiner::balanced();
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--k" => {
+                        k = parse_num(flag, cur.value_for(flag)?)?;
+                        if k == 0 || k > 100 {
+                            return err("--k must be in 1..=100");
+                        }
+                    }
+                    "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
+                    _ => return err(format!("unknown flag for topk: '{flag}'")),
+                }
+            }
+            Ok(Command::TopK {
+                file: PathBuf::from(file),
+                k,
+                combiner,
+            })
+        }
+        other => err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        let cmd = parse(&sv(&[
+            "gen",
+            "--profile",
+            "freelance",
+            "--workers",
+            "100",
+            "--out",
+            "x.mbta",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Gen {
+                profile,
+                workers,
+                tasks,
+                out,
+                ..
+            } => {
+                assert_eq!(profile, Profile::Freelance);
+                assert_eq!(workers, 100);
+                assert_eq!(tasks, 500); // default
+                assert_eq!(out, PathBuf::from("x.mbta"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn gen_requires_profile_and_out() {
+        assert!(parse(&sv(&["gen", "--out", "x"])).is_err());
+        assert!(parse(&sv(&["gen", "--profile", "uniform"])).is_err());
+    }
+
+    #[test]
+    fn parses_solve_with_options() {
+        let cmd = parse(&sv(&[
+            "solve",
+            "m.mbta",
+            "--algorithm",
+            "greedy",
+            "--combiner",
+            "linear:0.7",
+            "--pairs",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                algorithm,
+                combiner,
+                pairs,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::GreedyMB);
+                assert_eq!(combiner, Combiner::Linear { lambda: 0.7 });
+                assert!(pairs);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&sv(&["solve", "f", "--combiner", "linear:1.5"])).is_err());
+        assert!(parse(&sv(&["solve", "f", "--algorithm", "nope"])).is_err());
+        assert!(parse(&sv(&["gen", "--profile", "nope", "--out", "x"])).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&sv(&["sweep", "f", "--steps", "1"])).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&sv(&[h])).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn parses_maxmin_budget_online() {
+        assert!(matches!(
+            parse(&sv(&["maxmin", "m.mbta", "--combiner", "min"])).unwrap(),
+            Command::MaxMin {
+                combiner: Combiner::Min,
+                ..
+            }
+        ));
+        match parse(&sv(&[
+            "budget", "m.mbta", "--limit", "12.5", "--iters", "9",
+        ]))
+        .unwrap()
+        {
+            Command::Budget { limit, iters, .. } => {
+                assert_eq!(limit, 12.5);
+                assert_eq!(iters, 9);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["budget", "m.mbta"])).is_err()); // missing --limit
+        match parse(&sv(&[
+            "online",
+            "m.mbta",
+            "--policy",
+            "threshold",
+            "--order",
+            "best-last",
+            "--seed",
+            "7",
+        ]))
+        .unwrap()
+        {
+            Command::Online { policy, order, .. } => {
+                assert_eq!(policy, OnlinePolicy::RandomThreshold { seed: 7 });
+                assert_eq!(order, ArrivalOrder::BestLast);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["online", "m.mbta", "--policy", "nope"])).is_err());
+        assert!(parse(&sv(&["online", "m.mbta", "--order", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parses_report() {
+        match parse(&sv(&[
+            "report",
+            "m.mbta",
+            "--top",
+            "5",
+            "--algorithm",
+            "greedy",
+        ]))
+        .unwrap()
+        {
+            Command::Report { top, algorithm, .. } => {
+                assert_eq!(top, 5);
+                assert_eq!(algorithm, Algorithm::GreedyMB);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_topk() {
+        match parse(&sv(&["topk", "m.mbta", "--k", "3"])).unwrap() {
+            Command::TopK { k, .. } => assert_eq!(k, 3),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["topk", "m.mbta", "--k", "0"])).is_err());
+        assert!(parse(&sv(&["topk", "m.mbta", "--k", "1000"])).is_err());
+    }
+
+    #[test]
+    fn all_algorithms_parse() {
+        for a in [
+            "exact",
+            "exact-spfa",
+            "greedy",
+            "local",
+            "quality",
+            "worker",
+            "random",
+            "cardinality",
+            "stable",
+        ] {
+            assert!(parse_algorithm(a).is_ok(), "{a}");
+        }
+    }
+}

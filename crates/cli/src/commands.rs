@@ -1,0 +1,356 @@
+//! Command implementations.
+
+use crate::args::{Command, USAGE};
+use mbta_core::algorithms::solve;
+use mbta_core::budget::{greedy_budgeted, lagrangian_budgeted};
+use mbta_core::evaluate::Evaluation;
+use mbta_core::frontier::lambda_sweep;
+use mbta_core::maxmin::maxmin_with_weights;
+use mbta_core::online::run_online;
+use mbta_core::report::AssignmentReport;
+use mbta_graph::serial::{read_graph, write_graph};
+use mbta_graph::stats::GraphStats;
+use mbta_graph::BipartiteGraph;
+use mbta_market::benefit::edge_weights;
+use mbta_market::BenefitParams;
+use mbta_matching::kbest::k_best_bmatchings;
+use mbta_util::table::{fnum, Table};
+use mbta_workload::WorkloadSpec;
+use std::error::Error;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+/// Runs a parsed command.
+pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Gen {
+            profile,
+            workers,
+            tasks,
+            degree,
+            dims,
+            seed,
+            out,
+        } => {
+            let spec = WorkloadSpec {
+                profile,
+                n_workers: workers,
+                n_tasks: tasks,
+                avg_worker_degree: degree,
+                skill_dims: dims,
+                seed,
+            };
+            let g = spec.generate().realize(&BenefitParams::default())?;
+            fs::write(&out, write_graph(&g))?;
+            println!(
+                "wrote {}: {} workers, {} tasks, {} edges ({} profile, seed {})",
+                out.display(),
+                g.n_workers(),
+                g.n_tasks(),
+                g.n_edges(),
+                profile.name(),
+                seed
+            );
+            Ok(())
+        }
+        Command::Stats { file } => {
+            let g = load(&file)?;
+            let s = GraphStats::compute(&g);
+            let mut t = Table::new(format!("stats: {}", file.display()), &["metric", "value"]);
+            let rows: Vec<(&str, String)> = vec![
+                ("workers", s.n_workers.to_string()),
+                ("tasks", s.n_tasks.to_string()),
+                ("edges", s.n_edges.to_string()),
+                ("density %", fnum(s.density * 100.0, 3)),
+                ("worker degree mean", fnum(s.worker_degree_mean, 2)),
+                ("worker degree max", s.worker_degree_max.to_string()),
+                ("task degree mean", fnum(s.task_degree_mean, 2)),
+                ("task degree max", s.task_degree_max.to_string()),
+                ("isolated workers", s.isolated_workers.to_string()),
+                ("isolated tasks", s.isolated_tasks.to_string()),
+                ("total capacity", s.total_capacity.to_string()),
+                ("total demand", s.total_demand.to_string()),
+                ("mean requester benefit", fnum(s.mean_rb, 4)),
+                ("mean worker benefit", fnum(s.mean_wb, 4)),
+                ("connected components", s.components.to_string()),
+            ];
+            for (k, v) in rows {
+                t.row(vec![k.to_string(), v]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        Command::Solve {
+            file,
+            algorithm,
+            combiner,
+            pairs,
+        } => {
+            let g = load(&file)?;
+            let start = Instant::now();
+            let m = solve(&g, combiner, algorithm);
+            let elapsed = start.elapsed();
+            m.validate(&g)?;
+            let ev = Evaluation::compute(&g, &m, combiner);
+            println!(
+                "{} under {:?}: {} pairs in {:.2?}",
+                algorithm.name(),
+                combiner,
+                m.len(),
+                elapsed
+            );
+            println!("  total mutual benefit : {:.3}", ev.total_mb);
+            println!("  requester side       : {:.3}", ev.total_rb);
+            println!("  worker side          : {:.3}", ev.total_wb);
+            println!("  min edge benefit     : {:.4}", ev.min_edge_mb);
+            println!(
+                "  demand coverage      : {:.1}%",
+                ev.demand_coverage * 100.0
+            );
+            println!(
+                "  worker participation : {:.1}%",
+                ev.worker_participation * 100.0
+            );
+            if pairs {
+                for &e in &m.edges {
+                    println!(
+                        "  w{} -> t{}  (rb {:.3}, wb {:.3})",
+                        g.worker_of(e).raw(),
+                        g.task_of(e).raw(),
+                        g.rb(e),
+                        g.wb(e)
+                    );
+                }
+            }
+            Ok(())
+        }
+        Command::MaxMin { file, combiner } => {
+            let g = load(&file)?;
+            let weights = edge_weights(&g, combiner);
+            let start = Instant::now();
+            let r = maxmin_with_weights(&g, &weights);
+            let elapsed = start.elapsed();
+            r.matching.validate(&g)?;
+            println!("egalitarian (bottleneck) solve in {elapsed:.2?}:");
+            println!("  cardinality (max)    : {}", r.cardinality);
+            println!("  bottleneck floor     : {:.4}", r.bottleneck);
+            println!(
+                "  total benefit        : {:.3}",
+                r.matching.total_weight(&weights)
+            );
+            println!("  feasibility probes   : {}", r.probes);
+            Ok(())
+        }
+        Command::Budget {
+            file,
+            limit,
+            combiner,
+            iters,
+        } => {
+            let g = load(&file)?;
+            let weights = edge_weights(&g, combiner);
+            // Persisted graphs carry benefits, not task pay: unit costs.
+            let costs = vec![1.0; g.n_edges()];
+            let gr = greedy_budgeted(&g, &weights, &costs, limit);
+            let la = lagrangian_budgeted(&g, &weights, &costs, limit, iters);
+            println!("budget-constrained solve (limit {limit}, unit edge costs):");
+            println!(
+                "  greedy     : benefit {:.3}, cost {:.1}, {} pairs",
+                gr.total_weight,
+                gr.total_cost,
+                gr.matching.len()
+            );
+            println!(
+                "  lagrangian : benefit {:.3}, cost {:.1}, {} pairs (mu {:.4}, {} solves)",
+                la.total_weight,
+                la.total_cost,
+                la.matching.len(),
+                la.mu,
+                la.solves
+            );
+            Ok(())
+        }
+        Command::Online {
+            file,
+            policy,
+            order,
+        } => {
+            let g = load(&file)?;
+            let out = run_online(&g, mbta_market::Combiner::balanced(), order, policy);
+            out.matching.validate(&g)?;
+            println!("online simulation ({policy:?}, {order:?}):");
+            println!("  online value   : {:.3}", out.online_value);
+            println!("  offline optimum: {:.3}", out.offline_value);
+            println!("  competitive    : {:.1}%", out.competitive_ratio() * 100.0);
+            println!("  pairs          : {}", out.matching.len());
+            Ok(())
+        }
+        Command::Report {
+            file,
+            algorithm,
+            combiner,
+            top,
+        } => {
+            let g = load(&file)?;
+            let m = solve(&g, combiner, algorithm);
+            m.validate(&g)?;
+            let report = AssignmentReport::build(&g, &m, combiner);
+            print!("{}", report.render(top));
+            Ok(())
+        }
+        Command::TopK { file, k, combiner } => {
+            let g = load(&file)?;
+            let weights = edge_weights(&g, combiner);
+            let solutions = k_best_bmatchings(&g, &weights, k);
+            println!("top {} assignments (of {} requested):", solutions.len(), k);
+            for (rank, s) in solutions.iter().enumerate() {
+                s.matching.validate(&g)?;
+                println!(
+                    "  #{:<2} weight {:>10.4}  pairs {}",
+                    rank + 1,
+                    s.weight,
+                    s.matching.len()
+                );
+            }
+            Ok(())
+        }
+        Command::Sweep { file, steps } => {
+            let g = load(&file)?;
+            let lambdas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
+            let pts = lambda_sweep(&g, &lambdas);
+            let mut t = Table::new(
+                format!("lambda sweep: {}", file.display()),
+                &[
+                    "lambda",
+                    "total_rb",
+                    "total_wb",
+                    "welfare",
+                    "worker_share%",
+                    "pairs",
+                ],
+            );
+            for p in pts {
+                t.row(vec![
+                    fnum(p.lambda, 2),
+                    fnum(p.total_rb, 2),
+                    fnum(p.total_wb, 2),
+                    fnum(p.total_welfare(), 2),
+                    fnum(p.worker_share() * 100.0, 1),
+                    p.cardinality.to_string(),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<BipartiteGraph, Box<dyn Error>> {
+    let bytes = fs::read(path)?;
+    Ok(read_graph(&bytes[..])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_core::algorithms::Algorithm;
+    use mbta_market::Combiner;
+    use mbta_matching::mcmf::PathAlgo;
+    use mbta_workload::Profile;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mbta_cli_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn gen_stats_solve_sweep_roundtrip() {
+        let out = tmp("roundtrip.mbta");
+        run(Command::Gen {
+            profile: Profile::Uniform,
+            workers: 50,
+            tasks: 25,
+            degree: 4.0,
+            dims: 4,
+            seed: 9,
+            out: out.clone(),
+        })
+        .unwrap();
+        assert!(out.exists());
+
+        run(Command::Stats { file: out.clone() }).unwrap();
+        run(Command::Solve {
+            file: out.clone(),
+            algorithm: Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+            combiner: Combiner::balanced(),
+            pairs: true,
+        })
+        .unwrap();
+        run(Command::Sweep {
+            file: out.clone(),
+            steps: 3,
+        })
+        .unwrap();
+        run(Command::MaxMin {
+            file: out.clone(),
+            combiner: Combiner::balanced(),
+        })
+        .unwrap();
+        run(Command::Budget {
+            file: out.clone(),
+            limit: 10.0,
+            combiner: Combiner::Harmonic,
+            iters: 10,
+        })
+        .unwrap();
+        run(Command::Online {
+            file: out.clone(),
+            policy: mbta_matching::online::OnlinePolicy::Greedy,
+            order: mbta_core::online::ArrivalOrder::Random { seed: 1 },
+        })
+        .unwrap();
+        run(Command::Report {
+            file: out.clone(),
+            algorithm: Algorithm::GreedyMB,
+            combiner: Combiner::balanced(),
+            top: 5,
+        })
+        .unwrap();
+        run(Command::TopK {
+            file: out.clone(),
+            k: 3,
+            combiner: Combiner::balanced(),
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let r = run(Command::Stats {
+            file: PathBuf::from("/nonexistent/definitely_missing.mbta"),
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn corrupt_file_errors() {
+        let out = tmp("corrupt.mbta");
+        std::fs::write(&out, b"this is not a graph").unwrap();
+        let r = run(Command::Stats { file: out.clone() });
+        assert!(r.is_err());
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn help_prints() {
+        run(Command::Help).unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! `mbta-cli` — command-line front end for the library.
+//!
+//! ```text
+//! mbta-cli gen --profile freelance --workers 5000 --tasks 2500 \
+//!              --degree 8 --seed 42 --out market.mbta   # generate + persist
+//! mbta-cli stats market.mbta                    # dataset statistics
+//! mbta-cli solve market.mbta --algorithm exact --combiner harmonic
+//! mbta-cli sweep market.mbta                    # λ-sweep frontier
+//! ```
+//!
+//! Instances travel in the compact binary format of `mbta_graph::serial`,
+//! so a generated market can be archived, diffed, and re-solved
+//! bit-identically.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

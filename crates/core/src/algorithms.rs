@@ -1,0 +1,313 @@
+//! The algorithm portfolio the evaluation compares.
+//!
+//! Every algorithm consumes the same realized graph and the same
+//! mutual-benefit combiner, and returns a feasible [`Matching`] — the
+//! *objective they optimize* is what differs:
+//!
+//! | Algorithm      | Optimizes                          | Complexity        |
+//! |----------------|------------------------------------|-------------------|
+//! | `ExactMB`      | Σ mb, exactly (min-cost flow)      | O(F · E log V)    |
+//! | `GreedyMB`     | Σ mb, ½-approx                     | O(E log E)        |
+//! | `LocalSearch`  | Σ mb, greedy + swap/split moves    | O(passes · E·deg) |
+//! | `QualityOnly`  | Σ rb exactly (prior-work baseline) | O(F · E log V)    |
+//! | `WorkerOnly`   | Σ wb exactly                       | O(F · E log V)    |
+//! | `Random`       | nothing (random maximal feasible)  | O(E)              |
+//! | `Cardinality`  | assignment count (max flow)        | O(E √V)           |
+//! | `Stable`       | pairwise stability (not welfare)   | O(E log E)        |
+
+use mbta_graph::{BipartiteGraph, EdgeId};
+use mbta_market::benefit::edge_weights;
+use mbta_market::Combiner;
+use mbta_matching::dinic::max_cardinality_bmatching;
+use mbta_matching::greedy::greedy_bmatching;
+use mbta_matching::local_search::local_search;
+use mbta_matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+use mbta_matching::stable::deferred_acceptance;
+use mbta_matching::Matching;
+use mbta_util::SplitMix64;
+
+/// An assignment algorithm from the evaluation's comparison set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Exact maximum of total mutual benefit via min-cost max-flow.
+    ExactMB {
+        /// Shortest-path strategy inside the flow solver.
+        algo: PathAlgo,
+    },
+    /// Sort-and-scan greedy (½-approximation), the scalable heuristic.
+    GreedyMB,
+    /// Greedy followed by add/swap/split local search.
+    LocalSearch {
+        /// Maximum improvement passes.
+        max_passes: u32,
+    },
+    /// Prior-work baseline: maximize requester benefit only (exactly), then
+    /// be evaluated under the mutual objective.
+    QualityOnly,
+    /// Mirror baseline: maximize worker benefit only (exactly).
+    WorkerOnly,
+    /// Random maximal feasible assignment (uniform edge order).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Maximum-cardinality assignment ignoring weights entirely.
+    Cardinality,
+    /// Worker-proposing deferred acceptance under (wb, rb) preferences.
+    Stable,
+}
+
+impl Algorithm {
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            } => "ExactMB",
+            Algorithm::ExactMB {
+                algo: PathAlgo::Spfa,
+            } => "ExactMB-SPFA",
+            Algorithm::GreedyMB => "GreedyMB",
+            Algorithm::LocalSearch { .. } => "LocalSearch",
+            Algorithm::QualityOnly => "QualityOnly",
+            Algorithm::WorkerOnly => "WorkerOnly",
+            Algorithm::Random { .. } => "Random",
+            Algorithm::Cardinality => "Cardinality",
+            Algorithm::Stable => "Stable",
+        }
+    }
+
+    /// Whether this algorithm runs a full min-cost-flow solve (the exact
+    /// solvers share the same super-linear scaling cliff, so experiment
+    /// grids gate all of them together above a size cutoff).
+    pub fn is_exact_flow(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::ExactMB { .. } | Algorithm::QualityOnly | Algorithm::WorkerOnly
+        )
+    }
+
+    /// The default comparison set of the experiments (deterministic seeds).
+    pub fn comparison_set() -> Vec<Algorithm> {
+        vec![
+            Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+            Algorithm::GreedyMB,
+            Algorithm::LocalSearch { max_passes: 8 },
+            Algorithm::QualityOnly,
+            Algorithm::WorkerOnly,
+            Algorithm::Random { seed: 0xD1CE },
+            Algorithm::Cardinality,
+            Algorithm::Stable,
+        ]
+    }
+}
+
+/// Solves the assignment problem on `g` under `combiner` with `algorithm`.
+///
+/// The returned matching is always feasible for `g`; its *quality* under the
+/// mutual objective is what [`crate::evaluate`] measures.
+///
+/// # Example
+/// ```
+/// use mbta_core::algorithms::{solve, Algorithm};
+/// use mbta_graph::random::from_edges;
+/// use mbta_market::Combiner;
+///
+/// // Two workers, two tasks; the off-diagonal pairing wins in total.
+/// let g = from_edges(
+///     &[1, 1],
+///     &[1, 1],
+///     &[(0, 0, 0.9, 0.9), (0, 1, 0.8, 0.8), (1, 0, 0.7, 0.7)],
+/// );
+/// let m = solve(&g, Combiner::balanced(), Algorithm::GreedyMB);
+/// assert!(m.validate(&g).is_ok());
+/// ```
+pub fn solve(g: &BipartiteGraph, combiner: Combiner, algorithm: Algorithm) -> Matching {
+    match algorithm {
+        Algorithm::ExactMB { algo } => {
+            let w = edge_weights(g, combiner);
+            max_weight_bmatching(g, &w, FlowMode::FreeCardinality, algo).0
+        }
+        Algorithm::GreedyMB => {
+            let w = edge_weights(g, combiner);
+            greedy_bmatching(g, &w, 0.0)
+        }
+        Algorithm::LocalSearch { max_passes } => {
+            let w = edge_weights(g, combiner);
+            let start = greedy_bmatching(g, &w, 0.0);
+            local_search(g, &w, start, max_passes).0
+        }
+        Algorithm::QualityOnly => {
+            let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+            max_weight_bmatching(g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra).0
+        }
+        Algorithm::WorkerOnly => {
+            let w: Vec<f64> = g.edges().map(|e| g.wb(e)).collect();
+            max_weight_bmatching(g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra).0
+        }
+        Algorithm::Random { seed } => random_maximal(g, seed),
+        Algorithm::Cardinality => max_cardinality_bmatching(g),
+        Algorithm::Stable => deferred_acceptance(g),
+    }
+}
+
+/// Random maximal feasible assignment: shuffle the edge list, take whatever
+/// fits. The "no assignment intelligence at all" reference point.
+pub fn random_maximal(g: &BipartiteGraph, seed: u64) -> Matching {
+    let mut rng = SplitMix64::new(seed);
+    let mut order: Vec<u32> = (0..g.n_edges() as u32).collect();
+    rng.shuffle(&mut order);
+    let mut w_rem = g.capacities().to_vec();
+    let mut t_rem = g.demands().to_vec();
+    let mut chosen = Vec::new();
+    for eid in order {
+        let e = EdgeId::new(eid);
+        let w = g.worker_of(e).index();
+        let t = g.task_of(e).index();
+        if w_rem[w] > 0 && t_rem[t] > 0 {
+            w_rem[w] -= 1;
+            t_rem[t] -= 1;
+            chosen.push(e);
+        }
+    }
+    Matching::from_edges(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{random_bipartite, RandomGraphSpec};
+    use mbta_market::benefit::edge_weights;
+
+    fn instance(seed: u64) -> BipartiteGraph {
+        random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 60,
+                n_tasks: 40,
+                avg_degree: 6.0,
+                capacity: 2,
+                demand: 2,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn all_algorithms_produce_feasible_matchings() {
+        let g = instance(1);
+        for alg in Algorithm::comparison_set() {
+            let m = solve(&g, Combiner::balanced(), alg);
+            m.validate(&g)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        }
+    }
+
+    #[test]
+    fn exact_dominates_everything_on_the_mutual_objective() {
+        for seed in 0..5 {
+            let g = instance(seed);
+            let combiner = Combiner::balanced();
+            let w = edge_weights(&g, combiner);
+            let exact = solve(
+                &g,
+                combiner,
+                Algorithm::ExactMB {
+                    algo: PathAlgo::Dijkstra,
+                },
+            );
+            let best = exact.total_weight(&w);
+            for alg in Algorithm::comparison_set() {
+                let m = solve(&g, combiner, alg);
+                assert!(
+                    m.total_weight(&w) <= best + 1e-6,
+                    "seed {seed}: {} beat ExactMB",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quality_only_wins_on_rb_but_not_on_mb() {
+        let g = instance(7);
+        let rb: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let q = solve(&g, Combiner::balanced(), Algorithm::QualityOnly);
+        let e = solve(
+            &g,
+            Combiner::balanced(),
+            Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+        );
+        // QualityOnly is by construction optimal for Σrb.
+        assert!(q.total_weight(&rb) >= e.total_weight(&rb) - 1e-6);
+    }
+
+    #[test]
+    fn local_search_at_least_matches_greedy() {
+        for seed in 0..5 {
+            let g = instance(seed + 20);
+            let c = Combiner::Harmonic;
+            let w = edge_weights(&g, c);
+            let greedy = solve(&g, c, Algorithm::GreedyMB);
+            let ls = solve(&g, c, Algorithm::LocalSearch { max_passes: 8 });
+            assert!(
+                ls.total_weight(&w) >= greedy.total_weight(&w) - 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn cardinality_maximizes_count() {
+        let g = instance(3);
+        let card = solve(&g, Combiner::balanced(), Algorithm::Cardinality);
+        for alg in Algorithm::comparison_set() {
+            let m = solve(&g, Combiner::balanced(), alg);
+            assert!(
+                m.len() <= card.len(),
+                "{} exceeded max cardinality",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed_and_maximal() {
+        let g = instance(4);
+        let a = random_maximal(&g, 9);
+        let b = random_maximal(&g, 9);
+        assert_eq!(a, b);
+        // Maximality: no remaining edge fits.
+        let w_load = a.worker_loads(&g);
+        let t_load = a.task_loads(&g);
+        let mut in_m = vec![false; g.n_edges()];
+        for &e in &a.edges {
+            in_m[e.index()] = true;
+        }
+        for e in g.edges() {
+            if !in_m[e.index()] {
+                let w = g.worker_of(e);
+                let t = g.task_of(e);
+                assert!(
+                    w_load[w.index()] == g.capacity(w) || t_load[t.index()] == g.demand(t),
+                    "edge {e} could still be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = Algorithm::comparison_set()
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

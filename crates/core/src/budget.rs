@@ -1,0 +1,418 @@
+//! MB-Budget: budget-constrained mutual-benefit assignment.
+//!
+//! Requesters pay per assignment; a platform (or a requester cohort) with a
+//! global budget `B` must choose the assignment maximizing total mutual
+//! benefit subject to `Σ cost(e) ≤ B`. With the degree constraints this is
+//! budgeted matching — NP-hard already on stars (knapsack embeds) — so the
+//! exact solver gives way to:
+//!
+//! * [`greedy_budgeted`] — density greedy: take edges by `weight / cost`
+//!   (free edges first) while capacity, demand and budget allow;
+//! * [`lagrangian_budgeted`] — dualize the budget: binary-search the
+//!   multiplier `μ` and solve the *unconstrained* problem with penalized
+//!   weights `w_e − μ·c_e` exactly (min-cost flow) at each step, keeping
+//!   the best feasible solution; a final greedy fill spends any leftover
+//!   budget. The classic Lagrangian-relaxation heuristic: each inner solve
+//!   is optimal for its penalized objective, so the search brackets the
+//!   budget-feasible frontier from both sides.
+
+use mbta_graph::{BipartiteGraph, EdgeId};
+use mbta_matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+use mbta_matching::Matching;
+
+/// Result of a budgeted solve.
+#[derive(Debug, Clone)]
+pub struct BudgetResult {
+    /// The chosen assignment (budget-feasible).
+    pub matching: Matching,
+    /// Its total weight.
+    pub total_weight: f64,
+    /// Its total cost (`≤ budget`).
+    pub total_cost: f64,
+    /// The final Lagrange multiplier (0 for the greedy solver).
+    pub mu: f64,
+    /// Inner exact solves performed (1 + binary-search iterations).
+    pub solves: u32,
+}
+
+fn validate_inputs(g: &BipartiteGraph, weights: &[f64], costs: &[f64], budget: f64) {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    assert_eq!(costs.len(), g.n_edges(), "cost slice length mismatch");
+    assert!(
+        budget >= 0.0 && budget.is_finite(),
+        "budget must be finite and >= 0"
+    );
+    assert!(
+        costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "costs must be finite and >= 0"
+    );
+}
+
+/// Density greedy for budgeted matching: edges sorted by `weight / cost`
+/// descending (cost-0 edges first, by weight), taken while degrees and
+/// budget allow. Unaffordable edges are skipped, not a stopping point.
+pub fn greedy_budgeted(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    costs: &[f64],
+    budget: f64,
+) -> BudgetResult {
+    validate_inputs(g, weights, costs, budget);
+    let mut order: Vec<u32> = (0..g.n_edges() as u32).collect();
+    let density = |e: usize| -> f64 {
+        if costs[e] == 0.0 {
+            f64::INFINITY
+        } else {
+            weights[e] / costs[e]
+        }
+    };
+    order.sort_unstable_by(|&a, &b| {
+        let (da, db) = (density(a as usize), density(b as usize));
+        db.partial_cmp(&da)
+            .expect("densities are comparable")
+            .then(
+                weights[b as usize]
+                    .partial_cmp(&weights[a as usize])
+                    .expect("weights are finite"),
+            )
+            .then(a.cmp(&b))
+    });
+
+    let mut w_rem = g.capacities().to_vec();
+    let mut t_rem = g.demands().to_vec();
+    let mut spent = 0.0;
+    let mut total = 0.0;
+    let mut chosen = Vec::new();
+    for eid in order {
+        let e = EdgeId::new(eid);
+        let i = e.index();
+        if weights[i] <= 0.0 {
+            continue;
+        }
+        let w = g.worker_of(e).index();
+        let t = g.task_of(e).index();
+        if w_rem[w] > 0 && t_rem[t] > 0 && spent + costs[i] <= budget + 1e-12 {
+            w_rem[w] -= 1;
+            t_rem[t] -= 1;
+            spent += costs[i];
+            total += weights[i];
+            chosen.push(e);
+        }
+    }
+    BudgetResult {
+        matching: Matching::from_edges(chosen),
+        total_weight: total,
+        total_cost: spent,
+        mu: 0.0,
+        solves: 0,
+    }
+}
+
+/// Lagrangian relaxation: binary search `μ ∈ [0, μ_max]`, solving the
+/// penalized unconstrained problem exactly at each step; returns the best
+/// budget-feasible candidate found, greedily topped up with leftover
+/// budget. `iters` bounds the binary-search depth (20 is plenty: the
+/// bracket shrinks geometrically).
+pub fn lagrangian_budgeted(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    costs: &[f64],
+    budget: f64,
+    iters: u32,
+) -> BudgetResult {
+    validate_inputs(g, weights, costs, budget);
+
+    let cost_of = |m: &Matching| -> f64 { m.edges.iter().map(|e| costs[e.index()]).sum() };
+    let solve_mu = |mu: f64| -> Matching {
+        // Penalized weights, clamped into [0,1]: negative-value edges are
+        // never taken by the free-cardinality solver anyway, and the upper
+        // clamp is vacuous (weights ≤ 1, penalty ≥ 0).
+        let penalized: Vec<f64> = weights
+            .iter()
+            .zip(costs)
+            .map(|(&w, &c)| (w - mu * c).max(0.0))
+            .collect();
+        max_weight_bmatching(g, &penalized, FlowMode::FreeCardinality, PathAlgo::Dijkstra).0
+    };
+
+    // μ = 0: unconstrained optimum. Feasible ⇒ done.
+    let unconstrained = solve_mu(0.0);
+    let mut solves = 1;
+    if cost_of(&unconstrained) <= budget + 1e-12 {
+        let total_cost = cost_of(&unconstrained);
+        let total_weight = unconstrained.total_weight(weights);
+        return BudgetResult {
+            matching: unconstrained,
+            total_weight,
+            total_cost,
+            mu: 0.0,
+            solves,
+        };
+    }
+
+    // Track the best feasible candidate seen (by true weight).
+    let mut best: Option<(Matching, f64, f64, f64)> = None; // (m, weight, cost, mu)
+    let consider = |m: Matching, mu: f64, best: &mut Option<(Matching, f64, f64, f64)>| {
+        let c = cost_of(&m);
+        if c <= budget + 1e-12 {
+            let v = m.total_weight(weights);
+            if best.as_ref().is_none_or(|(_, bv, _, _)| v > *bv) {
+                *best = Some((m, v, c, mu));
+            }
+        }
+    };
+
+    // μ_max: every positive-cost edge penalized to zero value.
+    let mu_max = weights
+        .iter()
+        .zip(costs)
+        .filter(|(_, &c)| c > 0.0)
+        .map(|(&w, &c)| w / c)
+        .fold(0.0f64, f64::max)
+        + 1.0;
+    consider(solve_mu(mu_max), mu_max, &mut best);
+    solves += 1;
+
+    let (mut lo, mut hi) = (0.0f64, mu_max); // lo infeasible, hi feasible
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let m = solve_mu(mid);
+        solves += 1;
+        if cost_of(&m) <= budget + 1e-12 {
+            consider(m, mid, &mut best);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+
+    let (matching, _, _, mu) = best.expect("mu_max candidate is always feasible");
+    // Greedy top-up with leftover budget (the Lagrangian point can leave
+    // both budget and degrees slack).
+    let mut w_rem = g.capacities().to_vec();
+    let mut t_rem = g.demands().to_vec();
+    let mut in_m = vec![false; g.n_edges()];
+    let mut spent = 0.0;
+    let mut total = 0.0;
+    let mut edges = matching.edges.clone();
+    for &e in &edges {
+        in_m[e.index()] = true;
+        w_rem[g.worker_of(e).index()] -= 1;
+        t_rem[g.task_of(e).index()] -= 1;
+        spent += costs[e.index()];
+        total += weights[e.index()];
+    }
+    let mut order: Vec<u32> = (0..g.n_edges() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .expect("weights are finite")
+            .then(a.cmp(&b))
+    });
+    for eid in order {
+        let e = EdgeId::new(eid);
+        let i = e.index();
+        if in_m[i] || weights[i] <= 0.0 {
+            continue;
+        }
+        let w = g.worker_of(e).index();
+        let t = g.task_of(e).index();
+        if w_rem[w] > 0 && t_rem[t] > 0 && spent + costs[i] <= budget + 1e-12 {
+            w_rem[w] -= 1;
+            t_rem[t] -= 1;
+            spent += costs[i];
+            total += weights[i];
+            in_m[i] = true;
+            edges.push(e);
+        }
+    }
+
+    BudgetResult {
+        matching: Matching::from_edges(edges),
+        total_weight: total,
+        total_cost: spent,
+        mu,
+        solves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_util::SplitMix64;
+
+    fn setup(seed: u64) -> (BipartiteGraph, Vec<f64>, Vec<f64>) {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 30,
+                n_tasks: 20,
+                avg_degree: 4.0,
+                capacity: 2,
+                demand: 2,
+            },
+            seed,
+        );
+        let weights: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        let mut rng = SplitMix64::new(seed ^ 0xB0D6E7);
+        let costs: Vec<f64> = g.edges().map(|_| rng.next_f64() * 10.0).collect();
+        (g, weights, costs)
+    }
+
+    #[test]
+    fn infinite_budget_matches_unconstrained_optimum() {
+        let (g, w, c) = setup(1);
+        let (opt, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        let r = lagrangian_budgeted(&g, &w, &c, 1e12, 20);
+        assert_eq!(r.solves, 1);
+        assert!((r.total_weight - opt.total_weight(&w)).abs() < 1e-6);
+        assert_eq!(r.mu, 0.0);
+    }
+
+    #[test]
+    fn zero_budget_takes_only_free_edges() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5)]);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let c = vec![5.0, 0.0];
+        for r in [
+            greedy_budgeted(&g, &w, &c, 0.0),
+            lagrangian_budgeted(&g, &w, &c, 0.0, 20),
+        ] {
+            r.matching.validate(&g).unwrap();
+            assert_eq!(r.matching.len(), 1);
+            assert!((r.total_weight - 0.5).abs() < 1e-12);
+            assert_eq!(r.total_cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn budget_is_always_respected() {
+        for seed in 0..10 {
+            let (g, w, c) = setup(seed);
+            for budget in [0.0, 3.0, 10.0, 30.0, 100.0] {
+                let gr = greedy_budgeted(&g, &w, &c, budget);
+                gr.matching.validate(&g).unwrap();
+                assert!(
+                    gr.total_cost <= budget + 1e-9,
+                    "greedy seed {seed} b {budget}"
+                );
+                let la = lagrangian_budgeted(&g, &w, &c, budget, 20);
+                la.matching.validate(&g).unwrap();
+                assert!(
+                    la.total_cost <= budget + 1e-9,
+                    "lagr seed {seed} b {budget}"
+                );
+                // Both report consistent totals.
+                assert!((gr.total_weight - gr.matching.total_weight(&w)).abs() < 1e-9);
+                assert!((la.total_weight - la.matching.total_weight(&w)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lagrangian_beats_or_matches_greedy_usually() {
+        let mut lagr_wins = 0;
+        let mut greedy_wins = 0;
+        for seed in 0..20 {
+            let (g, w, c) = setup(seed + 100);
+            let budget = 15.0;
+            let gr = greedy_budgeted(&g, &w, &c, budget);
+            let la = lagrangian_budgeted(&g, &w, &c, budget, 20);
+            if la.total_weight > gr.total_weight + 1e-9 {
+                lagr_wins += 1;
+            } else if gr.total_weight > la.total_weight + 1e-9 {
+                greedy_wins += 1;
+            }
+        }
+        assert!(
+            lagr_wins > greedy_wins,
+            "lagrangian {lagr_wins} vs greedy {greedy_wins}"
+        );
+    }
+
+    #[test]
+    fn beats_exhaustive_on_tiny_instances_within_tolerance() {
+        // Brute-force budgeted optimum on tiny instances; the Lagrangian
+        // heuristic is not exact for knapsack-hard cases, so allow a margin
+        // but verify we're close and never above.
+        for seed in 0..8 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 4,
+                    n_tasks: 4,
+                    avg_degree: 3.0,
+                    capacity: 1,
+                    demand: 1,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+            let mut rng = SplitMix64::new(seed);
+            let c: Vec<f64> = g.edges().map(|_| 1.0 + rng.next_f64() * 4.0).collect();
+            let budget = 5.0;
+            let best = brute_force(&g, &w, &c, budget);
+            let la = lagrangian_budgeted(&g, &w, &c, budget, 30);
+            assert!(
+                la.total_weight <= best + 1e-9,
+                "seed {seed}: above optimum?!"
+            );
+            assert!(
+                la.total_weight >= 0.6 * best - 1e-9,
+                "seed {seed}: lagrangian {} vs brute {best}",
+                la.total_weight
+            );
+        }
+    }
+
+    fn brute_force(g: &BipartiteGraph, w: &[f64], c: &[f64], budget: f64) -> f64 {
+        let m = g.n_edges();
+        assert!(m <= 16);
+        let mut best = 0.0f64;
+        'mask: for mask in 0u32..(1 << m) {
+            let mut w_load = vec![0u32; g.n_workers()];
+            let mut t_load = vec![0u32; g.n_tasks()];
+            let (mut total, mut cost) = (0.0, 0.0);
+            for e in g.edges() {
+                if mask & (1 << e.index()) != 0 {
+                    let wi = g.worker_of(e).index();
+                    let ti = g.task_of(e).index();
+                    w_load[wi] += 1;
+                    t_load[ti] += 1;
+                    if w_load[wi] > g.capacity(g.worker_of(e))
+                        || t_load[ti] > g.demand(g.task_of(e))
+                    {
+                        continue 'mask;
+                    }
+                    total += w[e.index()];
+                    cost += c[e.index()];
+                }
+            }
+            if cost <= budget + 1e-12 {
+                best = best.max(total);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn monotone_in_budget() {
+        let (g, w, c) = setup(3);
+        let mut prev = -1.0;
+        for budget in [0.0, 5.0, 10.0, 20.0, 40.0, 1e9] {
+            let r = lagrangian_budgeted(&g, &w, &c, budget, 20);
+            assert!(
+                r.total_weight >= prev - 1e-9,
+                "budget {budget}: {} < {prev}",
+                r.total_weight
+            );
+            prev = r.total_weight;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn negative_budget_rejected() {
+        let (g, w, c) = setup(4);
+        greedy_budgeted(&g, &w, &c, -1.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The metric set every experiment reports.
+
+use mbta_graph::BipartiteGraph;
+use mbta_market::Combiner;
+use mbta_matching::Matching;
+
+/// Evaluation of an assignment under the mutual-benefit objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Number of assigned edges.
+    pub cardinality: usize,
+    /// Σ mutual benefit over assigned edges (under the given combiner).
+    pub total_mb: f64,
+    /// Σ requester benefit over assigned edges.
+    pub total_rb: f64,
+    /// Σ worker benefit over assigned edges.
+    pub total_wb: f64,
+    /// Smallest per-edge mutual benefit in the assignment (1.0 when empty —
+    /// the neutral element of `min`).
+    pub min_edge_mb: f64,
+    /// Fraction of total task demand that was filled.
+    pub demand_coverage: f64,
+    /// Fraction of workers with at least one assigned task.
+    pub worker_participation: f64,
+    /// Jain fairness index of per-worker benefit among *participating*
+    /// workers (1 = perfectly equal, → 1/n = one worker takes all).
+    pub worker_fairness: f64,
+    /// Jain fairness index of per-task quality among *served* tasks.
+    pub task_fairness: f64,
+}
+
+/// Gini coefficient over non-negative values (0 = perfectly equal,
+/// → 1 = one participant takes all). Returns 0.0 for empty or all-zero
+/// inputs (vacuously equal).
+pub fn gini_coefficient(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // G = (2 Σ i·x_(i) / (n Σ x)) − (n + 1)/n, ranks i = 1..n.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0)
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over the given values.
+/// Returns 1.0 for empty or all-zero inputs (vacuously fair).
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (values.len() as f64 * sq)
+    }
+}
+
+impl Evaluation {
+    /// Evaluates `m` on `g` under `combiner`.
+    pub fn compute(g: &BipartiteGraph, m: &Matching, combiner: Combiner) -> Self {
+        debug_assert!(m.validate(g).is_ok());
+        let mut total_mb = 0.0;
+        let mut total_rb = 0.0;
+        let mut total_wb = 0.0;
+        let mut min_edge_mb = 1.0f64;
+        let mut worker_benefit = vec![0.0f64; g.n_workers()];
+        let mut task_quality = vec![0.0f64; g.n_tasks()];
+        let mut worker_hit = vec![false; g.n_workers()];
+        let mut task_hit = vec![false; g.n_tasks()];
+
+        for &e in &m.edges {
+            let (rb, wb) = (g.rb(e), g.wb(e));
+            let mb = combiner.combine(rb, wb);
+            total_mb += mb;
+            total_rb += rb;
+            total_wb += wb;
+            min_edge_mb = min_edge_mb.min(mb);
+            let w = g.worker_of(e).index();
+            let t = g.task_of(e).index();
+            worker_benefit[w] += wb;
+            task_quality[t] += rb;
+            worker_hit[w] = true;
+            task_hit[t] = true;
+        }
+
+        let participating: Vec<f64> = worker_benefit
+            .iter()
+            .zip(&worker_hit)
+            .filter(|(_, &hit)| hit)
+            .map(|(&b, _)| b)
+            .collect();
+        let served: Vec<f64> = task_quality
+            .iter()
+            .zip(&task_hit)
+            .filter(|(_, &hit)| hit)
+            .map(|(&q, _)| q)
+            .collect();
+
+        let total_demand = g.total_demand();
+        Self {
+            cardinality: m.len(),
+            total_mb,
+            total_rb,
+            total_wb,
+            min_edge_mb: if m.is_empty() { 1.0 } else { min_edge_mb },
+            demand_coverage: if total_demand == 0 {
+                1.0
+            } else {
+                m.len() as f64 / total_demand as f64
+            },
+            worker_participation: if g.n_workers() == 0 {
+                1.0
+            } else {
+                worker_hit.iter().filter(|&&h| h).count() as f64 / g.n_workers() as f64
+            },
+            worker_fairness: jain_index(&participating),
+            task_fairness: jain_index(&served),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::from_edges;
+    use mbta_graph::EdgeId;
+
+    fn two_edge_instance() -> BipartiteGraph {
+        from_edges(
+            &[1, 1, 1],
+            &[2, 1],
+            &[(0, 0, 0.8, 0.4), (1, 0, 0.6, 0.6), (2, 1, 0.2, 1.0)],
+        )
+    }
+
+    #[test]
+    fn totals_and_minima() {
+        let g = two_edge_instance();
+        let m = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(2)]);
+        let ev = Evaluation::compute(&g, &m, Combiner::balanced());
+        assert_eq!(ev.cardinality, 2);
+        assert!((ev.total_rb - 1.0).abs() < 1e-12);
+        assert!((ev.total_wb - 1.4).abs() < 1e-12);
+        assert!((ev.total_mb - 1.2).abs() < 1e-12);
+        assert!((ev.min_edge_mb - 0.6).abs() < 1e-12);
+        // Demand: 3 total, 2 filled.
+        assert!((ev.demand_coverage - 2.0 / 3.0).abs() < 1e-12);
+        // Workers: 2 of 3 participate.
+        assert!((ev.worker_participation - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matching_is_neutral() {
+        let g = two_edge_instance();
+        let ev = Evaluation::compute(&g, &Matching::empty(), Combiner::balanced());
+        assert_eq!(ev.cardinality, 0);
+        assert_eq!(ev.total_mb, 0.0);
+        assert_eq!(ev.min_edge_mb, 1.0);
+        assert_eq!(ev.demand_coverage, 0.0);
+        assert_eq!(ev.worker_participation, 0.0);
+        assert_eq!(ev.worker_fairness, 1.0);
+    }
+
+    #[test]
+    fn gini_properties() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0.0, 0.0]), 0.0);
+        assert!(gini_coefficient(&[1.0, 1.0, 1.0]).abs() < 1e-12);
+        // One takes all of n=4: G = (n-1)/n = 0.75.
+        assert!((gini_coefficient(&[1.0, 0.0, 0.0, 0.0]) - 0.75).abs() < 1e-12);
+        // More unequal -> larger G; order-invariant.
+        assert!(gini_coefficient(&[0.9, 0.1]) > gini_coefficient(&[0.6, 0.4]));
+        assert!(
+            (gini_coefficient(&[3.0, 1.0, 2.0]) - gini_coefficient(&[1.0, 2.0, 3.0])).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One worker takes all: index = 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Monotone in equality.
+        assert!(jain_index(&[0.5, 0.5]) > jain_index(&[0.9, 0.1]));
+    }
+
+    #[test]
+    fn fairness_uses_participants_only() {
+        let g = two_edge_instance();
+        // Single assigned edge: the one participant is trivially fair.
+        let m = Matching::from_edges(vec![EdgeId::new(0)]);
+        let ev = Evaluation::compute(&g, &m, Combiner::balanced());
+        assert_eq!(ev.worker_fairness, 1.0);
+        assert_eq!(ev.task_fairness, 1.0);
+    }
+
+    #[test]
+    fn combiner_changes_total_mb_only() {
+        let g = two_edge_instance();
+        let m = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(1)]);
+        let lin = Evaluation::compute(&g, &m, Combiner::balanced());
+        let min = Evaluation::compute(&g, &m, Combiner::Min);
+        assert_eq!(lin.total_rb, min.total_rb);
+        assert_eq!(lin.total_wb, min.total_wb);
+        assert!(min.total_mb < lin.total_mb); // min ≤ mean, strict here
+    }
+}

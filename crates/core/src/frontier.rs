@@ -1,0 +1,198 @@
+//! The requester/worker welfare trade-off: λ-sweep Pareto frontier and the
+//! balance-constrained variant (MB-Balance).
+//!
+//! Sweeping `λ` in `Linear(λ)` and solving each point exactly traces the
+//! achievable `(Σrb, Σwb)` frontier — experiment F5's curve. The
+//! balance-constrained problem "maximize total benefit subject to the
+//! workers getting at least a `β` share" is then answered from the same
+//! sweep: among frontier points satisfying the constraint, take the one
+//! with the largest total. (This is the Lagrangian/scalarization approach;
+//! it finds a point on the convex hull of the feasible region, which is the
+//! standard practical treatment of such bi-criteria assignment problems.)
+
+use crate::algorithms::{solve, Algorithm};
+use mbta_graph::BipartiteGraph;
+use mbta_market::Combiner;
+use mbta_matching::mcmf::PathAlgo;
+use mbta_matching::Matching;
+
+/// One point on the λ-sweep frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Requester weight λ used for this point.
+    pub lambda: f64,
+    /// Σ requester benefit of the optimal matching at this λ.
+    pub total_rb: f64,
+    /// Σ worker benefit of the optimal matching at this λ.
+    pub total_wb: f64,
+    /// Assignment cardinality at this λ.
+    pub cardinality: usize,
+    /// The matching itself.
+    pub matching: Matching,
+}
+
+impl FrontierPoint {
+    /// Total two-sided welfare `Σrb + Σwb` of this point.
+    pub fn total_welfare(&self) -> f64 {
+        self.total_rb + self.total_wb
+    }
+
+    /// Worker share of the welfare, in `[0,1]` (0.5 when empty).
+    pub fn worker_share(&self) -> f64 {
+        let total = self.total_welfare();
+        if total == 0.0 {
+            0.5
+        } else {
+            self.total_wb / total
+        }
+    }
+}
+
+/// Solves `ExactMB` under `Linear(λ)` for each λ in `lambdas` and reports
+/// the per-side welfare of each optimum.
+pub fn lambda_sweep(g: &BipartiteGraph, lambdas: &[f64]) -> Vec<FrontierPoint> {
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            assert!(
+                (0.0..=1.0).contains(&lambda),
+                "lambda out of range: {lambda}"
+            );
+            let m = solve(
+                g,
+                Combiner::Linear { lambda },
+                Algorithm::ExactMB {
+                    algo: PathAlgo::Dijkstra,
+                },
+            );
+            let (mut rb, mut wb) = (0.0, 0.0);
+            for &e in &m.edges {
+                rb += g.rb(e);
+                wb += g.wb(e);
+            }
+            FrontierPoint {
+                lambda,
+                total_rb: rb,
+                total_wb: wb,
+                cardinality: m.len(),
+                matching: m,
+            }
+        })
+        .collect()
+}
+
+/// The default λ grid of the evaluation: `0.0, 0.1, …, 1.0`.
+pub fn default_lambda_grid() -> Vec<f64> {
+    (0..=10).map(|i| f64::from(i) / 10.0).collect()
+}
+
+/// MB-Balance: maximize total welfare subject to the workers receiving at
+/// least a `beta` share of it. Returns the best frontier point satisfying
+/// the constraint, or `None` when no sweep point does.
+pub fn balance_constrained(
+    g: &BipartiteGraph,
+    beta: f64,
+    lambdas: &[f64],
+) -> Option<FrontierPoint> {
+    assert!((0.0..=1.0).contains(&beta), "beta out of range: {beta}");
+    lambda_sweep(g, lambdas)
+        .into_iter()
+        .filter(|p| p.worker_share() >= beta - 1e-12)
+        .max_by(|a, b| {
+            a.total_welfare()
+                .partial_cmp(&b.total_welfare())
+                .expect("welfare is finite")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+
+    fn instance(seed: u64) -> BipartiteGraph {
+        random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 40,
+                n_tasks: 30,
+                avg_degree: 5.0,
+                capacity: 2,
+                demand: 2,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn sweep_endpoints_are_the_single_sided_baselines() {
+        let g = instance(1);
+        let pts = lambda_sweep(&g, &[0.0, 1.0]);
+        // λ = 1 maximizes rb: nothing on the sweep can beat its Σrb.
+        // λ = 0 maximizes wb.
+        assert!(pts[1].total_rb >= pts[0].total_rb - 1e-9);
+        assert!(pts[0].total_wb >= pts[1].total_wb - 1e-9);
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_lambda() {
+        let g = instance(2);
+        let pts = lambda_sweep(&g, &default_lambda_grid());
+        // As λ grows, the optimum trades worker benefit for requester
+        // benefit: Σrb non-decreasing, Σwb non-increasing (up to epsilon —
+        // exact scalarization optima are monotone along the hull).
+        for w in pts.windows(2) {
+            assert!(
+                w[1].total_rb >= w[0].total_rb - 1e-6,
+                "rb dropped at λ={}",
+                w[1].lambda
+            );
+            assert!(
+                w[1].total_wb <= w[0].total_wb + 1e-6,
+                "wb rose at λ={}",
+                w[1].lambda
+            );
+        }
+    }
+
+    #[test]
+    fn balance_constraint_selects_feasible_best() {
+        let g = instance(3);
+        let grid = default_lambda_grid();
+        // β = 0 is unconstrained: picks the welfare-maximal sweep point,
+        // which is the λ = 0.5 scalarization (maximizes rb + wb directly).
+        let free = balance_constrained(&g, 0.0, &grid).unwrap();
+        let half = &lambda_sweep(&g, &[0.5])[0];
+        assert!((free.total_welfare() - half.total_welfare()).abs() < 1e-6);
+
+        // A strict worker-share floor can only lower total welfare.
+        let strict = balance_constrained(&g, 0.55, &grid);
+        if let Some(p) = strict {
+            assert!(p.worker_share() >= 0.55 - 1e-9);
+            assert!(p.total_welfare() <= free.total_welfare() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn impossible_balance_returns_none() {
+        // Worker benefit is 0 on every edge: a 90% worker share is
+        // unachievable (share is 0 whenever anything is assigned).
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.9, 0.0)]);
+        assert!(balance_constrained(&g, 0.9, &default_lambda_grid()).is_none());
+    }
+
+    #[test]
+    fn empty_graph_sweep() {
+        let g = from_edges(&[], &[], &[]);
+        let pts = lambda_sweep(&g, &[0.0, 0.5, 1.0]);
+        assert!(pts
+            .iter()
+            .all(|p| p.cardinality == 0 && p.total_welfare() == 0.0));
+        assert_eq!(pts[0].worker_share(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda out of range")]
+    fn lambda_range_checked() {
+        lambda_sweep(&instance(4), &[1.5]);
+    }
+}

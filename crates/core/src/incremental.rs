@@ -1,0 +1,404 @@
+//! Incremental assignment maintenance under market churn.
+//!
+//! Real platforms never solve one static instance: workers log off, tasks
+//! get cancelled, new ones appear. Re-running the exact solver on every
+//! event is wasteful — the optimal response to one departure touches only a
+//! small neighbourhood. [`IncrementalAssignment`] maintains a feasible
+//! assignment under activate/deactivate events with greedy local repair:
+//!
+//! * **deactivate worker/task** — its assigned edges are dropped, and every
+//!   affected counterpart greedily refills its freed capacity from active,
+//!   unassigned neighbours;
+//! * **activate worker/task** — the node greedily takes its best available
+//!   edges.
+//!
+//! Repair is O(deg · log deg) per event. Experiment F14 measures the
+//! quality gap between this and a from-scratch re-solve across a churn
+//! trace (the gap stays small because greedy repair is itself locally
+//! ½-optimal, and churn rarely moves the global structure).
+
+use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
+use mbta_matching::Matching;
+
+/// A feasible assignment maintained under node activation churn.
+#[derive(Debug, Clone)]
+pub struct IncrementalAssignment<'g> {
+    g: &'g BipartiteGraph,
+    weights: Vec<f64>,
+    in_matching: Vec<bool>,
+    w_load: Vec<u32>,
+    t_load: Vec<u32>,
+    worker_active: Vec<bool>,
+    task_active: Vec<bool>,
+    total: f64,
+}
+
+impl<'g> IncrementalAssignment<'g> {
+    /// Starts with every node active and a greedy initial assignment.
+    pub fn new(g: &'g BipartiteGraph, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+        let initial = mbta_matching::greedy::greedy_bmatching(g, &weights, 0.0);
+        Self::from_matching(g, weights, &initial)
+    }
+
+    /// Starts from an existing feasible matching (all nodes active).
+    pub fn from_matching(g: &'g BipartiteGraph, weights: Vec<f64>, m: &Matching) -> Self {
+        assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+        debug_assert!(m.validate(g).is_ok());
+        let mut s = Self {
+            g,
+            weights,
+            in_matching: vec![false; g.n_edges()],
+            w_load: vec![0; g.n_workers()],
+            t_load: vec![0; g.n_tasks()],
+            worker_active: vec![true; g.n_workers()],
+            task_active: vec![true; g.n_tasks()],
+            total: 0.0,
+        };
+        for &e in &m.edges {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Current total weight of the maintained assignment.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of assigned edges.
+    pub fn len(&self) -> usize {
+        self.in_matching.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        !self.in_matching.iter().any(|&b| b)
+    }
+
+    /// Whether a worker is currently active.
+    pub fn worker_active(&self, w: WorkerId) -> bool {
+        self.worker_active[w.index()]
+    }
+
+    /// Whether a task is currently active.
+    pub fn task_active(&self, t: TaskId) -> bool {
+        self.task_active[t.index()]
+    }
+
+    /// Snapshot of the current assignment.
+    pub fn matching(&self) -> Matching {
+        Matching::from_edges(
+            (0..self.g.n_edges() as u32)
+                .map(EdgeId::new)
+                .filter(|e| self.in_matching[e.index()])
+                .collect(),
+        )
+    }
+
+    fn insert(&mut self, e: EdgeId) {
+        debug_assert!(!self.in_matching[e.index()]);
+        self.in_matching[e.index()] = true;
+        self.w_load[self.g.worker_of(e).index()] += 1;
+        self.t_load[self.g.task_of(e).index()] += 1;
+        self.total += self.weights[e.index()];
+    }
+
+    fn remove(&mut self, e: EdgeId) {
+        debug_assert!(self.in_matching[e.index()]);
+        self.in_matching[e.index()] = false;
+        self.w_load[self.g.worker_of(e).index()] -= 1;
+        self.t_load[self.g.task_of(e).index()] -= 1;
+        self.total -= self.weights[e.index()];
+    }
+
+    /// Whether edge `e` could be added right now.
+    fn addable(&self, e: EdgeId) -> bool {
+        let w = self.g.worker_of(e);
+        let t = self.g.task_of(e);
+        !self.in_matching[e.index()]
+            && self.weights[e.index()] > 0.0
+            && self.worker_active[w.index()]
+            && self.task_active[t.index()]
+            && self.w_load[w.index()] < self.g.capacity(w)
+            && self.t_load[t.index()] < self.g.demand(t)
+    }
+
+    /// Greedily fills a task's remaining demand from its best addable edges.
+    fn repair_task(&mut self, t: TaskId) {
+        if !self.task_active[t.index()] {
+            return;
+        }
+        let mut candidates: Vec<EdgeId> =
+            self.g.task_edges(t).filter(|&e| self.addable(e)).collect();
+        candidates.sort_unstable_by(|&a, &b| {
+            self.weights[b.index()]
+                .partial_cmp(&self.weights[a.index()])
+                .expect("weights are finite")
+                .then(a.cmp(&b))
+        });
+        for e in candidates {
+            if self.t_load[t.index()] >= self.g.demand(t) {
+                break;
+            }
+            if self.addable(e) {
+                self.insert(e);
+            }
+        }
+    }
+
+    /// Greedily fills a worker's remaining capacity.
+    fn repair_worker(&mut self, w: WorkerId) {
+        if !self.worker_active[w.index()] {
+            return;
+        }
+        let mut candidates: Vec<EdgeId> = self
+            .g
+            .worker_edges(w)
+            .filter(|&e| self.addable(e))
+            .collect();
+        candidates.sort_unstable_by(|&a, &b| {
+            self.weights[b.index()]
+                .partial_cmp(&self.weights[a.index()])
+                .expect("weights are finite")
+                .then(a.cmp(&b))
+        });
+        for e in candidates {
+            if self.w_load[w.index()] >= self.g.capacity(w) {
+                break;
+            }
+            if self.addable(e) {
+                self.insert(e);
+            }
+        }
+    }
+
+    /// Deactivates a worker (logs off): drops its assignments and repairs
+    /// the tasks it was serving. Returns the number of dropped edges.
+    /// Idempotent.
+    pub fn deactivate_worker(&mut self, w: WorkerId) -> usize {
+        if !self.worker_active[w.index()] {
+            return 0;
+        }
+        self.worker_active[w.index()] = false;
+        let dropped: Vec<EdgeId> = self
+            .g
+            .worker_edges(w)
+            .filter(|&e| self.in_matching[e.index()])
+            .collect();
+        for &e in &dropped {
+            self.remove(e);
+        }
+        for &e in &dropped {
+            self.repair_task(self.g.task_of(e));
+        }
+        dropped.len()
+    }
+
+    /// Deactivates a task (cancelled): drops its assignments and repairs
+    /// the workers that were serving it. Returns dropped edge count.
+    pub fn deactivate_task(&mut self, t: TaskId) -> usize {
+        if !self.task_active[t.index()] {
+            return 0;
+        }
+        self.task_active[t.index()] = false;
+        let dropped: Vec<EdgeId> = self
+            .g
+            .task_edges(t)
+            .filter(|&e| self.in_matching[e.index()])
+            .collect();
+        for &e in &dropped {
+            self.remove(e);
+        }
+        for &e in &dropped {
+            self.repair_worker(self.g.worker_of(e));
+        }
+        dropped.len()
+    }
+
+    /// Re-activates a worker (logs back in) and greedily assigns it.
+    /// Idempotent.
+    pub fn activate_worker(&mut self, w: WorkerId) {
+        if !self.worker_active[w.index()] {
+            self.worker_active[w.index()] = true;
+            self.repair_worker(w);
+        }
+    }
+
+    /// Re-activates a task and greedily fills its demand.
+    pub fn activate_task(&mut self, t: TaskId) {
+        if !self.task_active[t.index()] {
+            self.task_active[t.index()] = true;
+            self.repair_task(t);
+        }
+    }
+
+    /// The active-subgraph weights for re-solve comparisons: inactive
+    /// endpoints get weight 0 so a from-scratch solver sees the same market
+    /// state (zero-weight edges are never taken in free-cardinality mode).
+    pub fn active_weights(&self) -> Vec<f64> {
+        self.g
+            .edges()
+            .map(|e| {
+                if self.worker_active[self.g.worker_of(e).index()]
+                    && self.task_active[self.g.task_of(e).index()]
+                {
+                    self.weights[e.index()]
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Debug validation: feasibility, activity and total consistency.
+    pub fn check_invariants(&self) {
+        let m = self.matching();
+        m.validate(self.g).expect("maintained matching feasible");
+        for &e in &m.edges {
+            assert!(self.worker_active[self.g.worker_of(e).index()]);
+            assert!(self.task_active[self.g.task_of(e).index()]);
+        }
+        let recomputed = m.total_weight(&self.weights);
+        assert!(
+            (recomputed - self.total).abs() < 1e-6,
+            "total drift: cached {} vs recomputed {recomputed}",
+            self.total
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+    use mbta_util::SplitMix64;
+
+    #[test]
+    fn departure_triggers_repair() {
+        // w0 holds t0; when w0 leaves, w1 (previously beaten) takes over.
+        let g = from_edges(&[1, 1], &[1], &[(0, 0, 0.9, 0.9), (1, 0, 0.5, 0.5)]);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let mut inc = IncrementalAssignment::new(&g, w);
+        assert!((inc.total_weight() - 0.9).abs() < 1e-12);
+        let dropped = inc.deactivate_worker(WorkerId::new(0));
+        assert_eq!(dropped, 1);
+        inc.check_invariants();
+        assert!((inc.total_weight() - 0.5).abs() < 1e-12);
+        // Re-activation takes the better edge back... w1 still holds t0,
+        // and t0's demand is saturated, so w0 stays idle (greedy repair
+        // does not evict).
+        inc.activate_worker(WorkerId::new(0));
+        inc.check_invariants();
+        assert!((inc.total_weight() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_cancellation_frees_worker_for_other_tasks() {
+        // w0 (cap 1) serves t0 (0.8); t1 (0.6) is left unserved. When t0 is
+        // cancelled, w0 must move to t1.
+        let g = from_edges(&[1], &[1, 1], &[(0, 0, 0.8, 0.8), (0, 1, 0.6, 0.6)]);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let mut inc = IncrementalAssignment::new(&g, w);
+        assert!((inc.total_weight() - 0.8).abs() < 1e-12);
+        inc.deactivate_task(TaskId::new(0));
+        inc.check_invariants();
+        assert!((inc.total_weight() - 0.6).abs() < 1e-12);
+        // Reactivate: t0's demand refills from the only active worker...
+        // which is busy on t1 at capacity, so nothing changes.
+        inc.activate_task(TaskId::new(0));
+        assert!((inc.total_weight() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deactivation_is_idempotent() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        let w = vec![0.5];
+        let mut inc = IncrementalAssignment::new(&g, w);
+        assert_eq!(inc.deactivate_worker(WorkerId::new(0)), 1);
+        assert_eq!(inc.deactivate_worker(WorkerId::new(0)), 0);
+        inc.activate_worker(WorkerId::new(0));
+        inc.activate_worker(WorkerId::new(0));
+        inc.check_invariants();
+        assert_eq!(inc.len(), 1);
+    }
+
+    #[test]
+    fn churn_preserves_feasibility_and_tracks_resolve() {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 80,
+                n_tasks: 50,
+                avg_degree: 6.0,
+                capacity: 2,
+                demand: 2,
+            },
+            3,
+        );
+        let weights: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        let mut inc = IncrementalAssignment::new(&g, weights.clone());
+        let mut rng = SplitMix64::new(7);
+        let mut inactive_w: Vec<u32> = Vec::new();
+        let mut inactive_t: Vec<u32> = Vec::new();
+        for step in 0..200 {
+            match rng.next_below(4) {
+                0 => {
+                    let w = rng.next_index(g.n_workers()) as u32;
+                    inc.deactivate_worker(WorkerId::new(w));
+                    inactive_w.push(w); // activation is idempotent, dups fine
+                }
+                1 => {
+                    if let Some(w) = inactive_w.pop() {
+                        inc.activate_worker(WorkerId::new(w));
+                    }
+                }
+                2 => {
+                    let t = rng.next_index(g.n_tasks()) as u32;
+                    inc.deactivate_task(TaskId::new(t));
+                    inactive_t.push(t);
+                }
+                _ => {
+                    if let Some(t) = inactive_t.pop() {
+                        inc.activate_task(TaskId::new(t));
+                    }
+                }
+            }
+            inc.check_invariants();
+            if step % 50 == 49 {
+                // Compare against an exact re-solve on the active subgraph:
+                // incremental stays within the greedy ½ bound.
+                let aw = inc.active_weights();
+                let (opt, _) =
+                    max_weight_bmatching(&g, &aw, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+                let ov = opt.total_weight(&aw);
+                assert!(inc.total_weight() <= ov + 1e-6, "step {step}");
+                assert!(
+                    inc.total_weight() >= 0.4 * ov - 1e-9,
+                    "step {step}: incremental {} vs opt {ov}",
+                    inc.total_weight()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_matching_accepts_exact_start() {
+        let g = random_bipartite(&RandomGraphSpec::default(), 5);
+        let weights: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let (opt, _) =
+            max_weight_bmatching(&g, &weights, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        let expected = opt.total_weight(&weights);
+        let inc = IncrementalAssignment::from_matching(&g, weights, &opt);
+        assert!((inc.total_weight() - expected).abs() < 1e-9);
+        inc.check_invariants();
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = from_edges(&[], &[], &[]);
+        let inc = IncrementalAssignment::new(&g, vec![]);
+        assert!(inc.is_empty());
+        assert_eq!(inc.total_weight(), 0.0);
+    }
+}

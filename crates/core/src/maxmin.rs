@@ -1,0 +1,261 @@
+//! MB-MaxMin: the egalitarian variant (bottleneck b-matching).
+//!
+//! Among maximum-cardinality assignments, maximize the *minimum* per-edge
+//! mutual benefit — no participant pair should be stuck with a miserable
+//! match just to pad the total. This is the bottleneck assignment problem
+//! generalized to b-matchings, and it is solvable exactly:
+//!
+//! 1. compute the unconstrained maximum cardinality `C*` (max flow);
+//! 2. binary-search the largest threshold `τ` (over the sorted distinct
+//!    edge weights) such that using only edges with `mb ≥ τ` still admits a
+//!    matching of size `C*`;
+//! 3. return that matching.
+//!
+//! Each feasibility probe is one unit-capacity max flow, so the exact
+//! algorithm runs in `O(E·√V · log E)`. The greedy heuristic (just take
+//! `GreedyMB` and report its min edge) is the comparison point in
+//! experiment F8 — it is usually far from the egalitarian optimum because
+//! maximizing the sum happily includes one terrible edge.
+
+use mbta_graph::BipartiteGraph;
+use mbta_market::benefit::edge_weights;
+use mbta_market::Combiner;
+use mbta_matching::dinic::{max_cardinality_masked, max_matching_masked};
+use mbta_matching::Matching;
+
+/// Result of the exact bottleneck solve.
+#[derive(Debug, Clone)]
+pub struct MaxMinResult {
+    /// The bottleneck-optimal matching.
+    pub matching: Matching,
+    /// Its cardinality (equals the unconstrained maximum).
+    pub cardinality: usize,
+    /// The optimal bottleneck value: the largest `τ` such that a
+    /// `C*`-matching exists using only edges with weight `≥ τ`.
+    /// `1.0` when the graph admits no edges at all.
+    pub bottleneck: f64,
+    /// Feasibility probes performed (binary-search iterations).
+    pub probes: u32,
+}
+
+/// Exact MB-MaxMin via threshold search over the sorted edge weights.
+pub fn maxmin_bmatching(g: &BipartiteGraph, combiner: Combiner) -> MaxMinResult {
+    let weights = edge_weights(g, combiner);
+    maxmin_with_weights(g, &weights)
+}
+
+/// Exact bottleneck b-matching for explicit weights.
+///
+/// # Example
+/// ```
+/// use mbta_core::maxmin::maxmin_with_weights;
+/// use mbta_graph::random::from_edges;
+///
+/// // Both perfect matchings exist; the bottleneck solver prefers the one
+/// // whose worst edge is better (0.6 over 0.5), even though the other has
+/// // the larger sum.
+/// let g = from_edges(
+///     &[1, 1],
+///     &[1, 1],
+///     &[(0, 0, 0.7, 0.7), (0, 1, 0.5, 0.5), (1, 0, 0.9, 0.9), (1, 1, 0.6, 0.6)],
+/// );
+/// let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+/// let r = maxmin_with_weights(&g, &w);
+/// assert_eq!(r.cardinality, 2);
+/// assert!((r.bottleneck - 0.6).abs() < 1e-12);
+/// ```
+pub fn maxmin_with_weights(g: &BipartiteGraph, weights: &[f64]) -> MaxMinResult {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    let m = g.n_edges();
+    if m == 0 {
+        return MaxMinResult {
+            matching: Matching::empty(),
+            cardinality: 0,
+            bottleneck: 1.0,
+            probes: 0,
+        };
+    }
+
+    // Distinct weights ascending; candidate thresholds.
+    let mut levels: Vec<f64> = weights.to_vec();
+    levels.sort_unstable_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+    levels.dedup();
+
+    let all_mask = vec![true; m];
+    let target = max_cardinality_masked(g, &all_mask);
+    let mut probes = 1u32; // the unconstrained probe above
+    if target == 0 {
+        return MaxMinResult {
+            matching: Matching::empty(),
+            cardinality: 0,
+            bottleneck: 1.0,
+            probes,
+        };
+    }
+
+    // Invariant: feasible(levels[lo]), and hi (if any) is the first known
+    // infeasible index. levels[0] uses every edge ⇒ feasible.
+    let mut lo = 0usize;
+    let mut hi = levels.len(); // exclusive
+                               // Binary search for the largest feasible threshold index.
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        let tau = levels[mid];
+        let mask: Vec<bool> = weights.iter().map(|&w| w >= tau).collect();
+        probes += 1;
+        if max_cardinality_masked(g, &mask) == target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    let tau = levels[lo];
+    let mask: Vec<bool> = weights.iter().map(|&w| w >= tau).collect();
+    let matching = max_matching_masked(g, &mask);
+    debug_assert_eq!(matching.len() as u64, target);
+    MaxMinResult {
+        cardinality: matching.len(),
+        matching,
+        bottleneck: tau,
+        probes,
+    }
+}
+
+/// Minimum edge weight of a matching (`1.0` when empty) — the quantity the
+/// bottleneck objective maximizes; used to score heuristics in F8.
+pub fn min_edge_weight(m: &Matching, weights: &[f64]) -> f64 {
+    m.edges
+        .iter()
+        .map(|e| weights[e.index()])
+        .fold(1.0f64, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_matching::greedy::greedy_bmatching;
+
+    #[test]
+    fn picks_the_bottleneck_optimal_matching() {
+        // Two perfect matchings: diagonal (min .6) and anti-diagonal
+        // (min .5). Sum prefers anti-diagonal (0.5 + 0.9 = 1.4 > 1.3);
+        // bottleneck must prefer the diagonal.
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[
+                (0, 0, 0.7, 0.7),
+                (0, 1, 0.5, 0.5),
+                (1, 0, 0.9, 0.9),
+                (1, 1, 0.6, 0.6),
+            ],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let r = maxmin_with_weights(&g, &w);
+        r.matching.validate(&g).unwrap();
+        assert_eq!(r.cardinality, 2);
+        assert!((r.bottleneck - 0.6).abs() < 1e-12);
+        assert!((min_edge_weight(&r.matching, &w) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cardinality_never_sacrificed() {
+        // Dropping the bad edge would raise the min, but cardinality rules.
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.1, 0.1)]);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let r = maxmin_with_weights(&g, &w);
+        assert_eq!(r.cardinality, 2);
+        assert!((r.bottleneck - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_is_truly_optimal_randomized() {
+        // Exhaustively verify against all thresholds on small instances.
+        for seed in 0..10 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 12,
+                    n_tasks: 8,
+                    avg_degree: 4.0,
+                    capacity: 1,
+                    demand: 2,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+            let r = maxmin_with_weights(&g, &w);
+            r.matching.validate(&g).unwrap();
+            // (a) achieves its claimed bottleneck;
+            assert!(min_edge_weight(&r.matching, &w) >= r.bottleneck - 1e-12);
+            // (b) no strictly higher distinct threshold stays feasible.
+            let target = r.cardinality as u64;
+            for &tau in w.iter() {
+                if tau > r.bottleneck + 1e-12 {
+                    let mask: Vec<bool> = w.iter().map(|&x| x >= tau).collect();
+                    assert!(
+                        mbta_matching::dinic::max_cardinality_masked(&g, &mask) < target,
+                        "seed {seed}: threshold {tau} > {} still feasible",
+                        r.bottleneck
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beats_greedy_on_the_bottleneck_metric() {
+        let mut wins = 0;
+        for seed in 0..10 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 30,
+                    n_tasks: 20,
+                    avg_degree: 5.0,
+                    capacity: 1,
+                    demand: 1,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| g.wb(e)).collect();
+            let r = maxmin_with_weights(&g, &w);
+            let greedy = greedy_bmatching(&g, &w, -1.0);
+            // Compare at equal cardinality only (greedy may be smaller).
+            if greedy.len() == r.cardinality {
+                let gm = min_edge_weight(&greedy, &w);
+                assert!(r.bottleneck >= gm - 1e-12, "seed {seed}");
+                if r.bottleneck > gm + 1e-9 {
+                    wins += 1;
+                }
+            }
+        }
+        assert!(
+            wins >= 2,
+            "exact should strictly beat greedy sometimes, wins={wins}"
+        );
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = from_edges(&[], &[], &[]);
+        let r = maxmin_with_weights(&g, &[]);
+        assert_eq!(r.cardinality, 0);
+        assert_eq!(r.bottleneck, 1.0);
+
+        let g = from_edges(&[1], &[1], &[]);
+        let r = maxmin_bmatching(&g, Combiner::balanced());
+        assert_eq!(r.cardinality, 0);
+    }
+
+    #[test]
+    fn uniform_weights_trivial_search() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.5, 0.5), (1, 1, 0.5, 0.5)]);
+        let w = vec![0.5; 2];
+        let r = maxmin_with_weights(&g, &w);
+        assert_eq!(r.cardinality, 2);
+        assert!((r.bottleneck - 0.5).abs() < 1e-12);
+        // One distinct level ⇒ only the unconstrained probe.
+        assert_eq!(r.probes, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Operator-facing assignment reports.
+//!
+//! A production platform needs more than an objective value: operators ask
+//! "who got nothing and why", "which tasks are under-served", and "what did
+//! we leave on the table". [`AssignmentReport`] answers those from a graph
+//! and a matching: per-side utilization, the largest *regrets* (the best
+//! eligible edge a fully idle worker was not given), and under-served tasks
+//! ranked by unmet demand.
+
+use crate::evaluate::Evaluation;
+use mbta_graph::{BipartiteGraph, TaskId, WorkerId};
+use mbta_market::Combiner;
+use mbta_matching::Matching;
+use mbta_util::table::{fnum, Table};
+
+/// A worker's regret: its best eligible edge weight minus what it received.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRegret {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Its best eligible edge weight.
+    pub best_edge: f64,
+    /// Total weight of the edges it actually received.
+    pub received: f64,
+    /// `best_edge − received` if positive (idle or under-served), else 0.
+    pub regret: f64,
+}
+
+/// An under-served task: demand it wanted vs workers it got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnderServedTask {
+    /// The task.
+    pub task: TaskId,
+    /// Declared demand.
+    pub demand: u32,
+    /// Assigned workers.
+    pub assigned: u32,
+    /// Eligible workers in the graph (an unmet demand with few eligible
+    /// workers is a supply problem, not an assignment problem).
+    pub eligible: usize,
+}
+
+/// The assembled report.
+#[derive(Debug, Clone)]
+pub struct AssignmentReport {
+    /// The standard metric set.
+    pub evaluation: Evaluation,
+    /// Workers with positive regret, sorted worst-first.
+    pub worker_regrets: Vec<WorkerRegret>,
+    /// Tasks with unmet demand, sorted by shortfall.
+    pub under_served: Vec<UnderServedTask>,
+}
+
+impl AssignmentReport {
+    /// Builds the report for `m` on `g` under `combiner`.
+    pub fn build(g: &BipartiteGraph, m: &Matching, combiner: Combiner) -> Self {
+        let evaluation = Evaluation::compute(g, m, combiner);
+        let mut in_matching = vec![false; g.n_edges()];
+        for &e in &m.edges {
+            in_matching[e.index()] = true;
+        }
+        let t_loads = m.task_loads(g);
+
+        let mut worker_regrets: Vec<WorkerRegret> = g
+            .workers()
+            .filter_map(|w| {
+                let mut best = 0.0f64;
+                let mut received = 0.0f64;
+                for e in g.worker_edges(w) {
+                    let mb = combiner.combine(g.rb(e), g.wb(e));
+                    best = best.max(mb);
+                    if in_matching[e.index()] {
+                        received += mb;
+                    }
+                }
+                let regret = (best - received).max(0.0);
+                (regret > 1e-12).then_some(WorkerRegret {
+                    worker: w,
+                    best_edge: best,
+                    received,
+                    regret,
+                })
+            })
+            .collect();
+        worker_regrets.sort_by(|a, b| {
+            b.regret
+                .partial_cmp(&a.regret)
+                .expect("regrets are finite")
+                .then(a.worker.cmp(&b.worker))
+        });
+
+        let mut under_served: Vec<UnderServedTask> = g
+            .tasks()
+            .filter_map(|t| {
+                let assigned = t_loads[t.index()];
+                (assigned < g.demand(t)).then_some(UnderServedTask {
+                    task: t,
+                    demand: g.demand(t),
+                    assigned,
+                    eligible: g.task_degree(t),
+                })
+            })
+            .collect();
+        under_served.sort_by_key(|u| std::cmp::Reverse(u.demand - u.assigned));
+
+        Self {
+            evaluation,
+            worker_regrets,
+            under_served,
+        }
+    }
+
+    /// Renders the report as aligned text tables (top-`k` rows per list).
+    pub fn render(&self, top_k: usize) -> String {
+        let ev = &self.evaluation;
+        let mut out = String::new();
+        let mut summary = Table::new("assignment summary", &["metric", "value"]);
+        for (k, v) in [
+            ("pairs", ev.cardinality.to_string()),
+            ("total mutual benefit", fnum(ev.total_mb, 3)),
+            ("requester side", fnum(ev.total_rb, 3)),
+            ("worker side", fnum(ev.total_wb, 3)),
+            ("min edge benefit", fnum(ev.min_edge_mb, 4)),
+            ("demand coverage", fnum(ev.demand_coverage, 3)),
+            ("worker participation", fnum(ev.worker_participation, 3)),
+        ] {
+            summary.row(vec![k.to_string(), v]);
+        }
+        out.push_str(&summary.render());
+
+        let mut regrets = Table::new(
+            format!("top worker regrets ({} total)", self.worker_regrets.len()),
+            &["worker", "best_edge", "received", "regret"],
+        );
+        for r in self.worker_regrets.iter().take(top_k) {
+            regrets.row(vec![
+                r.worker.raw().to_string(),
+                fnum(r.best_edge, 3),
+                fnum(r.received, 3),
+                fnum(r.regret, 3),
+            ]);
+        }
+        if !regrets.is_empty() {
+            out.push('\n');
+            out.push_str(&regrets.render());
+        }
+
+        let mut tasks = Table::new(
+            format!("under-served tasks ({} total)", self.under_served.len()),
+            &["task", "demand", "assigned", "eligible"],
+        );
+        for u in self.under_served.iter().take(top_k) {
+            tasks.row(vec![
+                u.task.raw().to_string(),
+                u.demand.to_string(),
+                u.assigned.to_string(),
+                u.eligible.to_string(),
+            ]);
+        }
+        if !tasks.is_empty() {
+            out.push('\n');
+            out.push_str(&tasks.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{solve, Algorithm};
+    use mbta_graph::random::from_edges;
+    use mbta_graph::EdgeId;
+
+    fn instance() -> BipartiteGraph {
+        // w0 gets its best edge; w1 is idle despite an eligible 0.8 edge
+        // (t0 saturated); t1 demands 2 but only one worker is eligible.
+        from_edges(
+            &[1, 1, 1],
+            &[1, 2],
+            &[(0, 0, 0.9, 0.9), (1, 0, 0.8, 0.8), (2, 1, 0.6, 0.6)],
+        )
+    }
+
+    #[test]
+    fn regrets_and_underserved_identified() {
+        let g = instance();
+        let m = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(2)]);
+        let r = AssignmentReport::build(&g, &m, Combiner::balanced());
+        // w1 has regret 0.8; nobody else.
+        assert_eq!(r.worker_regrets.len(), 1);
+        assert_eq!(r.worker_regrets[0].worker, WorkerId::new(1));
+        assert!((r.worker_regrets[0].regret - 0.8).abs() < 1e-12);
+        // t1 under-served: demand 2, assigned 1, eligible 1.
+        assert_eq!(r.under_served.len(), 1);
+        assert_eq!(
+            r.under_served[0],
+            UnderServedTask {
+                task: TaskId::new(1),
+                demand: 2,
+                assigned: 1,
+                eligible: 1
+            }
+        );
+    }
+
+    #[test]
+    fn exact_solution_minimizes_regret_mass() {
+        let g = instance();
+        let exact = solve(
+            &g,
+            Combiner::balanced(),
+            Algorithm::ExactMB {
+                algo: mbta_matching::mcmf::PathAlgo::Dijkstra,
+            },
+        );
+        let r_exact = AssignmentReport::build(&g, &exact, Combiner::balanced());
+        let random = solve(&g, Combiner::balanced(), Algorithm::Random { seed: 5 });
+        let r_random = AssignmentReport::build(&g, &random, Combiner::balanced());
+        let mass = |r: &AssignmentReport| r.worker_regrets.iter().map(|x| x.regret).sum::<f64>();
+        assert!(mass(&r_exact) <= mass(&r_random) + 1e-9);
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let g = instance();
+        let m = Matching::from_edges(vec![EdgeId::new(0)]);
+        let text = AssignmentReport::build(&g, &m, Combiner::balanced()).render(5);
+        assert!(text.contains("assignment summary"));
+        assert!(text.contains("top worker regrets"));
+        assert!(text.contains("under-served tasks"));
+    }
+
+    #[test]
+    fn empty_matching_report() {
+        let g = instance();
+        let r = AssignmentReport::build(&g, &Matching::empty(), Combiner::balanced());
+        assert_eq!(r.worker_regrets.len(), 3);
+        assert_eq!(r.under_served.len(), 2);
+        let _ = r.render(10);
+    }
+}

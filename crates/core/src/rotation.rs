@@ -1,0 +1,245 @@
+//! Repeated rounds with load rotation — temporal fairness.
+//!
+//! A one-shot optimal assignment is fine; *repeating* it every round is
+//! not: the same best-matched workers get all the work, everyone else
+//! churns out of the market. This module runs the round loop with a
+//! rotation policy: before each round, a worker's edge weights are
+//! discounted by its cumulative past benefit relative to the pool, so the
+//! optimizer spends its flexibility (cf. F5's flat frontier) on spreading
+//! participation.
+//!
+//! Discount **\[R\]**: `w'_e = w_e / (1 + strength · load_ratio(worker))`
+//! where `load_ratio = cumulative_benefit / mean_cumulative_benefit` —
+//! scale-free, so early rounds (everyone at zero) are undistorted and the
+//! discount pressure grows exactly on the workers pulling ahead.
+
+use crate::algorithms::{solve, Algorithm};
+use crate::evaluate::gini_coefficient;
+use mbta_graph::BipartiteGraph;
+use mbta_market::benefit::edge_weights;
+use mbta_market::Combiner;
+use mbta_matching::mcmf::PathAlgo;
+use mbta_matching::Matching;
+
+/// How each round's weights relate to cumulative load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RotationPolicy {
+    /// No rotation: re-solve the same instance every round.
+    Myopic,
+    /// Discount a worker's edges by its relative cumulative benefit.
+    LoadDiscount {
+        /// Discount strength `≥ 0`; 0 degenerates to `Myopic`.
+        strength: f64,
+    },
+}
+
+/// Result of a repeated-round run.
+#[derive(Debug, Clone)]
+pub struct RotationResult {
+    /// Per-round matchings, in order.
+    pub rounds: Vec<Matching>,
+    /// Total *undiscounted* mutual benefit over all rounds.
+    pub total_welfare: f64,
+    /// Per-worker cumulative worker benefit after the last round.
+    pub cumulative_wb: Vec<f64>,
+    /// Gini coefficient of `cumulative_wb` (all workers, including idle).
+    pub cumulative_gini: f64,
+    /// Number of workers assigned at least once across all rounds.
+    pub workers_ever_used: usize,
+}
+
+/// Runs `rounds` assignment rounds on the same market under `policy`.
+///
+/// Each round solves `ExactMB` on the (possibly discounted) weights and
+/// scores the result with the *true* weights — the discount is a steering
+/// wheel, not a change of objective.
+pub fn repeated_rounds(
+    g: &BipartiteGraph,
+    combiner: Combiner,
+    policy: RotationPolicy,
+    rounds: u32,
+) -> RotationResult {
+    if let RotationPolicy::LoadDiscount { strength } = policy {
+        assert!(
+            strength >= 0.0 && strength.is_finite(),
+            "strength must be >= 0"
+        );
+    }
+    let true_weights = edge_weights(g, combiner);
+    let mut cumulative_wb = vec![0.0f64; g.n_workers()];
+    let mut ever_used = vec![false; g.n_workers()];
+    let mut total_welfare = 0.0;
+    let mut out_rounds = Vec::with_capacity(rounds as usize);
+
+    for _ in 0..rounds {
+        let effective: Vec<f64> = match policy {
+            RotationPolicy::Myopic => true_weights.clone(),
+            RotationPolicy::LoadDiscount { strength } => {
+                let mean = cumulative_wb.iter().sum::<f64>() / g.n_workers().max(1) as f64;
+                if mean <= 0.0 {
+                    true_weights.clone()
+                } else {
+                    g.edges()
+                        .map(|e| {
+                            let ratio = cumulative_wb[g.worker_of(e).index()] / mean;
+                            true_weights[e.index()] / (1.0 + strength * ratio)
+                        })
+                        .collect()
+                }
+            }
+        };
+        // Solve on effective weights; account with true weights.
+        let m = {
+            // `solve` recomputes weights from the combiner, so go directly
+            // to the substrate for the discounted round.
+            mbta_matching::mcmf::max_weight_bmatching(
+                g,
+                &effective,
+                mbta_matching::mcmf::FlowMode::FreeCardinality,
+                PathAlgo::Dijkstra,
+            )
+            .0
+        };
+        for &e in &m.edges {
+            total_welfare += true_weights[e.index()];
+            let w = g.worker_of(e).index();
+            cumulative_wb[w] += g.wb(e);
+            ever_used[w] = true;
+        }
+        out_rounds.push(m);
+    }
+
+    RotationResult {
+        rounds: out_rounds,
+        total_welfare,
+        cumulative_gini: gini_coefficient(&cumulative_wb),
+        workers_ever_used: ever_used.iter().filter(|&&u| u).count(),
+        cumulative_wb,
+    }
+}
+
+/// Convenience: the myopic baseline is literally "solve once, repeat".
+pub fn myopic_reference(g: &BipartiteGraph, combiner: Combiner, rounds: u32) -> RotationResult {
+    let _ = solve(
+        g,
+        combiner,
+        Algorithm::ExactMB {
+            algo: PathAlgo::Dijkstra,
+        },
+    );
+    repeated_rounds(g, combiner, RotationPolicy::Myopic, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+
+    fn scarce_instance(seed: u64) -> BipartiteGraph {
+        // Many workers, few tasks: rotation has room to act.
+        random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 60,
+                n_tasks: 10,
+                avg_degree: 6.0,
+                capacity: 1,
+                demand: 1,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn myopic_repeats_the_same_matching() {
+        let g = scarce_instance(1);
+        let r = repeated_rounds(&g, Combiner::balanced(), RotationPolicy::Myopic, 4);
+        assert_eq!(r.rounds.len(), 4);
+        let mut first = r.rounds[0].clone();
+        first.canonicalize();
+        for m in &r.rounds[1..] {
+            let mut m = m.clone();
+            m.canonicalize();
+            assert_eq!(m, first);
+        }
+        // Welfare is 4× the single-round optimum.
+        assert!(
+            (r.total_welfare / 4.0
+                - r.rounds[0].total_weight(&mbta_market::benefit::edge_weights(
+                    &g,
+                    Combiner::balanced()
+                )))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn rotation_spreads_participation() {
+        let g = scarce_instance(2);
+        let myopic = repeated_rounds(&g, Combiner::balanced(), RotationPolicy::Myopic, 6);
+        let rotated = repeated_rounds(
+            &g,
+            Combiner::balanced(),
+            RotationPolicy::LoadDiscount { strength: 1.0 },
+            6,
+        );
+        assert!(rotated.workers_ever_used >= myopic.workers_ever_used);
+        assert!(rotated.cumulative_gini <= myopic.cumulative_gini + 1e-9);
+        // And rotation never beats the myopic welfare (it solves a
+        // distorted objective).
+        assert!(rotated.total_welfare <= myopic.total_welfare + 1e-9);
+        // All matchings feasible.
+        for m in rotated.rounds.iter().chain(myopic.rounds.iter()) {
+            m.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn strength_zero_equals_myopic() {
+        let g = scarce_instance(3);
+        let a = repeated_rounds(&g, Combiner::balanced(), RotationPolicy::Myopic, 3);
+        let b = repeated_rounds(
+            &g,
+            Combiner::balanced(),
+            RotationPolicy::LoadDiscount { strength: 0.0 },
+            3,
+        );
+        assert!((a.total_welfare - b.total_welfare).abs() < 1e-9);
+        assert_eq!(a.workers_ever_used, b.workers_ever_used);
+    }
+
+    #[test]
+    fn first_round_is_undistorted() {
+        // Round 1 under rotation equals the true optimum (cumulative loads
+        // are all zero).
+        let g = from_edges(&[1, 1], &[1], &[(0, 0, 0.9, 0.9), (1, 0, 0.5, 0.5)]);
+        let r = repeated_rounds(
+            &g,
+            Combiner::balanced(),
+            RotationPolicy::LoadDiscount { strength: 5.0 },
+            2,
+        );
+        let w = mbta_market::benefit::edge_weights(&g, Combiner::balanced());
+        assert!((r.rounds[0].total_weight(&w) - 0.9).abs() < 1e-9);
+        // Round 2 rotates to the other worker under a strong discount.
+        assert!((r.rounds[1].total_weight(&w) - 0.5).abs() < 1e-9);
+        assert_eq!(r.workers_ever_used, 2);
+    }
+
+    #[test]
+    fn zero_rounds() {
+        let g = scarce_instance(4);
+        let r = repeated_rounds(&g, Combiner::balanced(), RotationPolicy::Myopic, 0);
+        assert!(r.rounds.is_empty());
+        assert_eq!(r.total_welfare, 0.0);
+        assert_eq!(r.cumulative_gini, 0.0);
+    }
+
+    #[test]
+    fn myopic_reference_matches() {
+        let g = scarce_instance(5);
+        let a = myopic_reference(&g, Combiner::balanced(), 2);
+        let b = repeated_rounds(&g, Combiner::balanced(), RotationPolicy::Myopic, 2);
+        assert!((a.total_welfare - b.total_welfare).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,403 @@
+//! Mutable graph construction with validation.
+//!
+//! Construction is the only fallible phase: once a [`BipartiteGraph`] exists
+//! every index in it is valid by construction, and the algorithm crates can
+//! use infallible indexing throughout.
+
+use crate::csr::BipartiteGraph;
+use crate::{TaskId, WorkerId};
+use mbta_util::FxHashSet;
+use std::fmt;
+
+/// Errors detected while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a worker id `>=` the number of workers.
+    WorkerOutOfRange {
+        /// The offending worker id.
+        worker: u32,
+        /// Number of workers in the builder.
+        n_workers: u32,
+    },
+    /// An edge referenced a task id `>=` the number of tasks.
+    TaskOutOfRange {
+        /// The offending task id.
+        task: u32,
+        /// Number of tasks in the builder.
+        n_tasks: u32,
+    },
+    /// The same (worker, task) pair was added twice.
+    DuplicateEdge {
+        /// Worker endpoint of the duplicated edge.
+        worker: u32,
+        /// Task endpoint of the duplicated edge.
+        task: u32,
+    },
+    /// A benefit weight was NaN or infinite.
+    InvalidWeight {
+        /// Worker endpoint of the edge with the bad weight.
+        worker: u32,
+        /// Task endpoint of the edge with the bad weight.
+        task: u32,
+    },
+    /// A worker was declared with capacity zero (it could never participate;
+    /// almost always an upstream bug, so we reject it loudly).
+    ZeroCapacity {
+        /// The offending worker id.
+        worker: u32,
+    },
+    /// A task was declared with demand zero.
+    ZeroDemand {
+        /// The offending task id.
+        task: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::WorkerOutOfRange { worker, n_workers } => {
+                write!(
+                    f,
+                    "worker id {worker} out of range (have {n_workers} workers)"
+                )
+            }
+            GraphError::TaskOutOfRange { task, n_tasks } => {
+                write!(f, "task id {task} out of range (have {n_tasks} tasks)")
+            }
+            GraphError::DuplicateEdge { worker, task } => {
+                write!(f, "duplicate edge (worker {worker}, task {task})")
+            }
+            GraphError::InvalidWeight { worker, task } => {
+                write!(
+                    f,
+                    "non-finite benefit on edge (worker {worker}, task {task})"
+                )
+            }
+            GraphError::ZeroCapacity { worker } => {
+                write!(f, "worker {worker} has zero capacity")
+            }
+            GraphError::ZeroDemand { task } => write!(f, "task {task} has zero demand"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One staged edge: endpoints plus the two benefit weights.
+#[derive(Debug, Clone, Copy)]
+struct StagedEdge {
+    worker: u32,
+    task: u32,
+    /// Requester benefit in `[0, 1]` (quality the requester expects).
+    rb: f64,
+    /// Worker benefit in `[0, 1]` (utility the worker derives).
+    wb: f64,
+}
+
+/// Builder for [`BipartiteGraph`].
+///
+/// # Example
+/// ```
+/// use mbta_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let w = b.add_worker(2);          // capacity 2
+/// let t = b.add_task(1);            // demand 1
+/// b.add_edge(w, t, 0.9, 0.4).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.n_workers(), 1);
+/// assert_eq!(g.n_edges(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    capacities: Vec<u32>,
+    demands: Vec<u32>,
+    edges: Vec<StagedEdge>,
+    /// Duplicate detection; keyed by packed (worker, task).
+    seen: FxHashSet<u64>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved space.
+    pub fn with_capacity(n_workers: usize, n_tasks: usize, n_edges: usize) -> Self {
+        let mut b = Self::new();
+        b.capacities.reserve(n_workers);
+        b.demands.reserve(n_tasks);
+        b.edges.reserve(n_edges);
+        b.seen.reserve(n_edges);
+        b
+    }
+
+    /// Adds a worker with the given capacity (max concurrent tasks) and
+    /// returns its id. Capacity validity is checked at [`build`](Self::build).
+    pub fn add_worker(&mut self, capacity: u32) -> WorkerId {
+        let id = WorkerId::from_index(self.capacities.len());
+        self.capacities.push(capacity);
+        id
+    }
+
+    /// Adds `n` workers all with the same capacity.
+    pub fn add_workers(&mut self, n: usize, capacity: u32) -> Vec<WorkerId> {
+        (0..n).map(|_| self.add_worker(capacity)).collect()
+    }
+
+    /// Adds a task with the given demand (distinct workers needed) and
+    /// returns its id.
+    pub fn add_task(&mut self, demand: u32) -> TaskId {
+        let id = TaskId::from_index(self.demands.len());
+        self.demands.push(demand);
+        id
+    }
+
+    /// Adds `n` tasks all with the same demand.
+    pub fn add_tasks(&mut self, n: usize, demand: u32) -> Vec<TaskId> {
+        (0..n).map(|_| self.add_task(demand)).collect()
+    }
+
+    /// Number of workers added so far.
+    pub fn n_workers(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Number of tasks added so far.
+    pub fn n_tasks(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an eligibility edge carrying requester benefit `rb` and worker
+    /// benefit `wb` (both in `[0,1]`; out-of-range finite values are clamped,
+    /// non-finite values are rejected).
+    pub fn add_edge(
+        &mut self,
+        worker: WorkerId,
+        task: TaskId,
+        rb: f64,
+        wb: f64,
+    ) -> Result<(), GraphError> {
+        let (w, t) = (worker.raw(), task.raw());
+        if w as usize >= self.capacities.len() {
+            return Err(GraphError::WorkerOutOfRange {
+                worker: w,
+                n_workers: self.capacities.len() as u32,
+            });
+        }
+        if t as usize >= self.demands.len() {
+            return Err(GraphError::TaskOutOfRange {
+                task: t,
+                n_tasks: self.demands.len() as u32,
+            });
+        }
+        if !rb.is_finite() || !wb.is_finite() {
+            return Err(GraphError::InvalidWeight { worker: w, task: t });
+        }
+        let key = (u64::from(w) << 32) | u64::from(t);
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge { worker: w, task: t });
+        }
+        self.edges.push(StagedEdge {
+            worker: w,
+            task: t,
+            rb: rb.clamp(0.0, 1.0),
+            wb: wb.clamp(0.0, 1.0),
+        });
+        Ok(())
+    }
+
+    /// Finalizes construction: validates node attributes and produces the
+    /// immutable CSR graph.
+    pub fn build(self) -> Result<BipartiteGraph, GraphError> {
+        for (i, &c) in self.capacities.iter().enumerate() {
+            if c == 0 {
+                return Err(GraphError::ZeroCapacity { worker: i as u32 });
+            }
+        }
+        for (i, &d) in self.demands.iter().enumerate() {
+            if d == 0 {
+                return Err(GraphError::ZeroDemand { task: i as u32 });
+            }
+        }
+
+        let n_w = self.capacities.len();
+        let n_t = self.demands.len();
+        let m = self.edges.len();
+
+        // Counting sort by worker to build the forward CSR; edge ids are
+        // assigned in forward-CSR order so `edge_worker` is monotone.
+        let mut w_off = vec![0u32; n_w + 1];
+        for e in &self.edges {
+            w_off[e.worker as usize + 1] += 1;
+        }
+        for i in 0..n_w {
+            w_off[i + 1] += w_off[i];
+        }
+        let mut cursor = w_off.clone();
+        let mut edge_task = vec![0u32; m];
+        let mut edge_worker = vec![0u32; m];
+        let mut edge_rb = vec![0f64; m];
+        let mut edge_wb = vec![0f64; m];
+        for e in &self.edges {
+            let slot = cursor[e.worker as usize] as usize;
+            cursor[e.worker as usize] += 1;
+            edge_task[slot] = e.task;
+            edge_worker[slot] = e.worker;
+            edge_rb[slot] = e.rb;
+            edge_wb[slot] = e.wb;
+        }
+
+        // Reverse CSR: for each task, the list of incident edge ids.
+        let mut t_off = vec![0u32; n_t + 1];
+        for &t in &edge_task {
+            t_off[t as usize + 1] += 1;
+        }
+        for i in 0..n_t {
+            t_off[i + 1] += t_off[i];
+        }
+        let mut t_cursor = t_off.clone();
+        let mut t_edges = vec![0u32; m];
+        for (eid, &t) in edge_task.iter().enumerate() {
+            let slot = t_cursor[t as usize] as usize;
+            t_cursor[t as usize] += 1;
+            t_edges[slot] = eid as u32;
+        }
+
+        Ok(BipartiteGraph::from_parts(
+            self.capacities,
+            self.demands,
+            w_off,
+            t_off,
+            t_edges,
+            edge_worker,
+            edge_task,
+            edge_rb,
+            edge_wb,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut b = GraphBuilder::new();
+        let ws = b.add_workers(3, 1);
+        let ts = b.add_tasks(2, 2);
+        b.add_edge(ws[0], ts[0], 0.5, 0.6).unwrap();
+        b.add_edge(ws[1], ts[0], 0.7, 0.2).unwrap();
+        b.add_edge(ws[1], ts[1], 0.9, 0.9).unwrap();
+        b.add_edge(ws[2], ts[1], 0.1, 0.3).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.n_workers(), 3);
+        assert_eq!(g.n_tasks(), 2);
+        assert_eq!(g.n_edges(), 4);
+        // Forward adjacency of worker 1 covers both tasks.
+        let tasks: Vec<u32> = g.worker_edges(ws[1]).map(|e| g.task_of(e).raw()).collect();
+        assert_eq!(tasks, vec![0, 1]);
+        // Reverse adjacency of task 1 covers workers 1 and 2.
+        let workers: Vec<u32> = g.task_edges(ts[1]).map(|e| g.worker_of(e).raw()).collect();
+        assert_eq!(workers, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker(1);
+        let t = b.add_task(1);
+        b.add_edge(w, t, 0.5, 0.5).unwrap();
+        assert_eq!(
+            b.add_edge(w, t, 0.4, 0.4),
+            Err(GraphError::DuplicateEdge { worker: 0, task: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_endpoints_rejected() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker(1);
+        let t = b.add_task(1);
+        assert!(matches!(
+            b.add_edge(WorkerId::new(5), t, 0.1, 0.1),
+            Err(GraphError::WorkerOutOfRange { worker: 5, .. })
+        ));
+        assert!(matches!(
+            b.add_edge(w, TaskId::new(9), 0.1, 0.1),
+            Err(GraphError::TaskOutOfRange { task: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_weights_rejected_finite_clamped() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker(1);
+        let t0 = b.add_task(1);
+        let t1 = b.add_task(1);
+        assert!(matches!(
+            b.add_edge(w, t0, f64::NAN, 0.5),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(w, t0, 0.5, f64::INFINITY),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        b.add_edge(w, t0, -3.0, 2.0).unwrap(); // clamped
+        b.add_edge(w, t1, 0.25, 0.75).unwrap();
+        let g = b.build().unwrap();
+        let e0 = g.worker_edges(w).next().unwrap();
+        assert_eq!(g.rb(e0), 0.0);
+        assert_eq!(g.wb(e0), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_and_demand_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_worker(0);
+        b.add_task(1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::ZeroCapacity { worker: 0 }
+        );
+
+        let mut b = GraphBuilder::new();
+        b.add_worker(1);
+        b.add_task(0);
+        assert_eq!(b.build().unwrap_err(), GraphError::ZeroDemand { task: 0 });
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.n_workers(), 0);
+        assert_eq!(g.n_tasks(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_fine() {
+        let mut b = GraphBuilder::new();
+        b.add_workers(4, 2);
+        b.add_tasks(3, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.worker_degree(WorkerId::new(2)), 0);
+        assert_eq!(g.task_degree(TaskId::new(1)), 0);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = GraphError::DuplicateEdge { worker: 1, task: 2 };
+        assert_eq!(e.to_string(), "duplicate edge (worker 1, task 2)");
+        let e = GraphError::ZeroCapacity { worker: 7 };
+        assert!(e.to_string().contains("worker 7"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `mbta-graph`: the bipartite labor-market graph.
+//!
+//! The abstract of the reproduced paper stresses that real labor markets are
+//! *bipartite*: a worker can only take tasks it is connected to
+//! (qualification, region, language, platform rules). This crate is the
+//! structural substrate every algorithm runs on:
+//!
+//! * [`builder::GraphBuilder`] — mutable construction with validation
+//!   (duplicate edges, id range checks, weight sanity),
+//! * [`BipartiteGraph`] — immutable CSR storage with forward (worker→edges)
+//!   and reverse (task→edges) adjacency, per-edge requester/worker benefit
+//!   weights, per-worker capacities and per-task demands,
+//! * [`stats`] — degree histograms, density, connectivity summaries (the
+//!   "dataset statistics" table of the evaluation),
+//! * [`serial`] — a compact binary format (via `bytes`) for persisting
+//!   generated instances so experiments can be re-run bit-identically,
+//! * [`random`] — small random-instance helpers shared by tests and benches
+//!   (full workload *models* live in `mbta-workload`),
+//! * [`subgraph`] — induced subgraphs with id back-maps (the batch-online
+//!   engine and the incremental maintainer solve on restrictions).
+//!
+//! Identifiers are `u32` newtypes ([`WorkerId`], [`TaskId`], [`EdgeId`]);
+//! all hot paths are dense index loops, never hash lookups.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use mbta_util::define_id;
+
+define_id!(pub struct WorkerId, "Identifier of a worker (left side of the bipartition).");
+define_id!(pub struct TaskId, "Identifier of a task (right side of the bipartition).");
+define_id!(pub struct EdgeId, "Identifier of an eligibility edge between a worker and a task.");
+
+pub mod builder;
+pub mod csr;
+pub mod random;
+pub mod serial;
+pub mod stats;
+pub mod subgraph;
+
+pub use builder::{GraphBuilder, GraphError};
+pub use csr::BipartiteGraph;
+pub use stats::GraphStats;

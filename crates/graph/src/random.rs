@@ -1,0 +1,184 @@
+//! Small random-instance helpers shared by tests and microbenches.
+//!
+//! These are deliberately simple (uniform weights, Erdős–Rényi-style edges).
+//! The *workload models* that reproduce the paper's evaluation profiles —
+//! Zipf pay, power-law degrees, skill vectors — live in `mbta-workload`;
+//! this module exists so the lower-level crates can generate instances
+//! without a dependency cycle.
+
+use crate::builder::GraphBuilder;
+use crate::{BipartiteGraph, TaskId, WorkerId};
+use mbta_util::SplitMix64;
+
+/// Parameters for [`random_bipartite`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomGraphSpec {
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Average worker degree (edges are sampled without replacement until
+    /// `n_workers * avg_degree` distinct pairs exist, capped at the complete
+    /// graph).
+    pub avg_degree: f64,
+    /// Capacity assigned to every worker.
+    pub capacity: u32,
+    /// Demand assigned to every task.
+    pub demand: u32,
+}
+
+impl Default for RandomGraphSpec {
+    fn default() -> Self {
+        Self {
+            n_workers: 100,
+            n_tasks: 50,
+            avg_degree: 8.0,
+            capacity: 1,
+            demand: 1,
+        }
+    }
+}
+
+/// Generates a uniform random bipartite instance with i.i.d. uniform
+/// `rb`/`wb` weights. Deterministic in `seed`.
+pub fn random_bipartite(spec: &RandomGraphSpec, seed: u64) -> BipartiteGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::with_capacity(
+        spec.n_workers,
+        spec.n_tasks,
+        (spec.n_workers as f64 * spec.avg_degree) as usize,
+    );
+    let ws = b.add_workers(spec.n_workers, spec.capacity);
+    let ts = b.add_tasks(spec.n_tasks, spec.demand);
+    if ws.is_empty() || ts.is_empty() {
+        return b.build().expect("validated");
+    }
+
+    let want = ((spec.n_workers as f64 * spec.avg_degree) as u64)
+        .min(spec.n_workers as u64 * spec.n_tasks as u64) as usize;
+    let mut added = 0usize;
+    // Rejection sampling on the duplicate check; at < 50% density the
+    // expected retries per edge are < 2.
+    while added < want {
+        let w = ws[rng.next_index(ws.len())];
+        let t = ts[rng.next_index(ts.len())];
+        let rb = rng.next_f64();
+        let wb = rng.next_f64();
+        if b.add_edge(w, t, rb, wb).is_ok() {
+            added += 1;
+        }
+    }
+    b.build().expect("validated")
+}
+
+/// Generates a *complete* small bipartite graph with uniform weights —
+/// the shape the dense Hungarian solver is cross-validated on.
+pub fn complete_bipartite(n_workers: usize, n_tasks: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::with_capacity(n_workers, n_tasks, n_workers * n_tasks);
+    let ws = b.add_workers(n_workers, 1);
+    let ts = b.add_tasks(n_tasks, 1);
+    for &w in &ws {
+        for &t in &ts {
+            b.add_edge(w, t, rng.next_f64(), rng.next_f64())
+                .expect("no duplicates in nested loop");
+        }
+    }
+    b.build().expect("validated")
+}
+
+/// Builds a graph directly from an explicit edge list — the ergonomic
+/// constructor tests use. Panics on invalid input (tests only).
+pub fn from_edges(
+    capacities: &[u32],
+    demands: &[u32],
+    edges: &[(u32, u32, f64, f64)],
+) -> BipartiteGraph {
+    let mut b = GraphBuilder::with_capacity(capacities.len(), demands.len(), edges.len());
+    for &c in capacities {
+        b.add_worker(c);
+    }
+    for &d in demands {
+        b.add_task(d);
+    }
+    for &(w, t, rb, wb) in edges {
+        b.add_edge(WorkerId::new(w), TaskId::new(t), rb, wb)
+            .expect("valid test edge");
+    }
+    b.build().expect("valid test graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn random_graph_hits_target_degree() {
+        let spec = RandomGraphSpec {
+            n_workers: 200,
+            n_tasks: 100,
+            avg_degree: 6.0,
+            capacity: 2,
+            demand: 3,
+        };
+        let g = random_bipartite(&spec, 1);
+        assert_eq!(g.n_workers(), 200);
+        assert_eq!(g.n_tasks(), 100);
+        assert_eq!(g.n_edges(), 1200);
+        let s = GraphStats::compute(&g);
+        assert!((s.worker_degree_mean - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_graph_deterministic_in_seed() {
+        let spec = RandomGraphSpec::default();
+        let a = random_bipartite(&spec, 7);
+        let b = random_bipartite(&spec, 7);
+        let c = random_bipartite(&spec, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_capped_at_complete_graph() {
+        let spec = RandomGraphSpec {
+            n_workers: 4,
+            n_tasks: 3,
+            avg_degree: 100.0,
+            capacity: 1,
+            demand: 1,
+        };
+        let g = random_bipartite(&spec, 2);
+        assert_eq!(g.n_edges(), 12);
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete_bipartite(5, 4, 3);
+        assert_eq!(g.n_edges(), 20);
+        for w in g.workers() {
+            assert_eq!(g.worker_degree(w), 4);
+        }
+    }
+
+    #[test]
+    fn empty_sides_handled() {
+        let spec = RandomGraphSpec {
+            n_workers: 0,
+            n_tasks: 10,
+            avg_degree: 3.0,
+            capacity: 1,
+            demand: 1,
+        };
+        let g = random_bipartite(&spec, 4);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn from_edges_builds() {
+        let g = from_edges(&[1, 1], &[1], &[(0, 0, 0.5, 0.5), (1, 0, 0.25, 0.75)]);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.task_degree(TaskId::new(0)), 2);
+    }
+}

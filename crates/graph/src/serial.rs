@@ -1,0 +1,219 @@
+//! Compact binary (de)serialization of labor-market instances.
+//!
+//! Generated instances are persisted so an experiment can be re-run
+//! bit-identically without re-generating (and so large instances can be
+//! shared between the criterion benches and the table harness). The format
+//! is deliberately simple:
+//!
+//! ```text
+//! magic   "MBTA"           4 bytes
+//! version u32 LE           (currently 1)
+//! n_w     u32 LE
+//! n_t     u32 LE
+//! m       u32 LE
+//! caps    n_w × u32 LE
+//! dems    n_t × u32 LE
+//! edges   m × { worker u32, task u32, rb f64, wb f64 }  (little-endian)
+//! ```
+//!
+//! Weights travel as raw IEEE-754 bits, so round-trips are exact.
+
+use crate::builder::{GraphBuilder, GraphError};
+use crate::{BipartiteGraph, TaskId, WorkerId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"MBTA";
+const VERSION: u32 = 1;
+
+/// Errors from [`read_graph`].
+#[derive(Debug)]
+pub enum SerialError {
+    /// The buffer did not start with the `MBTA` magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// The payload decoded but failed graph validation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::BadMagic => write!(f, "bad magic (not an MBTA graph file)"),
+            SerialError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            SerialError::Truncated => write!(f, "truncated graph file"),
+            SerialError::Graph(e) => write!(f, "invalid graph payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+impl From<GraphError> for SerialError {
+    fn from(e: GraphError) -> Self {
+        SerialError::Graph(e)
+    }
+}
+
+/// Serializes a graph into a freshly allocated buffer.
+pub fn write_graph(g: &BipartiteGraph) -> Bytes {
+    let m = g.n_edges();
+    let mut buf = BytesMut::with_capacity(16 + 4 * (g.n_workers() + g.n_tasks()) + 24 * m);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(g.n_workers() as u32);
+    buf.put_u32_le(g.n_tasks() as u32);
+    buf.put_u32_le(m as u32);
+    for &c in g.capacities() {
+        buf.put_u32_le(c);
+    }
+    for &d in g.demands() {
+        buf.put_u32_le(d);
+    }
+    for e in g.edges() {
+        buf.put_u32_le(g.worker_of(e).raw());
+        buf.put_u32_le(g.task_of(e).raw());
+        buf.put_f64_le(g.rb(e));
+        buf.put_f64_le(g.wb(e));
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph previously written by [`write_graph`].
+pub fn read_graph(mut buf: impl Buf) -> Result<BipartiteGraph, SerialError> {
+    if buf.remaining() < 20 {
+        return Err(SerialError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SerialError::BadVersion(version));
+    }
+    let n_w = buf.get_u32_le() as usize;
+    let n_t = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+
+    if buf.remaining() < 4 * (n_w + n_t) {
+        return Err(SerialError::Truncated);
+    }
+    let mut b = GraphBuilder::with_capacity(n_w, n_t, m);
+    for _ in 0..n_w {
+        b.add_worker(buf.get_u32_le());
+    }
+    for _ in 0..n_t {
+        b.add_task(buf.get_u32_le());
+    }
+    if buf.remaining() < 24 * m {
+        return Err(SerialError::Truncated);
+    }
+    for _ in 0..m {
+        let w = buf.get_u32_le();
+        let t = buf.get_u32_le();
+        let rb = buf.get_f64_le();
+        let wb = buf.get_f64_le();
+        b.add_edge(WorkerId::new(w), TaskId::new(t), rb, wb)?;
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_bipartite, RandomGraphSpec};
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 50,
+                n_tasks: 30,
+                avg_degree: 5.0,
+                capacity: 2,
+                demand: 3,
+            },
+            11,
+        );
+        let bytes = write_graph(&g);
+        let g2 = read_graph(bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        let g2 = read_graph(write_graph(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err =
+            read_graph(Bytes::from_static(b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0")).unwrap_err();
+        assert!(matches!(err, SerialError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let g = GraphBuilder::new().build().unwrap();
+        let mut bytes = BytesMut::from(&write_graph(&g)[..]);
+        bytes[4] = 99; // version field low byte
+        let err = read_graph(bytes.freeze()).unwrap_err();
+        assert!(matches!(err, SerialError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let g = random_bipartite(&RandomGraphSpec::default(), 1);
+        let bytes = write_graph(&g);
+        for cut in [3usize, 10, 21, bytes.len() - 1] {
+            let err = read_graph(bytes.slice(..cut)).unwrap_err();
+            assert!(matches!(err, SerialError::Truncated), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_validation() {
+        // Hand-build a payload with a duplicate edge.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(1); // workers
+        buf.put_u32_le(1); // tasks
+        buf.put_u32_le(2); // edges
+        buf.put_u32_le(1); // capacity
+        buf.put_u32_le(1); // demand
+        for _ in 0..2 {
+            buf.put_u32_le(0);
+            buf.put_u32_le(0);
+            buf.put_f64_le(0.5);
+            buf.put_f64_le(0.5);
+        }
+        let err = read_graph(buf.freeze()).unwrap_err();
+        assert!(matches!(
+            err,
+            SerialError::Graph(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn weights_roundtrip_exactly() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker(1);
+        let t = b.add_task(1);
+        let rb = 0.123_456_789_012_345_68;
+        let wb = 1.0 - f64::EPSILON;
+        b.add_edge(w, t, rb, wb).unwrap();
+        let g = b.build().unwrap();
+        let g2 = read_graph(write_graph(&g)).unwrap();
+        let e = g2.edges().next().unwrap();
+        assert_eq!(g2.rb(e), rb);
+        assert_eq!(g2.wb(e), wb);
+    }
+}

@@ -1,0 +1,348 @@
+//! Full (confusion-matrix) Dawid–Skene EM.
+//!
+//! The one-coin model in [`crate::aggregate`] gives each worker a single
+//! accuracy; it cannot represent a *systematically confused* worker — one
+//! who reliably answers `(truth + 1) mod k` — and EM under the one-coin
+//! model treats such a worker as pure noise. The original Dawid & Skene
+//! (1979) model learns a full `k × k` confusion matrix per worker:
+//! `π_w[c][l]` = P(worker `w` answers `l` | true label `c`), plus a class
+//! prior. Systematic confusion then becomes *signal*: an anti-correlated
+//! worker's answers can be inverted and contribute as much as an expert's.
+
+use crate::aggregate::Estimates;
+use crate::answers::Answer;
+
+/// Result of the confusion-matrix Dawid–Skene EM.
+#[derive(Debug, Clone)]
+pub struct DawidSkeneFull {
+    /// Estimated label per task (`None` if unanswered).
+    pub estimates: Estimates,
+    /// Row-major `k × k` confusion matrix per worker (uniform prior rows
+    /// for silent workers): `confusion[w][c * k + l]`.
+    pub confusion: Vec<Vec<f64>>,
+    /// Estimated class prior.
+    pub prior: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: u32,
+}
+
+impl DawidSkeneFull {
+    /// Estimated probability that worker `w` answers `l` when the truth is
+    /// `c`.
+    pub fn confusion_of(&self, worker: u32, truth: u8, label: u8) -> f64 {
+        let k = self.prior.len();
+        self.confusion[worker as usize][truth as usize * k + label as usize]
+    }
+
+    /// The diagonal mass of a worker's confusion matrix — its "straight
+    /// accuracy" (an anti-correlated worker scores near 0 here while still
+    /// being highly informative).
+    pub fn diagonal_accuracy(&self, worker: u32) -> f64 {
+        let k = self.prior.len();
+        let m = &self.confusion[worker as usize];
+        (0..k).map(|c| self.prior[c] * m[c * k + c]).sum()
+    }
+}
+
+/// Confusion-matrix Dawid–Skene EM.
+///
+/// Initialized from majority-vote posteriors; Laplace-smoothed M-steps keep
+/// the matrices off the boundary; stops when the largest confusion-entry
+/// change drops below `tol` or after `max_iters`.
+pub fn dawid_skene_full(
+    answers: &[Answer],
+    n_tasks: usize,
+    n_workers: usize,
+    n_options: u8,
+    max_iters: u32,
+    tol: f64,
+) -> DawidSkeneFull {
+    let k = n_options as usize;
+    assert!(k >= 2, "need at least two answer options");
+
+    let mut by_task: Vec<Vec<(u32, u8)>> = vec![Vec::new(); n_tasks];
+    for a in answers {
+        by_task[a.task as usize].push((a.worker, a.label));
+    }
+
+    // Posteriors, initialized from soft majority vote.
+    let mut posterior = vec![0f64; n_tasks * k];
+    for (t, ans) in by_task.iter().enumerate() {
+        if ans.is_empty() {
+            continue;
+        }
+        for &(_, l) in ans {
+            posterior[t * k + l as usize] += 1.0;
+        }
+        let total: f64 = posterior[t * k..(t + 1) * k].iter().sum();
+        for v in &mut posterior[t * k..(t + 1) * k] {
+            *v /= total;
+        }
+    }
+
+    let uniform_row = 1.0 / k as f64;
+    let mut confusion: Vec<Vec<f64>> = vec![vec![uniform_row; k * k]; n_workers];
+    let mut prior = vec![uniform_row; k];
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+
+        // M-step: confusion matrices and class prior from posteriors.
+        let mut max_delta = 0f64;
+        let mut new_conf: Vec<Vec<f64>> = vec![vec![0.0; k * k]; n_workers];
+        let mut class_mass = vec![0f64; k];
+        let mut answered_tasks = 0usize;
+        for (t, ans) in by_task.iter().enumerate() {
+            if ans.is_empty() {
+                continue;
+            }
+            answered_tasks += 1;
+            for c in 0..k {
+                let p = posterior[t * k + c];
+                class_mass[c] += p;
+                for &(w, l) in ans {
+                    new_conf[w as usize][c * k + l as usize] += p;
+                }
+            }
+        }
+        // Normalize with Laplace smoothing (+1 per cell).
+        for (w, m) in new_conf.iter_mut().enumerate() {
+            for c in 0..k {
+                let row_sum: f64 = m[c * k..(c + 1) * k].iter().sum::<f64>() + k as f64;
+                for l in 0..k {
+                    let v = (m[c * k + l] + 1.0) / row_sum;
+                    max_delta = max_delta.max((v - confusion[w][c * k + l]).abs());
+                    m[c * k + l] = v;
+                }
+            }
+        }
+        confusion = new_conf;
+        if answered_tasks > 0 {
+            let denom: f64 = class_mass.iter().sum::<f64>() + k as f64;
+            for c in 0..k {
+                prior[c] = (class_mass[c] + 1.0) / denom;
+            }
+        }
+
+        // E-step: posterior ∝ prior[c] · Π_w π_w[c][vote_w], in log space.
+        for (t, ans) in by_task.iter().enumerate() {
+            if ans.is_empty() {
+                continue;
+            }
+            let mut log_post: Vec<f64> = (0..k).map(|c| prior[c].max(1e-12).ln()).collect();
+            for &(w, l) in ans {
+                let m = &confusion[w as usize];
+                for (c, lp) in log_post.iter_mut().enumerate() {
+                    *lp += m[c * k + l as usize].max(1e-12).ln();
+                }
+            }
+            let mx = log_post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut total = 0.0;
+            for lp in &mut log_post {
+                *lp = (*lp - mx).exp();
+                total += *lp;
+            }
+            for (c, lp) in log_post.iter().enumerate() {
+                posterior[t * k + c] = lp / total;
+            }
+        }
+
+        if max_delta < tol {
+            break;
+        }
+    }
+
+    let estimates = (0..n_tasks)
+        .map(|t| {
+            if by_task[t].is_empty() {
+                return None;
+            }
+            let p = &posterior[t * k..(t + 1) * k];
+            let mut best = 0usize;
+            for (c, &v) in p.iter().enumerate() {
+                if v > p[best] {
+                    best = c;
+                }
+            }
+            Some(best as u8)
+        })
+        .collect();
+
+    DawidSkeneFull {
+        estimates,
+        confusion,
+        prior,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{accuracy_against, dawid_skene, majority_vote};
+    use crate::answers::GroundTruth;
+    use mbta_util::SplitMix64;
+
+    fn answer(worker: u32, task: u32, label: u8) -> Answer {
+        Answer {
+            edge: mbta_graph::EdgeId::new(0),
+            worker,
+            task,
+            label,
+        }
+    }
+
+    /// Builds a crowd: per-worker behaviour is a function truth → label
+    /// distribution sampled through the rng.
+    fn crowd<F>(n_tasks: usize, k: u8, seed: u64, workers: &[F]) -> (GroundTruth, Vec<Answer>)
+    where
+        F: Fn(&mut SplitMix64, u8) -> u8,
+    {
+        let truth = GroundTruth::random(n_tasks, k, seed);
+        let mut rng = SplitMix64::new(seed ^ 0xABCD);
+        let mut answers = Vec::new();
+        for t in 0..n_tasks as u32 {
+            let gt = truth.labels[t as usize];
+            for (w, behave) in workers.iter().enumerate() {
+                answers.push(answer(w as u32, t, behave(&mut rng, gt)));
+            }
+        }
+        (truth, answers)
+    }
+
+    #[test]
+    fn recovers_systematically_confused_workers() {
+        // Three honest 80% workers + two deterministic *rotators* answering
+        // (truth+1) mod k. The rotators always agree, so majority vote errs
+        // whenever more than one honest worker slips; the full model learns
+        // the rotation and turns the rotators into perfect (inverted)
+        // signal. (An honest *majority* is required: with mostly-rotator
+        // crowds the rotated labeling is an equally-likely fixed point and
+        // no aggregator can identify the truth.)
+        let k = 4u8;
+        let n_tasks = 200usize;
+        let honest = |rng: &mut SplitMix64, gt: u8| {
+            if rng.next_bool(0.8) {
+                gt
+            } else {
+                (gt + 1 + rng.next_below(u64::from(k) - 1) as u8) % k
+            }
+        };
+        let rotate = |_: &mut SplitMix64, gt: u8| (gt + 1) % k;
+        let (truth, answers) = crowd(
+            n_tasks,
+            k,
+            9,
+            &[
+                Box::new(honest) as Box<dyn Fn(&mut SplitMix64, u8) -> u8>,
+                Box::new(honest),
+                Box::new(honest),
+                Box::new(rotate),
+                Box::new(rotate),
+            ],
+        );
+
+        let mv = majority_vote(&answers, n_tasks, k);
+        let mv_acc = accuracy_against(&mv, &truth.labels).unwrap();
+        assert!(mv_acc < 0.8, "rotators should drag majority down: {mv_acc}");
+
+        let full = dawid_skene_full(&answers, n_tasks, 5, k, 100, 1e-8);
+        let full_acc = accuracy_against(&full.estimates, &truth.labels).unwrap();
+        assert!(
+            full_acc > 0.9,
+            "full DS should invert the rotation: {full_acc} (mv {mv_acc})"
+        );
+        assert!(full_acc > mv_acc + 0.1);
+        // The rotators' learned confusion concentrates off-diagonal...
+        assert!(full.diagonal_accuracy(3) < 0.3);
+        assert!(full.diagonal_accuracy(4) < 0.3);
+        // ...and the honest workers' on-diagonal.
+        assert!(full.diagonal_accuracy(0) > 0.6);
+    }
+
+    #[test]
+    fn matches_one_coin_on_symmetric_noise() {
+        // When workers really are one-coin, both models should agree.
+        let k = 3u8;
+        let n_tasks = 200usize;
+        let coin = |acc: f64| {
+            move |rng: &mut SplitMix64, gt: u8| {
+                if rng.next_bool(acc) {
+                    gt
+                } else {
+                    let mut wrong = rng.next_below(u64::from(k) - 1) as u8;
+                    if wrong >= gt {
+                        wrong += 1;
+                    }
+                    wrong
+                }
+            }
+        };
+        let (truth, answers) = crowd(
+            n_tasks,
+            k,
+            10,
+            &[
+                Box::new(coin(0.9)) as Box<dyn Fn(&mut SplitMix64, u8) -> u8>,
+                Box::new(coin(0.7)),
+                Box::new(coin(0.6)),
+                Box::new(coin(0.6)),
+                Box::new(coin(0.55)),
+            ],
+        );
+        let one = dawid_skene(&answers, n_tasks, 5, k, 100, 1e-8);
+        let full = dawid_skene_full(&answers, n_tasks, 5, k, 100, 1e-8);
+        let a1 = accuracy_against(&one.estimates, &truth.labels).unwrap();
+        let a2 = accuracy_against(&full.estimates, &truth.labels).unwrap();
+        assert!((a1 - a2).abs() < 0.07, "one-coin {a1} vs full {a2}");
+        assert!(a2 > 0.8);
+    }
+
+    #[test]
+    fn prior_learned_from_skewed_classes() {
+        // Truth is label 0 ninety percent of the time; prior should skew.
+        let k = 2u8;
+        let n_tasks = 300usize;
+        let mut rng = SplitMix64::new(11);
+        let labels: Vec<u8> = (0..n_tasks).map(|_| u8::from(rng.next_bool(0.1))).collect();
+        let mut answers = Vec::new();
+        for (t, &gt) in labels.iter().enumerate() {
+            for w in 0..3u32 {
+                let l = if rng.next_bool(0.85) { gt } else { 1 - gt };
+                answers.push(answer(w, t as u32, l));
+            }
+        }
+        let full = dawid_skene_full(&answers, n_tasks, 3, k, 100, 1e-8);
+        assert!(full.prior[0] > 0.75, "prior {:?}", full.prior);
+        let acc = accuracy_against(&full.estimates, &labels).unwrap();
+        assert!(acc > 0.9);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let full = dawid_skene_full(&[], 4, 2, 3, 10, 1e-6);
+        assert_eq!(full.estimates, vec![None; 4]);
+        assert_eq!(full.prior.len(), 3);
+        assert!((full.confusion_of(0, 0, 0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confusion_rows_are_distributions() {
+        let (_, answers) = crowd(
+            50,
+            3,
+            12,
+            &[Box::new(
+                |rng: &mut SplitMix64, gt: u8| if rng.next_bool(0.7) { gt } else { (gt + 1) % 3 },
+            ) as Box<dyn Fn(&mut SplitMix64, u8) -> u8>],
+        );
+        let full = dawid_skene_full(&answers, 50, 1, 3, 50, 1e-8);
+        for c in 0..3u8 {
+            let row: f64 = (0..3u8).map(|l| full.confusion_of(0, c, l)).sum();
+            assert!((row - 1.0).abs() < 1e-9, "row {c} sums to {row}");
+        }
+        let prior_sum: f64 = full.prior.iter().sum();
+        assert!((prior_sum - 1.0).abs() < 1e-9);
+    }
+}

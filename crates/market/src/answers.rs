@@ -1,0 +1,178 @@
+//! Answer simulation.
+//!
+//! The benefit model predicts *expected* quality; this module closes the
+//! loop by actually simulating workers answering multiple-choice tasks, so
+//! the evaluation can report realized accuracy after aggregation
+//! (experiment F10). The link between model and simulation: a worker answers
+//! correctly with probability `1/k + rb·(1 − 1/k)` — requester benefit 0
+//! means guessing, 1 means always right.
+
+use mbta_graph::{BipartiteGraph, EdgeId};
+use mbta_matching::Matching;
+use mbta_util::SplitMix64;
+
+/// Ground truth for a batch of multiple-choice tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Correct label per task (indexed by task id), each `< n_options`.
+    pub labels: Vec<u8>,
+    /// Number of answer options `k ≥ 2`.
+    pub n_options: u8,
+}
+
+impl GroundTruth {
+    /// Draws uniform random ground truth for `n_tasks` tasks.
+    pub fn random(n_tasks: usize, n_options: u8, seed: u64) -> Self {
+        assert!(n_options >= 2, "need at least two answer options");
+        let mut rng = SplitMix64::new(seed);
+        Self {
+            labels: (0..n_tasks)
+                .map(|_| rng.next_below(u64::from(n_options)) as u8)
+                .collect(),
+            n_options,
+        }
+    }
+}
+
+/// One submitted answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    /// The assignment edge that produced this answer.
+    pub edge: EdgeId,
+    /// Worker who answered (raw id).
+    pub worker: u32,
+    /// Task answered (raw id).
+    pub task: u32,
+    /// The chosen label.
+    pub label: u8,
+}
+
+/// Probability the worker behind edge `e` answers correctly, given `k`
+/// options: `1/k + rb·(1 − 1/k)`.
+#[inline]
+pub fn edge_accuracy(rb: f64, n_options: u8) -> f64 {
+    let guess = 1.0 / f64::from(n_options);
+    guess + rb * (1.0 - guess)
+}
+
+/// Simulates every assigned worker answering its task once.
+///
+/// Wrong answers are uniform over the `k − 1` incorrect labels.
+/// Deterministic in `seed`.
+pub fn simulate_answers(
+    g: &BipartiteGraph,
+    assignment: &Matching,
+    truth: &GroundTruth,
+    seed: u64,
+) -> Vec<Answer> {
+    assert_eq!(
+        truth.labels.len(),
+        g.n_tasks(),
+        "ground truth size mismatch"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let k = truth.n_options;
+    assignment
+        .edges
+        .iter()
+        .map(|&e| {
+            let task = g.task_of(e).index();
+            let correct = truth.labels[task];
+            let acc = edge_accuracy(g.rb(e), k);
+            let label = if rng.next_bool(acc) {
+                correct
+            } else {
+                // Uniform over the k-1 wrong labels.
+                let mut wrong = rng.next_below(u64::from(k) - 1) as u8;
+                if wrong >= correct {
+                    wrong += 1;
+                }
+                wrong
+            };
+            Answer {
+                edge: e,
+                worker: g.worker_of(e).raw(),
+                task: task as u32,
+                label,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::from_edges;
+
+    #[test]
+    fn accuracy_endpoints() {
+        assert!((edge_accuracy(0.0, 4) - 0.25).abs() < 1e-12);
+        assert!((edge_accuracy(1.0, 4) - 1.0).abs() < 1e-12);
+        assert!((edge_accuracy(0.5, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_labels_in_range() {
+        let t = GroundTruth::random(1000, 5, 7);
+        assert_eq!(t.labels.len(), 1000);
+        assert!(t.labels.iter().all(|&l| l < 5));
+        // All labels appear (1000 draws over 5 options).
+        for l in 0..5u8 {
+            assert!(t.labels.contains(&l), "label {l} never drawn");
+        }
+    }
+
+    #[test]
+    fn perfect_workers_always_correct() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 1.0, 0.5), (1, 1, 1.0, 0.5)]);
+        let m = Matching::from_edges(g.edges().collect());
+        let truth = GroundTruth::random(2, 4, 3);
+        let answers = simulate_answers(&g, &m, &truth, 11);
+        assert_eq!(answers.len(), 2);
+        for a in &answers {
+            assert_eq!(a.label, truth.labels[a.task as usize]);
+        }
+    }
+
+    #[test]
+    fn zero_benefit_workers_guess_at_chance() {
+        let edges: Vec<(u32, u32, f64, f64)> = (0..2000).map(|t| (0, t, 0.0, 0.5)).collect();
+        let g = from_edges(&[2000], &vec![1; 2000], &edges);
+        let m = Matching::from_edges(g.edges().collect());
+        let truth = GroundTruth::random(2000, 4, 5);
+        let answers = simulate_answers(&g, &m, &truth, 13);
+        let correct = answers
+            .iter()
+            .filter(|a| a.label == truth.labels[a.task as usize])
+            .count();
+        // Expected 500 of 2000; allow generous slack.
+        assert!((350..650).contains(&correct), "correct={correct}");
+        // Wrong answers must be spread over all wrong labels.
+        let mut wrong_seen = [false; 4];
+        for a in &answers {
+            if a.label != truth.labels[a.task as usize] {
+                wrong_seen[a.label as usize] = true;
+            }
+        }
+        assert!(wrong_seen.iter().filter(|&&s| s).count() >= 3);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        let m = Matching::from_edges(g.edges().collect());
+        let truth = GroundTruth::random(1, 3, 1);
+        let a = simulate_answers(&g, &m, &truth, 9);
+        let b = simulate_answers(&g, &m, &truth, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth size")]
+    fn truth_size_checked() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        let m = Matching::from_edges(g.edges().collect());
+        let truth = GroundTruth::random(5, 3, 1);
+        simulate_answers(&g, &m, &truth, 0);
+    }
+}

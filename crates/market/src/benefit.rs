@@ -1,0 +1,274 @@
+//! Benefit functions and mutual-benefit combiners.
+//!
+//! The exact functional forms are reconstructed **\[R\]** (the paper's full
+//! text was unavailable; see DESIGN.md §0); the properties that matter for
+//! the algorithmic results are preserved:
+//!
+//! * requester benefit is monotone in skill coverage and reliability and
+//!   discounted by difficulty,
+//! * worker benefit is monotone in relative pay and interest match,
+//! * both live in `[0, 1]` so they compose with the fixed-point machinery,
+//! * the combiner family spans the trade-off from "requester only" (the
+//!   prior-work baseline) to strongly mutual (harmonic mean).
+
+use crate::task::Task;
+use crate::worker::Worker;
+
+/// Parameters of the benefit model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenefitParams {
+    /// Weight of relative pay vs interest in the worker benefit, in `[0,1]`.
+    pub alpha: f64,
+    /// Strength of the difficulty penalty in the requester benefit, `[0,1]`.
+    pub kappa: f64,
+}
+
+impl Default for BenefitParams {
+    fn default() -> Self {
+        Self {
+            alpha: 0.6,
+            kappa: 0.8,
+        }
+    }
+}
+
+impl BenefitParams {
+    /// Validates the parameter ranges.
+    pub fn validated(self) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&self.alpha) && (0.0..=1.0).contains(&self.kappa),
+            "benefit parameters out of range"
+        );
+        self
+    }
+}
+
+/// Expected answer quality the requester gets from `worker` doing `task`,
+/// in `[0, 1]`.
+///
+/// `rb = r · c · (1 − κ · δ · (1 − c))` where `r` is reliability, `c` the
+/// skill coverage and `δ` the difficulty: a fully covering worker is immune
+/// to difficulty; an under-qualified worker suffers more on harder tasks.
+pub fn requester_benefit(worker: &Worker, task: &Task, params: &BenefitParams) -> f64 {
+    let c = worker.skills.coverage(&task.requirements);
+    let q = worker.reliability * c * (1.0 - params.kappa * task.difficulty * (1.0 - c));
+    q.clamp(0.0, 1.0)
+}
+
+/// Utility the worker derives from doing `task`, in `[0, 1]`.
+///
+/// `wb = α · sat(pay / wage) + (1 − α) · interest`, where
+/// `sat(x) = x / (1 + x)` saturates relative pay (twice the expected wage is
+/// good, ten times is not five times better) and `interest` is the cosine
+/// match between worker preferences and task category.
+pub fn worker_benefit(worker: &Worker, task: &Task, params: &BenefitParams) -> f64 {
+    let rel_pay = task.pay / worker.wage_expectation;
+    let pay_sat = rel_pay / (1.0 + rel_pay);
+    let interest = worker.preferences.cosine(&task.category);
+    (params.alpha * pay_sat + (1.0 - params.alpha) * interest).clamp(0.0, 1.0)
+}
+
+/// How the two per-edge benefits are combined into *mutual* benefit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Combiner {
+    /// `λ·rb + (1−λ)·wb`: the tunable trade-off. `λ = 1` is the
+    /// requester-only prior-work baseline; `λ = 0` is worker-only.
+    Linear {
+        /// Requester weight `λ ∈ [0,1]`.
+        lambda: f64,
+    },
+    /// Harmonic mean `2·rb·wb / (rb + wb)`: mutual in the strong sense — an
+    /// edge good for only one side scores near zero.
+    Harmonic,
+    /// `min(rb, wb)`: the per-edge egalitarian view.
+    Min,
+}
+
+impl Combiner {
+    /// Combines the two benefits; result is in `[0, 1]`.
+    #[inline]
+    pub fn combine(&self, rb: f64, wb: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&rb) && (0.0..=1.0).contains(&wb));
+        match *self {
+            Combiner::Linear { lambda } => lambda * rb + (1.0 - lambda) * wb,
+            Combiner::Harmonic => {
+                if rb + wb == 0.0 {
+                    0.0
+                } else {
+                    2.0 * rb * wb / (rb + wb)
+                }
+            }
+            Combiner::Min => rb.min(wb),
+        }
+    }
+
+    /// The balanced linear combiner (`λ = 0.5`), the evaluation default.
+    pub fn balanced() -> Self {
+        Combiner::Linear { lambda: 0.5 }
+    }
+
+    /// The requester-only baseline (`λ = 1`).
+    pub fn requester_only() -> Self {
+        Combiner::Linear { lambda: 1.0 }
+    }
+
+    /// The worker-only baseline (`λ = 0`).
+    pub fn worker_only() -> Self {
+        Combiner::Linear { lambda: 0.0 }
+    }
+}
+
+/// Computes the per-edge mutual-benefit weight vector of a realized graph.
+pub fn edge_weights(g: &mbta_graph::BipartiteGraph, combiner: Combiner) -> Vec<f64> {
+    g.edges()
+        .map(|e| combiner.combine(g.rb(e), g.wb(e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skill::SkillVector;
+
+    fn worker(skills: &[f64], rel: f64, wage: f64, prefs: &[f64]) -> Worker {
+        Worker::new(
+            SkillVector::new(skills),
+            rel,
+            1,
+            wage,
+            SkillVector::new(prefs),
+        )
+    }
+
+    fn task(req: &[f64], diff: f64, pay: f64, cat: &[f64]) -> Task {
+        Task::new(SkillVector::new(req), diff, pay, 1, SkillVector::new(cat))
+    }
+
+    #[test]
+    fn perfect_worker_gets_full_requester_benefit() {
+        let p = BenefitParams::default();
+        let w = worker(&[1.0, 1.0], 1.0, 10.0, &[0.5, 0.5]);
+        let t = task(&[0.9, 0.3], 1.0, 10.0, &[0.5, 0.5]);
+        assert!((requester_benefit(&w, &t, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requester_benefit_monotone_in_reliability_and_coverage() {
+        let p = BenefitParams::default();
+        let t = task(&[1.0], 0.5, 10.0, &[1.0]);
+        let low = worker(&[0.5], 0.5, 10.0, &[1.0]);
+        let better_skill = worker(&[0.8], 0.5, 10.0, &[1.0]);
+        let better_rel = worker(&[0.5], 0.9, 10.0, &[1.0]);
+        let base = requester_benefit(&low, &t, &p);
+        assert!(requester_benefit(&better_skill, &t, &p) > base);
+        assert!(requester_benefit(&better_rel, &t, &p) > base);
+    }
+
+    #[test]
+    fn difficulty_hurts_underqualified_workers_more() {
+        let p = BenefitParams::default();
+        let under = worker(&[0.5], 1.0, 10.0, &[1.0]);
+        let easy = task(&[1.0], 0.0, 10.0, &[1.0]);
+        let hard = task(&[1.0], 1.0, 10.0, &[1.0]);
+        let drop = requester_benefit(&under, &easy, &p) - requester_benefit(&under, &hard, &p);
+        assert!(drop > 0.0);
+        // A fully covering worker loses nothing to difficulty.
+        let expert = worker(&[1.0], 1.0, 10.0, &[1.0]);
+        assert_eq!(
+            requester_benefit(&expert, &easy, &p),
+            requester_benefit(&expert, &hard, &p)
+        );
+    }
+
+    #[test]
+    fn worker_benefit_monotone_in_pay() {
+        let p = BenefitParams::default();
+        let w = worker(&[1.0], 1.0, 10.0, &[1.0]);
+        let cheap = task(&[1.0], 0.0, 5.0, &[1.0]);
+        let fair = task(&[1.0], 0.0, 10.0, &[1.0]);
+        let rich = task(&[1.0], 0.0, 40.0, &[1.0]);
+        let (a, b, c) = (
+            worker_benefit(&w, &cheap, &p),
+            worker_benefit(&w, &fair, &p),
+            worker_benefit(&w, &rich, &p),
+        );
+        assert!(a < b && b < c);
+        // Saturation: quadrupling pay less than doubles the pay term.
+        assert!(c < 2.0 * b);
+    }
+
+    #[test]
+    fn worker_benefit_uses_interest() {
+        let p = BenefitParams {
+            alpha: 0.0,
+            kappa: 0.0,
+        };
+        let w = worker(&[1.0], 1.0, 10.0, &[1.0, 0.0]);
+        let on_topic = Task::new(
+            SkillVector::new(&[1.0]),
+            0.0,
+            10.0,
+            1,
+            SkillVector::new(&[1.0, 0.0]),
+        );
+        let off_topic = Task::new(
+            SkillVector::new(&[1.0]),
+            0.0,
+            10.0,
+            1,
+            SkillVector::new(&[0.0, 1.0]),
+        );
+        assert!((worker_benefit(&w, &on_topic, &p) - 1.0).abs() < 1e-12);
+        assert_eq!(worker_benefit(&w, &off_topic, &p), 0.0);
+    }
+
+    #[test]
+    fn combiners_basic_algebra() {
+        let lin = Combiner::Linear { lambda: 0.25 };
+        assert!((lin.combine(1.0, 0.0) - 0.25).abs() < 1e-12);
+        assert!((lin.combine(0.0, 1.0) - 0.75).abs() < 1e-12);
+
+        let h = Combiner::Harmonic;
+        assert_eq!(h.combine(0.0, 0.9), 0.0); // one-sided edge scores 0
+        assert!((h.combine(0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.combine(0.0, 0.0), 0.0);
+
+        let m = Combiner::Min;
+        assert_eq!(m.combine(0.3, 0.8), 0.3);
+    }
+
+    #[test]
+    fn harmonic_below_arithmetic() {
+        for (rb, wb) in [(0.2, 0.8), (0.9, 0.1), (0.6, 0.7)] {
+            let h = Combiner::Harmonic.combine(rb, wb);
+            let a = Combiner::balanced().combine(rb, wb);
+            assert!(h <= a + 1e-12, "harmonic {h} > arithmetic {a}");
+        }
+    }
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(Combiner::requester_only().combine(0.7, 0.1), 0.7);
+        assert_eq!(Combiner::worker_only().combine(0.7, 0.1), 0.1);
+        assert!((Combiner::balanced().combine(0.7, 0.1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_weights_match_combiner() {
+        let g =
+            mbta_graph::random::from_edges(&[1, 1], &[1], &[(0, 0, 0.4, 0.8), (1, 0, 0.6, 0.2)]);
+        let w = edge_weights(&g, Combiner::balanced());
+        assert!((w[0] - 0.6).abs() < 1e-12);
+        assert!((w[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn params_validation() {
+        BenefitParams {
+            alpha: 1.5,
+            kappa: 0.5,
+        }
+        .validated();
+    }
+}

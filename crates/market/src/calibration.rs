@@ -1,0 +1,197 @@
+//! Model calibration: does the benefit model's predicted accuracy match
+//! realized answer accuracy?
+//!
+//! The assignment objective is built on `rb` as a *prediction* of answer
+//! quality. If the prediction is systematically biased, the optimizer is
+//! optimizing the wrong thing. This module bins assigned edges by their
+//! predicted accuracy ([`crate::answers::edge_accuracy`]) and compares each
+//! bin's mean prediction against the empirical fraction of correct answers
+//! — a reliability diagram, summarized by expected calibration error (ECE).
+//!
+//! By construction the simulator draws answers *from* the model, so the
+//! pipeline should be near-perfectly calibrated — which is precisely the
+//! regression test: a drift between `edge_accuracy` and `simulate_answers`
+//! (or a bias in the binning) shows up as non-zero ECE.
+
+use crate::answers::{edge_accuracy, Answer, GroundTruth};
+use mbta_graph::BipartiteGraph;
+
+/// One bin of the reliability diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge of the predicted-accuracy bin.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of answers in the bin.
+    pub count: usize,
+    /// Mean predicted accuracy of answers in the bin.
+    pub mean_predicted: f64,
+    /// Empirical fraction of correct answers in the bin.
+    pub observed: f64,
+}
+
+/// A reliability diagram plus its scalar summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The bins (only those with at least one answer).
+    pub bins: Vec<CalibrationBin>,
+    /// Expected calibration error: count-weighted mean |predicted − observed|.
+    pub ece: f64,
+    /// Maximum calibration error over non-empty bins.
+    pub mce: f64,
+    /// Total answers seen.
+    pub n_answers: usize,
+}
+
+/// Computes the reliability diagram of a batch of answers.
+///
+/// `n_bins` equal-width bins over `[1/k, 1]` (the feasible prediction
+/// range: even a zero-benefit worker guesses at `1/k`).
+pub fn calibration(
+    g: &BipartiteGraph,
+    answers: &[Answer],
+    truth: &GroundTruth,
+    n_bins: usize,
+) -> Calibration {
+    assert!(n_bins >= 1, "need at least one bin");
+    let guess = 1.0 / f64::from(truth.n_options);
+    let width = (1.0 - guess) / n_bins as f64;
+
+    let mut count = vec![0usize; n_bins];
+    let mut pred_sum = vec![0f64; n_bins];
+    let mut correct = vec![0usize; n_bins];
+    for a in answers {
+        let p = edge_accuracy(g.rb(a.edge), truth.n_options);
+        let mut b = if width == 0.0 {
+            0
+        } else {
+            ((p - guess) / width) as usize
+        };
+        if b >= n_bins {
+            b = n_bins - 1; // p == 1.0 lands in the last bin
+        }
+        count[b] += 1;
+        pred_sum[b] += p;
+        if a.label == truth.labels[a.task as usize] {
+            correct[b] += 1;
+        }
+    }
+
+    let total: usize = count.iter().sum();
+    let mut bins = Vec::new();
+    let mut ece = 0.0;
+    let mut mce = 0.0f64;
+    for b in 0..n_bins {
+        if count[b] == 0 {
+            continue;
+        }
+        let mean_predicted = pred_sum[b] / count[b] as f64;
+        let observed = correct[b] as f64 / count[b] as f64;
+        let gap = (mean_predicted - observed).abs();
+        ece += gap * count[b] as f64 / total.max(1) as f64;
+        mce = mce.max(gap);
+        bins.push(CalibrationBin {
+            lo: guess + b as f64 * width,
+            hi: if b + 1 == n_bins {
+                1.0
+            } else {
+                guess + (b + 1) as f64 * width
+            },
+            count: count[b],
+            mean_predicted,
+            observed,
+        });
+    }
+    Calibration {
+        bins,
+        ece,
+        mce,
+        n_answers: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::simulate_answers;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_matching::Matching;
+
+    #[test]
+    fn simulator_is_well_calibrated() {
+        // Large instance so each bin gets mass; ECE should be small since
+        // the simulator draws from the model.
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 400,
+                n_tasks: 4_000,
+                avg_degree: 40.0,
+                capacity: 64,
+                demand: 4,
+            },
+            1,
+        );
+        // A large feasible assignment (uniform pseudo-weights make greedy a
+        // plain feasibility filter).
+        let w = vec![1.0; g.n_edges()];
+        let m = mbta_matching::greedy::greedy_bmatching(&g, &w, 0.0);
+        let truth = GroundTruth::random(g.n_tasks(), 4, 2);
+        let answers = simulate_answers(&g, &m, &truth, 3);
+        assert!(answers.len() > 5_000, "need mass: {}", answers.len());
+        let cal = calibration(&g, &answers, &truth, 10);
+        assert_eq!(cal.n_answers, answers.len());
+        assert!(cal.ece < 0.03, "ECE {} too high", cal.ece);
+        assert!(!cal.bins.is_empty());
+    }
+
+    #[test]
+    fn detects_planted_miscalibration() {
+        // Feed answers that are always wrong: observed = 0 everywhere, so
+        // ECE ≈ mean predicted accuracy ≫ 0.
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.9, 0.5)]);
+        let truth = GroundTruth {
+            labels: vec![0],
+            n_options: 4,
+        };
+        let answers = vec![Answer {
+            edge: mbta_graph::EdgeId::new(0),
+            worker: 0,
+            task: 0,
+            label: 1, // wrong
+        }];
+        let cal = calibration(&g, &answers, &truth, 5);
+        assert!(cal.ece > 0.8, "ECE {}", cal.ece);
+        assert_eq!(cal.bins.len(), 1);
+        assert_eq!(cal.bins[0].observed, 0.0);
+    }
+
+    #[test]
+    fn empty_answers() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        let truth = GroundTruth {
+            labels: vec![0],
+            n_options: 2,
+        };
+        let cal = calibration(&g, &[], &truth, 4);
+        assert_eq!(cal.n_answers, 0);
+        assert_eq!(cal.ece, 0.0);
+        assert!(cal.bins.is_empty());
+    }
+
+    #[test]
+    fn bin_edges_cover_feasible_range() {
+        let g = from_edges(&[2], &[1, 1], &[(0, 0, 0.0, 0.5), (0, 1, 1.0, 0.5)]);
+        let truth = GroundTruth {
+            labels: vec![0, 1],
+            n_options: 4,
+        };
+        let m = Matching::from_edges(g.edges().collect());
+        let answers = simulate_answers(&g, &m, &truth, 5);
+        let cal = calibration(&g, &answers, &truth, 3);
+        // rb=0 → prediction 0.25 (first bin); rb=1 → prediction 1.0 (last).
+        assert_eq!(cal.n_answers, 2);
+        assert!((cal.bins.first().unwrap().lo - 0.25).abs() < 1e-12);
+        assert!((cal.bins.last().unwrap().hi - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! `mbta-market`: the labor-market domain model.
+//!
+//! The matching substrate works on abstract edge weights; this crate gives
+//! those weights meaning. It models:
+//!
+//! * [`skill::SkillVector`] — skill/interest/requirement vectors in
+//!   `[0,1]^d` with the match scores the benefit functions are built from,
+//! * [`worker::Worker`] and [`task::Task`] — the two sides of the market,
+//! * [`benefit`] — the requester-benefit and worker-benefit functions and
+//!   the three mutual-benefit combiners (`Linear(λ)`, `Harmonic`, `Min`),
+//! * [`market::Market`] — workers + tasks + eligibility, realized into a
+//!   weighted [`mbta_graph::BipartiteGraph`],
+//! * [`answers`] — simulation of workers actually answering tasks, with
+//!   per-edge accuracy driven by the requester benefit,
+//! * [`aggregate`] — majority vote, reliability-weighted vote and one-coin
+//!   Dawid–Skene EM, so experiments can report *realized* answer quality
+//!   (experiment F10), not just modeled benefit,
+//! * [`aggregate_full`] — the original confusion-matrix Dawid–Skene model,
+//!   which additionally recovers *systematically confused* workers,
+//! * [`calibration`] — reliability diagrams and expected calibration error
+//!   between the model's predicted accuracy and realized accuracy,
+//! * [`history`] — multi-round reliability learning: per-worker Beta
+//!   posteriors over accuracy, updated from aggregated labels,
+//! * [`acceptance`] — the logistic offer-acceptance model: worker benefit
+//!   as the probability that offered work actually happens.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod acceptance;
+pub mod aggregate;
+pub mod aggregate_full;
+pub mod answers;
+pub mod benefit;
+pub mod calibration;
+pub mod history;
+pub mod market;
+pub mod skill;
+pub mod task;
+pub mod worker;
+
+pub use benefit::{BenefitParams, Combiner};
+pub use market::{Market, MarketError};
+pub use skill::SkillVector;
+pub use task::Task;
+pub use worker::Worker;

@@ -1,0 +1,315 @@
+//! The market: workers + tasks + eligibility, realized into a weighted
+//! bipartite graph.
+
+use crate::benefit::{requester_benefit, worker_benefit, BenefitParams};
+use crate::task::Task;
+use crate::worker::Worker;
+use mbta_graph::{BipartiteGraph, GraphBuilder, GraphError, TaskId, WorkerId};
+use std::fmt;
+
+/// Errors from market assembly.
+#[derive(Debug)]
+pub enum MarketError {
+    /// Worker and task skill vectors must share a dimension count.
+    DimensionMismatch {
+        /// Expected dimension (from the first worker).
+        expected: usize,
+        /// Offending dimension.
+        got: usize,
+    },
+    /// An eligibility pair referenced a missing worker or task.
+    UnknownEndpoint {
+        /// Worker index of the pair.
+        worker: usize,
+        /// Task index of the pair.
+        task: usize,
+    },
+    /// Underlying graph construction failed (duplicates etc.).
+    Graph(GraphError),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "skill dimension mismatch: expected {expected}, got {got}"
+                )
+            }
+            MarketError::UnknownEndpoint { worker, task } => {
+                write!(
+                    f,
+                    "eligibility pair references unknown endpoint ({worker}, {task})"
+                )
+            }
+            MarketError::Graph(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+impl From<GraphError> for MarketError {
+    fn from(e: GraphError) -> Self {
+        MarketError::Graph(e)
+    }
+}
+
+/// A labor market: the domain-level owner of workers, tasks and their
+/// eligibility relation.
+#[derive(Debug, Clone)]
+pub struct Market {
+    workers: Vec<Worker>,
+    tasks: Vec<Task>,
+    /// Eligibility pairs `(worker index, task index)`.
+    eligibility: Vec<(u32, u32)>,
+}
+
+impl Market {
+    /// Assembles a market, checking dimensional consistency and endpoint
+    /// validity. Duplicate eligibility pairs are detected later, at
+    /// [`realize`](Self::realize) time, by the graph builder.
+    pub fn new(
+        workers: Vec<Worker>,
+        tasks: Vec<Task>,
+        eligibility: Vec<(u32, u32)>,
+    ) -> Result<Self, MarketError> {
+        if let Some(first) = workers.first() {
+            let d_skill = first.skills.len();
+            let d_pref = first.preferences.len();
+            for w in &workers {
+                if w.skills.len() != d_skill {
+                    return Err(MarketError::DimensionMismatch {
+                        expected: d_skill,
+                        got: w.skills.len(),
+                    });
+                }
+                if w.preferences.len() != d_pref {
+                    return Err(MarketError::DimensionMismatch {
+                        expected: d_pref,
+                        got: w.preferences.len(),
+                    });
+                }
+            }
+            for t in &tasks {
+                if t.requirements.len() != d_skill {
+                    return Err(MarketError::DimensionMismatch {
+                        expected: d_skill,
+                        got: t.requirements.len(),
+                    });
+                }
+                if t.category.len() != d_pref {
+                    return Err(MarketError::DimensionMismatch {
+                        expected: d_pref,
+                        got: t.category.len(),
+                    });
+                }
+            }
+        }
+        for &(w, t) in &eligibility {
+            if w as usize >= workers.len() || t as usize >= tasks.len() {
+                return Err(MarketError::UnknownEndpoint {
+                    worker: w as usize,
+                    task: t as usize,
+                });
+            }
+        }
+        Ok(Self {
+            workers,
+            tasks,
+            eligibility,
+        })
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of eligibility pairs.
+    pub fn n_eligible_pairs(&self) -> usize {
+        self.eligibility.len()
+    }
+
+    /// Worker by id.
+    pub fn worker(&self, w: WorkerId) -> &Worker {
+        &self.workers[w.index()]
+    }
+
+    /// Task by id.
+    pub fn task(&self, t: TaskId) -> &Task {
+        &self.tasks[t.index()]
+    }
+
+    /// All workers, indexed by worker id.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// All tasks, indexed by task id.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The raw eligibility pairs `(worker index, task index)`.
+    pub fn eligibility_pairs(&self) -> &[(u32, u32)] {
+        &self.eligibility
+    }
+
+    /// Per-edge monetary cost of a realized graph: each assigned pair costs
+    /// the task's pay. Used by the budget-constrained variant (MB-Budget).
+    ///
+    /// `g` must be a graph realized from *this* market (edge endpoints are
+    /// interpreted against this market's task list).
+    pub fn edge_costs(&self, g: &BipartiteGraph) -> Vec<f64> {
+        assert_eq!(g.n_tasks(), self.tasks.len(), "graph/market task mismatch");
+        g.edges()
+            .map(|e| self.tasks[g.task_of(e).index()].pay)
+            .collect()
+    }
+
+    /// Realizes the weighted bipartite graph: one edge per eligibility pair,
+    /// carrying `(rb, wb)` computed by the benefit model.
+    pub fn realize(&self, params: &BenefitParams) -> Result<BipartiteGraph, MarketError> {
+        let mut b = GraphBuilder::with_capacity(
+            self.workers.len(),
+            self.tasks.len(),
+            self.eligibility.len(),
+        );
+        for w in &self.workers {
+            b.add_worker(w.capacity);
+        }
+        for t in &self.tasks {
+            b.add_task(t.demand);
+        }
+        for &(wi, ti) in &self.eligibility {
+            let w = &self.workers[wi as usize];
+            let t = &self.tasks[ti as usize];
+            b.add_edge(
+                WorkerId::new(wi),
+                TaskId::new(ti),
+                requester_benefit(w, t, params),
+                worker_benefit(w, t, params),
+            )?;
+        }
+        Ok(b.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skill::SkillVector;
+
+    fn sv(c: &[f64]) -> SkillVector {
+        SkillVector::new(c)
+    }
+
+    fn simple_market() -> Market {
+        let workers = vec![
+            Worker::new(sv(&[1.0, 0.0]), 0.9, 1, 10.0, sv(&[1.0, 0.0])),
+            Worker::new(sv(&[0.0, 1.0]), 0.8, 2, 20.0, sv(&[0.0, 1.0])),
+        ];
+        let tasks = vec![
+            Task::new(sv(&[1.0, 0.0]), 0.2, 12.0, 1, sv(&[1.0, 0.0])),
+            Task::new(sv(&[0.0, 1.0]), 0.6, 25.0, 2, sv(&[0.0, 1.0])),
+        ];
+        Market::new(workers, tasks, vec![(0, 0), (0, 1), (1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn realize_builds_weighted_graph() {
+        let m = simple_market();
+        let g = m.realize(&BenefitParams::default()).unwrap();
+        assert_eq!(g.n_workers(), 2);
+        assert_eq!(g.n_tasks(), 2);
+        assert_eq!(g.n_edges(), 3);
+        // The specialist edge (w0, t0) has high rb; the mismatched edge
+        // (w0, t1) has rb 0 (no coverage).
+        let e_match = g.find_edge(WorkerId::new(0), TaskId::new(0)).unwrap();
+        let e_mismatch = g.find_edge(WorkerId::new(0), TaskId::new(1)).unwrap();
+        assert!(g.rb(e_match) > 0.8);
+        assert_eq!(g.rb(e_mismatch), 0.0);
+        // Capacities/demands carried through.
+        assert_eq!(g.capacity(WorkerId::new(1)), 2);
+        assert_eq!(g.demand(TaskId::new(1)), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let workers = vec![
+            Worker::new(sv(&[1.0, 0.0]), 0.9, 1, 10.0, sv(&[1.0])),
+            Worker::new(sv(&[1.0]), 0.9, 1, 10.0, sv(&[1.0])),
+        ];
+        let err = Market::new(workers, vec![], vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            MarketError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn task_dimension_mismatch_detected() {
+        let workers = vec![Worker::new(sv(&[1.0]), 0.9, 1, 10.0, sv(&[1.0]))];
+        let tasks = vec![Task::new(sv(&[1.0, 0.0]), 0.1, 5.0, 1, sv(&[1.0]))];
+        let err = Market::new(workers, tasks, vec![]).unwrap_err();
+        assert!(matches!(err, MarketError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_endpoint_detected() {
+        let workers = vec![Worker::new(sv(&[1.0]), 0.9, 1, 10.0, sv(&[1.0]))];
+        let tasks = vec![Task::new(sv(&[1.0]), 0.1, 5.0, 1, sv(&[1.0]))];
+        let err = Market::new(workers, tasks, vec![(0, 3)]).unwrap_err();
+        assert!(matches!(
+            err,
+            MarketError::UnknownEndpoint { worker: 0, task: 3 }
+        ));
+    }
+
+    #[test]
+    fn duplicate_eligibility_surfaces_at_realize() {
+        let workers = vec![Worker::new(sv(&[1.0]), 0.9, 1, 10.0, sv(&[1.0]))];
+        let tasks = vec![Task::new(sv(&[1.0]), 0.1, 5.0, 1, sv(&[1.0]))];
+        let m = Market::new(workers, tasks, vec![(0, 0), (0, 0)]).unwrap();
+        let err = m.realize(&BenefitParams::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            MarketError::Graph(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_costs_map_task_pay() {
+        let m = simple_market();
+        let g = m.realize(&BenefitParams::default()).unwrap();
+        let costs = m.edge_costs(&g);
+        assert_eq!(costs.len(), g.n_edges());
+        for e in g.edges() {
+            let expected = if g.task_of(e).raw() == 0 { 12.0 } else { 25.0 };
+            assert_eq!(costs[e.index()], expected);
+        }
+    }
+
+    #[test]
+    fn empty_market_is_fine() {
+        let m = Market::new(vec![], vec![], vec![]).unwrap();
+        let g = m.realize(&BenefitParams::default()).unwrap();
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MarketError::UnknownEndpoint { worker: 1, task: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Skill / interest / requirement vectors.
+//!
+//! A [`SkillVector`] is a point in `[0,1]^d`: component `i` is proficiency
+//! in (or, for tasks, weight on) skill dimension `i`. The two match scores
+//! used by the benefit model:
+//!
+//! * [`SkillVector::cosine`] — direction agreement, the usual similarity,
+//! * [`SkillVector::coverage`] — how much of the requirement the worker
+//!   covers (`Σ min(s_i, q_i) / Σ q_i`), which is what answer quality
+//!   actually depends on: surplus skill in unrequired dimensions should not
+//!   compensate for a missing required one.
+
+/// A vector in `[0,1]^d`. Components outside the range are clamped at
+/// construction; NaN components are rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkillVector {
+    dims: Box<[f64]>,
+}
+
+impl SkillVector {
+    /// Creates a vector, clamping each component into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if any component is NaN (an upstream modeling bug).
+    pub fn new(components: &[f64]) -> Self {
+        assert!(
+            components.iter().all(|c| !c.is_nan()),
+            "NaN skill component"
+        );
+        Self {
+            dims: components.iter().map(|c| c.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// The all-zero vector of dimension `d`.
+    pub fn zeros(d: usize) -> Self {
+        Self {
+            dims: vec![0.0; d].into_boxed_slice(),
+        }
+    }
+
+    /// Dimension count.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the vector has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[f64] {
+        &self.dims
+    }
+
+    /// Dot product. Panics on dimension mismatch.
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.len(), other.len(), "skill dimension mismatch");
+        self.dims
+            .iter()
+            .zip(other.dims.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Cosine similarity in `[0, 1]` (components are non-negative).
+    /// Zero vectors have similarity 0 with everything.
+    pub fn cosine(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Coverage of `requirement` by `self`: `Σ min(s_i, q_i) / Σ q_i`, in
+    /// `[0, 1]`. A requirement of all zeros is trivially covered (1.0).
+    pub fn coverage(&self, requirement: &Self) -> f64 {
+        assert_eq!(self.len(), requirement.len(), "skill dimension mismatch");
+        let need: f64 = requirement.dims.iter().sum();
+        if need == 0.0 {
+            return 1.0;
+        }
+        let have: f64 = self
+            .dims
+            .iter()
+            .zip(requirement.dims.iter())
+            .map(|(s, q)| s.min(*q))
+            .sum();
+        (have / need).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps() {
+        let v = SkillVector::new(&[-0.5, 0.5, 1.5]);
+        assert_eq!(v.components(), &[0.0, 0.5, 1.0]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        SkillVector::new(&[0.5, f64::NAN]);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = SkillVector::new(&[0.3, 0.7, 0.1]);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = SkillVector::new(&[1.0, 0.0]);
+        let b = SkillVector::new(&[0.0, 1.0]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let a = SkillVector::zeros(3);
+        let b = SkillVector::new(&[1.0, 1.0, 1.0]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.cosine(&a), 0.0);
+    }
+
+    #[test]
+    fn coverage_full_and_partial() {
+        let req = SkillVector::new(&[0.8, 0.2, 0.0]);
+        let expert = SkillVector::new(&[1.0, 1.0, 0.0]);
+        assert!((expert.coverage(&req) - 1.0).abs() < 1e-12);
+        let half = SkillVector::new(&[0.4, 0.1, 1.0]);
+        // min(0.4,0.8)+min(0.1,0.2) = 0.5 of 1.0 needed.
+        assert!((half.coverage(&req) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_ignores_surplus_dimensions() {
+        // Surplus skill in an unrequired dimension must not help.
+        let req = SkillVector::new(&[1.0, 0.0]);
+        let wrong_expert = SkillVector::new(&[0.0, 1.0]);
+        assert_eq!(wrong_expert.coverage(&req), 0.0);
+    }
+
+    #[test]
+    fn empty_requirement_is_covered() {
+        let req = SkillVector::zeros(2);
+        let w = SkillVector::new(&[0.1, 0.1]);
+        assert_eq!(w.coverage(&req), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        SkillVector::zeros(2).dot(&SkillVector::zeros(3));
+    }
+}

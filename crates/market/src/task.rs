@@ -1,0 +1,80 @@
+//! Tasks — the right side of the bipartite labor market.
+
+use crate::skill::SkillVector;
+
+/// A task: requirements, difficulty, pay, redundancy demand and category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Required proficiency per skill dimension, in `[0,1]^d`.
+    pub requirements: SkillVector,
+    /// Intrinsic difficulty in `[0,1]`; discounts quality for workers whose
+    /// skills do not fully cover the requirements.
+    pub difficulty: f64,
+    /// Pay per assigned worker (≥ 0).
+    pub pay: f64,
+    /// Number of distinct workers wanted (redundancy for aggregation), ≥ 1.
+    pub demand: u32,
+    /// Category mix per interest dimension, in `[0,1]^d` (what the task *is
+    /// about*, matched against worker preferences).
+    pub category: SkillVector,
+}
+
+impl Task {
+    /// Creates a task, clamping `difficulty` into `[0,1]`.
+    ///
+    /// # Panics
+    /// Panics if `demand == 0` or `pay` is negative/non-finite.
+    pub fn new(
+        requirements: SkillVector,
+        difficulty: f64,
+        pay: f64,
+        demand: u32,
+        category: SkillVector,
+    ) -> Self {
+        assert!(demand >= 1, "task demand must be >= 1");
+        assert!(pay.is_finite() && pay >= 0.0, "pay must be finite and >= 0");
+        assert!(difficulty.is_finite(), "difficulty must be finite");
+        Self {
+            requirements,
+            difficulty: difficulty.clamp(0.0, 1.0),
+            pay,
+            demand,
+            category,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(c: &[f64]) -> SkillVector {
+        SkillVector::new(c)
+    }
+
+    #[test]
+    fn construction_clamps_difficulty() {
+        let t = Task::new(sv(&[0.5]), 2.0, 5.0, 3, sv(&[0.5]));
+        assert_eq!(t.difficulty, 1.0);
+        assert_eq!(t.demand, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand")]
+    fn zero_demand_rejected() {
+        Task::new(sv(&[0.5]), 0.5, 5.0, 0, sv(&[0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "pay")]
+    fn negative_pay_rejected() {
+        Task::new(sv(&[0.5]), 0.5, -1.0, 1, sv(&[0.5]));
+    }
+
+    #[test]
+    fn zero_pay_allowed() {
+        // Volunteer tasks exist; worker benefit then rests on interest.
+        let t = Task::new(sv(&[0.5]), 0.5, 0.0, 1, sv(&[0.5]));
+        assert_eq!(t.pay, 0.0);
+    }
+}

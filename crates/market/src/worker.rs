@@ -1,0 +1,82 @@
+//! Workers — the left side of the bipartite labor market.
+
+use crate::skill::SkillVector;
+
+/// A worker: skills, reliability, capacity, wage expectation and interests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Worker {
+    /// Proficiency per skill dimension, in `[0,1]^d`.
+    pub skills: SkillVector,
+    /// Probability the worker executes conscientiously, in `[0,1]`. Scales
+    /// the expected answer quality multiplicatively.
+    pub reliability: f64,
+    /// Maximum number of tasks the worker will take (≥ 1).
+    pub capacity: u32,
+    /// Pay per task at which the worker feels fairly compensated (> 0).
+    pub wage_expectation: f64,
+    /// Interest per task-category dimension, in `[0,1]^d`.
+    pub preferences: SkillVector,
+}
+
+impl Worker {
+    /// Creates a worker, clamping `reliability` into `[0,1]`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`, `wage_expectation <= 0`, or either is
+    /// non-finite — these are modeling bugs, not data conditions.
+    pub fn new(
+        skills: SkillVector,
+        reliability: f64,
+        capacity: u32,
+        wage_expectation: f64,
+        preferences: SkillVector,
+    ) -> Self {
+        assert!(capacity >= 1, "worker capacity must be >= 1");
+        assert!(
+            wage_expectation.is_finite() && wage_expectation > 0.0,
+            "wage expectation must be positive and finite"
+        );
+        assert!(reliability.is_finite(), "reliability must be finite");
+        Self {
+            skills,
+            reliability: reliability.clamp(0.0, 1.0),
+            capacity,
+            wage_expectation,
+            preferences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(c: &[f64]) -> SkillVector {
+        SkillVector::new(c)
+    }
+
+    #[test]
+    fn construction_clamps_reliability() {
+        let w = Worker::new(sv(&[0.5]), 1.7, 2, 10.0, sv(&[0.5]));
+        assert_eq!(w.reliability, 1.0);
+        assert_eq!(w.capacity, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        Worker::new(sv(&[0.5]), 0.5, 0, 10.0, sv(&[0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wage")]
+    fn non_positive_wage_rejected() {
+        Worker::new(sv(&[0.5]), 0.5, 1, 0.0, sv(&[0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wage")]
+    fn infinite_wage_rejected() {
+        Worker::new(sv(&[0.5]), 0.5, 1, f64::INFINITY, sv(&[0.5]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Bertsekas' auction algorithm (single-phase, ε = 1).
+//!
+//! The third independent exact solver for one-to-one assignment (after
+//! min-cost flow and Hungarian) — three algorithms with three different
+//! failure modes give the cross-validation table (T13) real teeth.
+//!
+//! Workers bid for tasks; a bid raises the task's price by the bidder's
+//! margin between its best and second-best option plus ε. With integer
+//! values scaled by `(n+1)` and `ε = 1`, the resulting assignment is exactly
+//! optimal (ε-complementary-slackness argument, Bertsekas 1988). Skipping is
+//! modeled by a private zero-value dummy object per worker, mirroring the
+//! free-cardinality semantics of the other solvers.
+//!
+//! ε-scaling is deliberately **omitted**: this instance of the problem is
+//! asymmetric (more objects than bidders once dummies are added), and the
+//! naive scaling schedule — carry prices across rounds, reset assignments —
+//! is unsound there: optimality requires objects left unassigned at the end
+//! to sit at minimal prices, but early high-ε rounds inflate them
+//! permanently, deterring workers from tasks they should take. The proper
+//! asymmetric schedule (Bertsekas & Castañón 1992) resets unassigned-object
+//! prices between rounds; since this solver is only used as a small-instance
+//! cross-validation oracle, the single-phase ε = 1 auction is simpler and
+//! fast enough.
+
+use crate::solution::Matching;
+use mbta_graph::{BipartiteGraph, EdgeId, WorkerId};
+use mbta_util::fixed::benefit_to_profit;
+
+const NONE: u32 = u32::MAX;
+
+/// Exact maximum-weight one-to-one matching via single-phase auction.
+///
+/// # Panics
+/// Panics unless all capacities and demands are 1.
+pub fn auction_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    assert!(
+        g.capacities().iter().all(|&c| c == 1) && g.demands().iter().all(|&d| d == 1),
+        "auction_max_weight requires unit capacities and demands"
+    );
+    let n_w = g.n_workers();
+    let n_t = g.n_tasks();
+    if n_w == 0 || g.n_edges() == 0 {
+        return Matching::empty();
+    }
+
+    // Integer values scaled by (n+1) so that final ε < 1 ⇒ exact optimum.
+    let scale = (n_w as i64) + 1;
+    let value: Vec<i64> = weights
+        .iter()
+        .map(|&w| benefit_to_profit(w) * scale)
+        .collect();
+
+    // Forced-assignment formulation: objects are the `n_t` real tasks plus
+    // one private zero-value dummy per worker (object id `n_t + w`), so
+    // every worker always has an option to bid on and the auction always
+    // terminates with everyone assigned.
+    let n_obj = n_t + n_w;
+    let mut prices = vec![0i64; n_obj];
+    // owner[j] = worker currently holding object j.
+    let mut owner = vec![NONE; n_obj];
+    // assigned_obj[w] / assigned_edge[w]: object held and, when that object
+    // is a real task, the edge it was reached through.
+    let mut assigned_obj = vec![NONE; n_w];
+    let mut assigned_edge = vec![NONE; n_w];
+
+    // Single phase with ε = 1 (values are scaled by n+1, so this is exact).
+    let eps = 1i64;
+    {
+        let mut queue: Vec<u32> = (0..n_w as u32).collect();
+        while let Some(wi) = queue.pop() {
+            if assigned_obj[wi as usize] != NONE {
+                continue; // stale queue entry
+            }
+            let w = WorkerId::new(wi);
+            // Best and second-best net value over {own dummy} ∪ real tasks.
+            // The dummy is the initial best; once beaten it becomes the
+            // second-best candidate, so `second_net` is always populated.
+            let dummy = n_t + wi as usize;
+            let mut best_net = -prices[dummy];
+            let mut best_obj = dummy;
+            let mut best_edge = NONE;
+            let mut second_net = i64::MIN / 4;
+            for e in g.worker_edges(w) {
+                let t = g.task_of(e).index();
+                let net = value[e.index()] - prices[t];
+                if net > best_net {
+                    second_net = best_net;
+                    best_net = net;
+                    best_obj = t;
+                    best_edge = e.raw();
+                } else if net > second_net {
+                    second_net = net;
+                }
+            }
+            // A worker with no edges has only its dummy: uncontested, so
+            // the increment is just ε.
+            let bid_increment = if second_net <= i64::MIN / 4 {
+                eps
+            } else {
+                best_net - second_net + eps
+            };
+            prices[best_obj] += bid_increment;
+            // Evict the previous holder (dummies are private: no holder).
+            let prev = owner[best_obj];
+            if prev != NONE {
+                assigned_obj[prev as usize] = NONE;
+                assigned_edge[prev as usize] = NONE;
+                queue.push(prev);
+            }
+            owner[best_obj] = wi;
+            assigned_obj[wi as usize] = best_obj as u32;
+            assigned_edge[wi as usize] = best_edge;
+        }
+    }
+
+    let edges = assigned_edge
+        .iter()
+        .filter(|&&e| e != NONE && benefit_to_profit(weights[e as usize]) > 0)
+        .map(|&e| EdgeId::new(e))
+        .collect();
+    Matching::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::hungarian_max_weight;
+    use crate::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+    use mbta_graph::random::{complete_bipartite, from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_util::fixed::objectives_close;
+
+    #[test]
+    fn simple_diagonal_optimum() {
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[
+                (0, 0, 0.9, 0.9),
+                (0, 1, 0.3, 0.3),
+                (1, 0, 0.3, 0.3),
+                (1, 1, 0.9, 0.9),
+            ],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = auction_max_weight(&g, &w);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(objectives_close(m.total_weight(&w), 1.8, 2));
+    }
+
+    #[test]
+    fn resolves_the_greedy_trap() {
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[(0, 0, 0.9, 0.9), (0, 1, 0.8, 0.8), (1, 0, 0.7, 0.7)],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = auction_max_weight(&g, &w);
+        assert!(objectives_close(m.total_weight(&w), 1.5, 2));
+    }
+
+    #[test]
+    fn agrees_with_hungarian_and_flow_randomized() {
+        for seed in 0..12 {
+            let g = complete_bipartite(7, 9, seed);
+            let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+            let a = auction_max_weight(&g, &w);
+            a.validate(&g).unwrap();
+            let h = hungarian_max_weight(&g, &w);
+            let (f, _) =
+                max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            let (av, hv, fv) = (a.total_weight(&w), h.total_weight(&w), f.total_weight(&w));
+            assert!(
+                objectives_close(av, hv, g.n_edges()),
+                "seed {seed}: {av} vs {hv}"
+            );
+            assert!(
+                objectives_close(av, fv, g.n_edges()),
+                "seed {seed}: {av} vs {fv}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_instances_agree_with_flow() {
+        for seed in 0..12 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 15,
+                    n_tasks: 10,
+                    avg_degree: 3.0,
+                    capacity: 1,
+                    demand: 1,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| g.wb(e)).collect();
+            let a = auction_max_weight(&g, &w);
+            a.validate(&g).unwrap();
+            let (f, _) =
+                max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            assert!(
+                objectives_close(a.total_weight(&w), f.total_weight(&w), g.n_edges()),
+                "seed {seed}: auction {} vs flow {}",
+                a.total_weight(&w),
+                f.total_weight(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn workers_stay_home_when_nothing_pays() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.0, 0.0)]);
+        let m = auction_max_weight(&g, &[0.0]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(&[], &[], &[]);
+        assert!(auction_max_weight(&g, &[]).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Greedy weighted b-matching — the scalable heuristic (`GreedyMB`).
+//!
+//! Sort all edges by weight descending and take every edge whose endpoints
+//! still have spare capacity/demand. O(m log m), and a ½-approximation to
+//! the maximum-weight b-matching: when an edge `e` is rejected, some already
+//! chosen edge at one of its endpoints has weight ≥ w(e), and each chosen
+//! edge can block at most two optimal edges (one per endpoint) — the classic
+//! charging argument for greedy matroid-intersection-like problems.
+
+use crate::solution::Matching;
+use mbta_graph::{BipartiteGraph, EdgeId};
+
+/// Greedy maximum-weight b-matching.
+///
+/// `weights[e]` is the weight of edge `e`; edges with weight `<= min_weight`
+/// are never taken (pass `0.0` to skip worthless edges and mirror the exact
+/// solver's free-cardinality behaviour, or a negative value to take
+/// everything feasible).
+///
+/// # Example
+/// ```
+/// use mbta_graph::random::from_edges;
+/// use mbta_matching::greedy::greedy_bmatching;
+///
+/// let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5)]);
+/// let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+/// let m = greedy_bmatching(&g, &w, 0.0);
+/// assert_eq!(m.len(), 2);
+/// assert!((m.total_weight(&w) - 1.4).abs() < 1e-12);
+/// ```
+pub fn greedy_bmatching(g: &BipartiteGraph, weights: &[f64], min_weight: f64) -> Matching {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    // Sort edge ids by weight descending; ties broken by edge id so results
+    // are deterministic across runs and platforms.
+    let mut order: Vec<u32> = (0..g.n_edges() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .expect("weights must not be NaN")
+            .then(a.cmp(&b))
+    });
+
+    let mut w_rem: Vec<u32> = g.capacities().to_vec();
+    let mut t_rem: Vec<u32> = g.demands().to_vec();
+    let mut chosen = Vec::new();
+    for &eid in &order {
+        let e = EdgeId::new(eid);
+        if weights[e.index()] <= min_weight {
+            break; // sorted: everything after is also too light
+        }
+        let w = g.worker_of(e).index();
+        let t = g.task_of(e).index();
+        if w_rem[w] > 0 && t_rem[t] > 0 {
+            w_rem[w] -= 1;
+            t_rem[t] -= 1;
+            chosen.push(e);
+        }
+    }
+    Matching::from_edges(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+
+    #[test]
+    fn takes_heaviest_compatible_edges() {
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[
+                (0, 0, 0.9, 0.9), // weight 0.9 — taken
+                (0, 1, 0.8, 0.8), // conflicts with w0 — skipped
+                (1, 1, 0.5, 0.5), // taken
+            ],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = greedy_bmatching(&g, &w, 0.0);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m.total_weight(&w) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_on_the_classic_trap() {
+        // Greedy takes 0.9 and gets stuck; optimum is 0.8 + 0.7 = 1.5.
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[(0, 0, 0.9, 0.9), (0, 1, 0.8, 0.8), (1, 0, 0.7, 0.7)],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = greedy_bmatching(&g, &w, 0.0);
+        assert_eq!(m.len(), 1);
+        assert!((m.total_weight(&w) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_weight_threshold() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.0, 0.0)]);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        assert_eq!(greedy_bmatching(&g, &w, 0.0).len(), 1);
+        assert_eq!(greedy_bmatching(&g, &w, -1.0).len(), 2);
+        assert_eq!(greedy_bmatching(&g, &w, 0.95).len(), 0);
+    }
+
+    #[test]
+    fn respects_capacities() {
+        let g = from_edges(
+            &[2],
+            &[1, 1, 1],
+            &[(0, 0, 0.9, 0.9), (0, 1, 0.8, 0.8), (0, 2, 0.7, 0.7)],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = greedy_bmatching(&g, &w, 0.0);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), 2);
+        // Took the two heaviest.
+        assert!((m.total_weight(&w) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_approximation_holds_randomized() {
+        for seed in 0..20 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 50,
+                    n_tasks: 30,
+                    avg_degree: 6.0,
+                    capacity: 2,
+                    demand: 2,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+            let greedy = greedy_bmatching(&g, &w, 0.0);
+            greedy.validate(&g).unwrap();
+            let (opt, _) =
+                max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            let gv = greedy.total_weight(&w);
+            let ov = opt.total_weight(&w);
+            assert!(
+                gv >= 0.5 * ov - 1e-9,
+                "seed {seed}: greedy {gv} < opt/2 {}",
+                ov / 2.0
+            );
+            assert!(gv <= ov + 1e-6, "seed {seed}: greedy beat the optimum?!");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[(0, 0, 0.5, 0.5), (0, 1, 0.5, 0.5), (1, 0, 0.5, 0.5)],
+        );
+        let w: Vec<f64> = vec![0.5; 3];
+        let a = greedy_bmatching(&g, &w, 0.0);
+        let b = greedy_bmatching(&g, &w, 0.0);
+        assert_eq!(a, b);
+        // Lowest edge id wins ties: after taking edge 0 = (w0,t0), both
+        // remaining edges conflict (edge 1 shares w0, edge 2 shares t0).
+        assert_eq!(a.edges, vec![EdgeId::new(0)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = from_edges(&[], &[], &[]);
+        assert!(greedy_bmatching(&g, &[], 0.0).is_empty());
+    }
+}

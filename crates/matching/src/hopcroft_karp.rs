@@ -1,0 +1,208 @@
+//! Hopcroft–Karp maximum-cardinality matching for the unit case.
+//!
+//! When every worker has capacity 1 and every task demand 1, Hopcroft–Karp
+//! finds a maximum matching in O(E·√V) without building a flow network —
+//! noticeably faster constants than Dinic on the same instances, and an
+//! independent implementation to cross-check the flow-based cardinality
+//! solver (test `t13`-style oracles rely on such redundancy).
+
+use crate::solution::Matching;
+use mbta_graph::{BipartiteGraph, EdgeId, WorkerId};
+
+const NONE: u32 = u32::MAX;
+
+/// Maximum-cardinality matching on a unit bipartite graph.
+///
+/// # Panics
+/// Panics if any worker capacity or task demand differs from 1 — use
+/// [`crate::dinic::max_cardinality_bmatching`] for the general case.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    assert!(
+        g.capacities().iter().all(|&c| c == 1) && g.demands().iter().all(|&d| d == 1),
+        "hopcroft_karp requires unit capacities and demands"
+    );
+    let n_w = g.n_workers();
+    let n_t = g.n_tasks();
+    // match_w[w] = edge id matching worker w (NONE if free); likewise tasks.
+    let mut match_w = vec![NONE; n_w];
+    let mut match_t = vec![NONE; n_t];
+    let mut dist = vec![u32::MAX; n_w];
+    let mut queue: Vec<u32> = Vec::with_capacity(n_w);
+
+    loop {
+        // BFS from all free workers, layering by alternating-path length.
+        queue.clear();
+        for w in 0..n_w {
+            if match_w[w] == NONE {
+                dist[w] = 0;
+                queue.push(w as u32);
+            } else {
+                dist[w] = u32::MAX;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let w = queue[qi] as usize;
+            qi += 1;
+            for e in g.worker_edges(WorkerId::from_index(w)) {
+                let t = g.task_of(e).index();
+                let back = match_t[t];
+                if back == NONE {
+                    found_augmenting_layer = true;
+                } else {
+                    let w2 = g.worker_of(EdgeId::new(back)).index();
+                    if dist[w2] == u32::MAX {
+                        dist[w2] = dist[w] + 1;
+                        queue.push(w2 as u32);
+                    }
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths.
+        for w in 0..n_w {
+            if match_w[w] == NONE {
+                try_augment(g, w, &mut match_w, &mut match_t, &mut dist);
+            }
+        }
+    }
+
+    let edges = match_w
+        .iter()
+        .filter(|&&e| e != NONE)
+        .map(|&e| EdgeId::new(e))
+        .collect();
+    Matching::from_edges(edges)
+}
+
+/// DFS along the BFS layering; returns true if an augmenting path from `w`
+/// was found and flipped.
+fn try_augment(
+    g: &BipartiteGraph,
+    w: usize,
+    match_w: &mut [u32],
+    match_t: &mut [u32],
+    dist: &mut [u32],
+) -> bool {
+    for e in g.worker_edges(WorkerId::from_index(w)) {
+        let t = g.task_of(e).index();
+        let back = match_t[t];
+        let advance = if back == NONE {
+            true
+        } else {
+            let w2 = g.worker_of(EdgeId::new(back)).index();
+            dist[w2] == dist[w] + 1 && try_augment(g, w2, match_w, match_t, dist)
+        };
+        if advance {
+            match_w[w] = e.raw();
+            match_t[t] = e.raw();
+            return true;
+        }
+    }
+    // Dead end: prune this worker for the rest of the phase.
+    dist[w] = u32::MAX;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::max_cardinality_bmatching;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+
+    #[test]
+    fn perfect_matching_found() {
+        let g = from_edges(
+            &[1, 1, 1],
+            &[1, 1, 1],
+            &[
+                (0, 0, 0.0, 0.0),
+                (0, 1, 0.0, 0.0),
+                (1, 1, 0.0, 0.0),
+                (1, 2, 0.0, 0.0),
+                (2, 2, 0.0, 0.0),
+            ],
+        );
+        let m = hopcroft_karp(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn needs_augmenting_path() {
+        // w0 matched to t0 first would block w1; HK must flip.
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[(0, 0, 0.0, 0.0), (0, 1, 0.0, 0.0), (1, 0, 0.0, 0.0)],
+        );
+        assert_eq!(hopcroft_karp(&g).len(), 2);
+    }
+
+    #[test]
+    fn hall_deficiency_respected() {
+        // 3 workers onto 1 task.
+        let g = from_edges(
+            &[1, 1, 1],
+            &[1],
+            &[(0, 0, 0.0, 0.0), (1, 0, 0.0, 0.0), (2, 0, 0.0, 0.0)],
+        );
+        assert_eq!(hopcroft_karp(&g).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit capacities")]
+    fn rejects_non_unit_capacities() {
+        let g = from_edges(&[2], &[1], &[(0, 0, 0.0, 0.0)]);
+        hopcroft_karp(&g);
+    }
+
+    #[test]
+    fn agrees_with_dinic_randomized() {
+        for seed in 0..25 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 80,
+                    n_tasks: 60,
+                    avg_degree: 3.0,
+                    capacity: 1,
+                    demand: 1,
+                },
+                seed,
+            );
+            let hk = hopcroft_karp(&g);
+            hk.validate(&g).unwrap();
+            let flow = max_cardinality_bmatching(&g);
+            assert_eq!(hk.len(), flow.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = from_edges(&[], &[], &[]);
+        assert!(hopcroft_karp(&g).is_empty());
+        let g = from_edges(&[1, 1], &[1], &[]);
+        assert!(hopcroft_karp(&g).is_empty());
+    }
+
+    #[test]
+    fn long_chain_augments_in_few_phases() {
+        // Path graph w0-t0-w1-t1-...: perfect matching exists.
+        let n = 200;
+        let caps = vec![1u32; n];
+        let dems = vec![1u32; n];
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            edges.push((i, i, 0.0, 0.0));
+            if i + 1 < n as u32 {
+                edges.push((i + 1, i, 0.0, 0.0));
+            }
+        }
+        let g = from_edges(&caps, &dems, &edges);
+        assert_eq!(hopcroft_karp(&g).len(), n);
+    }
+}

@@ -1,0 +1,270 @@
+//! Kuhn–Munkres (Hungarian) algorithm, O(n²m) with potentials.
+//!
+//! Dense and exact: the cross-validation oracle for one-to-one assignment on
+//! small instances (experiment T13 checks Hungarian == min-cost-flow ==
+//! auction). Not intended for large sparse markets — the flow solver owns
+//! that regime.
+//!
+//! The implementation is the classic potential-based shortest-augmenting-row
+//! formulation (row potentials `u`, column potentials `v`, per-row Dijkstra
+//! over columns). Costs are `i64`; callers convert benefits to fixed-point
+//! profits and negate.
+
+use crate::solution::Matching;
+use mbta_graph::BipartiteGraph;
+use mbta_util::fixed::benefit_to_profit;
+
+const INF: i64 = i64::MAX / 4;
+
+/// Solves the rectangular assignment problem: match every row (`n_rows <=
+/// n_cols`) to a distinct column minimizing total cost.
+///
+/// Returns `(total_cost, row_to_col)`.
+///
+/// # Panics
+/// Panics if `n_rows > n_cols` (pad with dummy columns first).
+pub fn solve_assignment<C>(n_rows: usize, n_cols: usize, cost: C) -> (i64, Vec<usize>)
+where
+    C: Fn(usize, usize) -> i64,
+{
+    assert!(n_rows <= n_cols, "need n_rows <= n_cols (pad with dummies)");
+    if n_rows == 0 {
+        return (0, Vec::new());
+    }
+    // 1-based internals; index 0 is the virtual "unmatched" column/row.
+    let (n, m) = (n_rows, n_cols);
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            debug_assert!(delta < INF, "disconnected assignment instance");
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the recorded alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
+    (-v[0], row_to_col)
+}
+
+/// Exact maximum-weight one-to-one matching via the Hungarian algorithm.
+///
+/// Skipping is allowed (free cardinality): each worker gets a private dummy
+/// column of profit 0, and ineligible (missing) worker–task pairs cost a
+/// large penalty so they are never selected. Edges with zero weight are
+/// treated as skips, matching the flow solver's free-cardinality semantics.
+///
+/// # Panics
+/// Panics unless all capacities and demands are 1 (the dense oracle is
+/// deliberately restricted to the one-to-one regime).
+pub fn hungarian_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    assert!(
+        g.capacities().iter().all(|&c| c == 1) && g.demands().iter().all(|&d| d == 1),
+        "hungarian_max_weight requires unit capacities and demands"
+    );
+    let n_w = g.n_workers();
+    let n_t = g.n_tasks();
+    if n_w == 0 {
+        return Matching::empty();
+    }
+
+    // Dense profit matrix over real columns; missing pair = MISSING marker.
+    const MISSING: i64 = -1;
+    let mut profit = vec![MISSING; n_w * n_t];
+    for e in g.edges() {
+        profit[g.worker_of(e).index() * n_t + g.task_of(e).index()] =
+            benefit_to_profit(weights[e.index()]);
+    }
+    // Penalty large enough that a missing pair never beats any alternative:
+    // |cost| per cell is <= SCALE, path sums are bounded by (n+m)·SCALE.
+    let penalty: i64 = (n_w as i64 + n_t as i64 + 2) * mbta_util::fixed::SCALE;
+
+    // Columns: [0, n_t) real tasks, [n_t, n_t + n_w) private dummies.
+    let n_cols = n_t + n_w;
+    let cost = |i: usize, j: usize| -> i64 {
+        if j < n_t {
+            match profit[i * n_t + j] {
+                MISSING => penalty,
+                p => -p,
+            }
+        } else if j - n_t == i {
+            0 // own dummy: skip
+        } else {
+            penalty // someone else's dummy
+        }
+    };
+    let (_total, row_to_col) = solve_assignment(n_w, n_cols, cost);
+
+    let edges = g
+        .edges()
+        .filter(|&e| {
+            let w = g.worker_of(e).index();
+            let t = g.task_of(e).index();
+            row_to_col[w] == t && benefit_to_profit(weights[e.index()]) > 0
+        })
+        .collect();
+    Matching::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+    use mbta_graph::random::{complete_bipartite, from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_util::fixed::objectives_close;
+
+    #[test]
+    fn solve_assignment_square() {
+        // Cost matrix with a unique optimum on the anti-diagonal.
+        let c = [[4i64, 1, 3], [2, 0, 5], [3, 2, 2]];
+        let (total, assign) = solve_assignment(3, 3, |i, j| c[i][j]);
+        // Optimal: (0,1)+(1,0)+(2,2) = 1+2+2 = 5.
+        assert_eq!(total, 5);
+        assert_eq!(assign, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn solve_assignment_rectangular() {
+        // 2 rows, 3 cols; rows must pick the two cheapest disjoint columns.
+        let c = [[10i64, 2, 8], [7, 3, 1]];
+        let (total, assign) = solve_assignment(2, 3, |i, j| c[i][j]);
+        assert_eq!(total, 3); // (0,1)=2 + (1,2)=1
+        assert_eq!(assign, vec![1, 2]);
+    }
+
+    #[test]
+    fn solve_assignment_handles_negative_costs() {
+        let c = [[-5i64, 0], [0, -7]];
+        let (total, assign) = solve_assignment(2, 2, |i, j| c[i][j]);
+        assert_eq!(total, -12);
+        assert_eq!(assign, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_rows() {
+        let (total, assign) = solve_assignment(0, 5, |_, _| 0);
+        assert_eq!(total, 0);
+        assert!(assign.is_empty());
+    }
+
+    #[test]
+    fn max_weight_matches_flow_on_complete_graphs() {
+        for seed in 0..10 {
+            let g = complete_bipartite(8, 8, seed);
+            let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+            let hung = hungarian_max_weight(&g, &w);
+            hung.validate(&g).unwrap();
+            let (flow, _) =
+                max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            assert!(
+                objectives_close(hung.total_weight(&w), flow.total_weight(&w), g.n_edges()),
+                "seed {seed}: hungarian {} vs flow {}",
+                hung.total_weight(&w),
+                flow.total_weight(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn max_weight_matches_flow_on_sparse_graphs() {
+        for seed in 0..10 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 12,
+                    n_tasks: 9,
+                    avg_degree: 3.0,
+                    capacity: 1,
+                    demand: 1,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+            let hung = hungarian_max_weight(&g, &w);
+            hung.validate(&g).unwrap();
+            let (flow, _) =
+                max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            assert!(
+                objectives_close(hung.total_weight(&w), flow.total_weight(&w), g.n_edges()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn skips_zero_weight_edges() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.5, 0.5), (1, 1, 0.0, 0.0)]);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = hungarian_max_weight(&g, &w);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let g = from_edges(
+            &[1, 1, 1],
+            &[1],
+            &[(0, 0, 0.3, 0.3), (1, 0, 0.9, 0.9), (2, 0, 0.6, 0.6)],
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let m = hungarian_max_weight(&g, &w);
+        assert_eq!(m.len(), 1);
+        assert!((m.total_weight(&w) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit capacities")]
+    fn rejects_b_matching_instances() {
+        let g = from_edges(&[2], &[1], &[(0, 0, 0.5, 0.5)]);
+        hungarian_max_weight(&g, &[0.5]);
+    }
+}

@@ -1,0 +1,300 @@
+//! K-best assignment enumeration (Murty's partitioning).
+//!
+//! Operators rarely want just *the* optimum — they want the top few
+//! alternatives ("what would we lose by not overloading worker 17?").
+//! Murty's algorithm enumerates solutions in non-increasing objective
+//! order: take the best solution `S = {e₁ … eₘ}` of the current space,
+//! report it, then partition the remaining space into the subspaces
+//! `Pᵢ = {contains e₁…eᵢ₋₁, excludes eᵢ}` and solve each exactly — the
+//! partition is disjoint and covers every solution that differs from `S`
+//! in at least one chosen edge.
+//!
+//! Constrained subproblems are built with
+//! [`mbta_graph::subgraph::induce`]: excluded edges are filtered out;
+//! forced-in edges are lifted out of the instance entirely (their
+//! endpoints' capacity/demand decremented, their weight added as a
+//! constant).
+//!
+//! Semantics note: enumeration is over matchings with strictly positive
+//! edge weights (the free-cardinality convention). Padding a solution with
+//! zero-weight edges neither helps nor harms the objective and is not
+//! enumerated separately.
+
+use crate::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+use crate::solution::Matching;
+use mbta_graph::subgraph::{induce, SubgraphSpec};
+use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
+
+/// One enumerated solution.
+#[derive(Debug, Clone)]
+pub struct RankedSolution {
+    /// The matching (feasible in the original graph).
+    pub matching: Matching,
+    /// Its total weight.
+    pub weight: f64,
+}
+
+/// A Murty subproblem: constraints plus its solved optimum.
+struct Node {
+    forced_in: Vec<EdgeId>,
+    excluded: Vec<EdgeId>,
+    /// Best solution of this subspace (includes the forced edges).
+    solution: Matching,
+    weight: f64,
+}
+
+/// Solves the constrained subproblem; `None` if the forced set alone is the
+/// best this subspace offers nothing beyond (it is still a solution).
+fn solve_constrained(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    forced_in: &[EdgeId],
+    excluded: &[EdgeId],
+) -> (Matching, f64) {
+    // Residual capacities/demands after lifting the forced edges out.
+    let mut caps: Vec<u32> = g.capacities().to_vec();
+    let mut dems: Vec<u32> = g.demands().to_vec();
+    let mut fixed_weight = 0.0;
+    for &e in forced_in {
+        caps[g.worker_of(e).index()] -= 1;
+        dems[g.task_of(e).index()] -= 1;
+        fixed_weight += weights[e.index()];
+    }
+    let mut banned = vec![false; g.n_edges()];
+    for &e in excluded {
+        banned[e.index()] = true;
+    }
+    for &e in forced_in {
+        banned[e.index()] = true; // already taken; not part of the subproblem
+    }
+
+    let sub_workers: Vec<(WorkerId, u32)> = g.workers().map(|w| (w, caps[w.index()])).collect();
+    let sub_tasks: Vec<(TaskId, u32)> = g.tasks().map(|t| (t, dems[t.index()])).collect();
+    let sub = induce(
+        g,
+        &SubgraphSpec {
+            workers: &sub_workers,
+            tasks: &sub_tasks,
+        },
+        |e| !banned[e.index()] && weights[e.index()] > 0.0,
+    );
+    let sub_weights = sub.project_weights(weights);
+    let (m, _) = max_weight_bmatching(
+        &sub.graph,
+        &sub_weights,
+        FlowMode::FreeCardinality,
+        PathAlgo::Dijkstra,
+    );
+
+    let mut edges: Vec<EdgeId> = forced_in.to_vec();
+    let mut total = fixed_weight;
+    for &se in &m.edges {
+        let e = sub.parent_edge(se);
+        edges.push(e);
+        total += weights[e.index()];
+    }
+    (Matching::from_edges(edges), total)
+}
+
+/// Enumerates the `k` best matchings in non-increasing weight order.
+///
+/// Returns fewer than `k` entries when the solution space is exhausted
+/// (every distinct positive-support matching has been listed). Runs
+/// `O(k · |S|)` exact solves, so keep `k` modest.
+pub fn k_best_bmatchings(g: &BipartiteGraph, weights: &[f64], k: usize) -> Vec<RankedSolution> {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+
+    let (root_sol, root_w) = solve_constrained(g, weights, &[], &[]);
+    let mut frontier: Vec<Node> = vec![Node {
+        forced_in: Vec::new(),
+        excluded: Vec::new(),
+        solution: root_sol,
+        weight: root_w,
+    }];
+    let mut out: Vec<RankedSolution> = Vec::new();
+
+    while out.len() < k && !frontier.is_empty() {
+        // Extract the best subspace (linear scan; k and |S| are small).
+        let best_idx = frontier
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.weight
+                    .partial_cmp(&b.weight)
+                    .expect("weights are finite")
+                    .then(ib.cmp(ia)) // older nodes win ties → deterministic
+            })
+            .map(|(i, _)| i)
+            .expect("frontier non-empty");
+        let node = frontier.swap_remove(best_idx);
+
+        // An empty improvement over forced edges still IS a solution (the
+        // forced set itself); report it.
+        out.push(RankedSolution {
+            matching: node.solution.clone(),
+            weight: node.weight,
+        });
+
+        // Partition on the free (non-forced) edges of the reported solution.
+        let free: Vec<EdgeId> = node
+            .solution
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| !node.forced_in.contains(e))
+            .collect();
+        for i in 0..free.len() {
+            let mut forced_in = node.forced_in.clone();
+            forced_in.extend_from_slice(&free[..i]);
+            let mut excluded = node.excluded.clone();
+            excluded.push(free[i]);
+            let (solution, weight) = solve_constrained(g, weights, &forced_in, &excluded);
+            // Always push: the partition is disjoint, so each child's
+            // optimum (possibly the empty matching) is a distinct,
+            // not-yet-reported solution of the original space.
+            frontier.push(Node {
+                forced_in,
+                excluded,
+                solution,
+                weight,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+    use mbta_util::FxHashSet;
+
+    fn canon(m: &Matching) -> Vec<u32> {
+        let mut v: Vec<u32> = m.edges.iter().map(|e| e.raw()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn k1_equals_exact_solver() {
+        let g = random_bipartite(&RandomGraphSpec::default(), 1);
+        let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        let top = k_best_bmatchings(&g, &w, 1);
+        assert_eq!(top.len(), 1);
+        let (exact, _) =
+            max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        assert!((top[0].weight - exact.total_weight(&w)).abs() < 1e-6);
+        top[0].matching.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn order_is_non_increasing_and_solutions_distinct() {
+        for seed in 0..8 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 8,
+                    n_tasks: 6,
+                    avg_degree: 3.0,
+                    capacity: 1,
+                    demand: 1,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+            let top = k_best_bmatchings(&g, &w, 6);
+            let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+            for pair in top.windows(2) {
+                assert!(pair[0].weight >= pair[1].weight - 1e-9, "seed {seed}");
+            }
+            for s in &top {
+                s.matching.validate(&g).unwrap();
+                assert!(seen.insert(canon(&s.matching)), "duplicate at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        for seed in 0..6 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 4,
+                    n_tasks: 3,
+                    avg_degree: 2.5,
+                    capacity: 1,
+                    demand: 2,
+                },
+                seed,
+            );
+            let w: Vec<f64> = g.edges().map(|e| (g.rb(e) + 0.05).min(1.0)).collect();
+            let mut all = brute_force_all(&g, &w);
+            all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let k = 5.min(all.len());
+            let top = k_best_bmatchings(&g, &w, k);
+            assert_eq!(top.len(), k, "seed {seed}");
+            for (i, s) in top.iter().enumerate() {
+                assert!(
+                    (s.weight - all[i].1).abs() < 1e-6,
+                    "seed {seed} rank {i}: {} vs brute {}",
+                    s.weight,
+                    all[i].1
+                );
+            }
+        }
+    }
+
+    /// All positive-support feasible matchings with their weights.
+    fn brute_force_all(g: &BipartiteGraph, w: &[f64]) -> Vec<(Vec<u32>, f64)> {
+        let m = g.n_edges();
+        assert!(m <= 16);
+        let mut out = Vec::new();
+        'mask: for mask in 0u32..(1 << m) {
+            let mut w_load = vec![0u32; g.n_workers()];
+            let mut t_load = vec![0u32; g.n_tasks()];
+            let mut total = 0.0;
+            let mut edges = Vec::new();
+            for e in g.edges() {
+                if mask & (1 << e.index()) != 0 {
+                    if w[e.index()] <= 0.0 {
+                        continue 'mask; // positive-support convention
+                    }
+                    let wi = g.worker_of(e).index();
+                    let ti = g.task_of(e).index();
+                    w_load[wi] += 1;
+                    t_load[ti] += 1;
+                    if w_load[wi] > g.capacity(g.worker_of(e))
+                        || t_load[ti] > g.demand(g.task_of(e))
+                    {
+                        continue 'mask;
+                    }
+                    total += w[e.index()];
+                    edges.push(e.raw());
+                }
+            }
+            out.push((edges, total));
+        }
+        out
+    }
+
+    #[test]
+    fn exhausts_small_spaces() {
+        // One worker, one task, one edge: exactly two solutions (take it or
+        // leave it — the empty matching).
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        let w = vec![0.5];
+        let top = k_best_bmatchings(&g, &w, 10);
+        assert_eq!(top.len(), 2);
+        assert!((top[0].weight - 0.5).abs() < 1e-9);
+        assert_eq!(top[1].weight, 0.0);
+        assert!(top[1].matching.is_empty());
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        assert!(k_best_bmatchings(&g, &[0.5], 0).is_empty());
+    }
+}

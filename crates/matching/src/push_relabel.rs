@@ -1,0 +1,330 @@
+//! Push–relabel max flow (highest-label, with gap heuristic).
+//!
+//! A second, independently-implemented max-flow engine next to
+//! [`crate::dinic`]: different algorithm family, different failure modes,
+//! same answers — the cardinality counterpart of the three-way exact-solver
+//! cross-validation (experiment F15 compares the two engines head-to-head;
+//! tests assert exact agreement on every instance).
+//!
+//! Implementation notes: highest-label selection via an array of buckets,
+//! the gap heuristic (when some label becomes empty, every node above it is
+//! lifted past `n`), and the standard `2n` label bound. On unit-capacity
+//! bipartite networks Dinic's O(E·√V) usually wins; push–relabel's
+//! O(V²·√E) shines on denser or badly-layered networks.
+
+use crate::solution::Matching;
+use mbta_graph::BipartiteGraph;
+
+const NONE: u32 = u32::MAX;
+
+/// A max-flow network for the push–relabel algorithm (same arc-pair arena
+/// layout as [`crate::dinic::FlowNetwork`], separate type so the two
+/// engines cannot silently share residual state).
+#[derive(Debug, Clone)]
+pub struct PushRelabelNetwork {
+    head: Vec<u32>,
+    cap: Vec<u64>,
+    next: Vec<u32>,
+    first: Vec<u32>,
+    n_nodes: usize,
+}
+
+impl PushRelabelNetwork {
+    /// Creates a network with `n_nodes` nodes and no arcs.
+    pub fn new(n_nodes: usize) -> Self {
+        Self {
+            head: Vec::new(),
+            cap: Vec::new(),
+            next: Vec::new(),
+            first: vec![NONE; n_nodes],
+            n_nodes,
+        }
+    }
+
+    /// Adds a directed arc `from → to` with capacity `cap`; returns the arc
+    /// id (residual twin is `id ^ 1`).
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: u64) -> u32 {
+        debug_assert!(from < self.n_nodes && to < self.n_nodes);
+        let id = self.head.len() as u32;
+        self.head.push(to as u32);
+        self.cap.push(cap);
+        self.next.push(self.first[from]);
+        self.first[from] = id;
+        self.head.push(from as u32);
+        self.cap.push(0);
+        self.next.push(self.first[to]);
+        self.first[to] = id + 1;
+        id
+    }
+
+    /// Flow pushed through arc `id`.
+    pub fn flow(&self, id: u32) -> u64 {
+        self.cap[(id ^ 1) as usize]
+    }
+
+    /// Computes the max flow from `source` to `sink` (highest-label
+    /// push–relabel with the gap heuristic). Returns the flow value.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        assert_ne!(source, sink, "source == sink");
+        let n = self.n_nodes;
+        let mut label = vec![0u32; n];
+        let mut excess = vec![0u64; n];
+        let mut cur_arc: Vec<u32> = self.first.clone();
+        // label-indexed buckets of active nodes (excess > 0, not s/t).
+        let max_label = 2 * n;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_label + 1];
+        let mut label_count = vec![0usize; max_label + 2];
+
+        label[source] = n as u32;
+        for v in 0..n {
+            label_count[label[v] as usize] += 1;
+        }
+
+        // Saturate all source arcs.
+        let mut highest = 0usize;
+        let mut a = self.first[source];
+        while a != NONE {
+            let ai = a as usize;
+            let to = self.head[ai] as usize;
+            let c = self.cap[ai];
+            if c > 0 {
+                self.cap[ai] = 0;
+                self.cap[ai ^ 1] += c;
+                excess[to] += c;
+                if to != sink && to != source && excess[to] == c {
+                    buckets[label[to] as usize].push(to as u32);
+                    highest = highest.max(label[to] as usize);
+                }
+            }
+            a = self.next[ai];
+        }
+
+        loop {
+            // Find the highest non-empty bucket.
+            while highest > 0 && buckets[highest].is_empty() {
+                highest -= 1;
+            }
+            let Some(&v_raw) = buckets[highest].last() else {
+                if highest == 0 && buckets[0].is_empty() {
+                    break;
+                }
+                continue;
+            };
+            let v = v_raw as usize;
+            if excess[v] == 0 || label[v] as usize != highest {
+                // Stale entry (relabeled or drained since queued).
+                buckets[highest].pop();
+                continue;
+            }
+
+            // Discharge v.
+            let mut relabeled = false;
+            while excess[v] > 0 {
+                let a = cur_arc[v];
+                if a == NONE {
+                    // Relabel: minimum label among admissible neighbours +1.
+                    let old = label[v] as usize;
+                    let mut min_l = u32::MAX;
+                    let mut arc = self.first[v];
+                    while arc != NONE {
+                        let ai = arc as usize;
+                        if self.cap[ai] > 0 {
+                            min_l = min_l.min(label[self.head[ai] as usize]);
+                        }
+                        arc = self.next[ai];
+                    }
+                    if min_l == u32::MAX {
+                        // No residual arcs at all: excess is stranded (can
+                        // happen only transiently); park the node above 2n.
+                        label[v] = (max_label + 1) as u32;
+                    } else {
+                        label[v] = min_l + 1;
+                    }
+                    cur_arc[v] = self.first[v];
+                    label_count[old] -= 1;
+                    if (label[v] as usize) <= max_label {
+                        label_count[label[v] as usize] += 1;
+                    }
+                    // Gap heuristic: if the old label's bucket emptied and
+                    // old < n, lift everything in (old, n) past n+1.
+                    if label_count[old] == 0 && old < n {
+                        #[allow(clippy::needless_range_loop)] // label is mutated by index
+                        for u in 0..n {
+                            let lu = label[u] as usize;
+                            if u != source && lu > old && lu <= n {
+                                label_count[lu] -= 1;
+                                label[u] = (n + 1) as u32;
+                                label_count[n + 1] += 1;
+                            }
+                        }
+                    }
+                    relabeled = true;
+                    if (label[v] as usize) > max_label {
+                        // Out of play: drop from buckets entirely.
+                        buckets[highest].pop();
+                        break;
+                    }
+                    if label[v] as usize != highest {
+                        buckets[highest].pop();
+                        buckets[label[v] as usize].push(v as u32);
+                        highest = highest.max(label[v] as usize);
+                        break;
+                    }
+                    continue;
+                }
+                let ai = a as usize;
+                let to = self.head[ai] as usize;
+                if self.cap[ai] > 0 && label[v] == label[to] + 1 {
+                    // Push.
+                    let delta = excess[v].min(self.cap[ai]);
+                    self.cap[ai] -= delta;
+                    self.cap[ai ^ 1] += delta;
+                    excess[v] -= delta;
+                    let had_excess = excess[to] > 0;
+                    excess[to] += delta;
+                    if to != source && to != sink && !had_excess {
+                        buckets[label[to] as usize].push(to as u32);
+                    }
+                } else {
+                    cur_arc[v] = self.next[ai];
+                }
+            }
+            if excess[v] == 0 && !relabeled {
+                buckets[highest].pop();
+            }
+            if buckets.iter().all(|b| b.is_empty()) {
+                break;
+            }
+        }
+
+        excess[sink]
+    }
+}
+
+/// Maximum-cardinality b-matching via push–relabel (drop-in alternative to
+/// [`crate::dinic::max_cardinality_bmatching`]).
+pub fn max_cardinality_bmatching_pr(g: &BipartiteGraph) -> Matching {
+    let n_w = g.n_workers();
+    let n_t = g.n_tasks();
+    let source = 0usize;
+    let sink = 1 + n_w + n_t;
+    let mut net = PushRelabelNetwork::new(sink + 1);
+    for w in g.workers() {
+        net.add_arc(source, 1 + w.index(), u64::from(g.capacity(w)));
+    }
+    let mut edge_arcs = vec![NONE; g.n_edges()];
+    for e in g.edges() {
+        edge_arcs[e.index()] = net.add_arc(
+            1 + g.worker_of(e).index(),
+            1 + n_w + g.task_of(e).index(),
+            1,
+        );
+    }
+    for t in g.tasks() {
+        net.add_arc(1 + n_w + t.index(), sink, u64::from(g.demand(t)));
+    }
+    net.max_flow(source, sink);
+    let edges = g
+        .edges()
+        .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
+        .collect();
+    Matching::from_edges(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::max_cardinality_bmatching;
+    use mbta_graph::random::{from_edges, random_bipartite, RandomGraphSpec};
+
+    #[test]
+    fn diamond_network() {
+        let mut net = PushRelabelNetwork::new(4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(0, 2, 1);
+        net.add_arc(1, 3, 1);
+        net.add_arc(2, 3, 1);
+        net.add_arc(1, 2, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        // s→a (10) → t (3): flow limited to 3.
+        let mut net = PushRelabelNetwork::new(3);
+        net.add_arc(0, 1, 10);
+        net.add_arc(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut net = PushRelabelNetwork::new(3);
+        net.add_arc(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn requires_push_back() {
+        // Flow must reroute around a tempting shortcut.
+        let mut net = PushRelabelNetwork::new(6);
+        net.add_arc(0, 1, 1);
+        net.add_arc(0, 2, 1);
+        net.add_arc(1, 3, 1);
+        net.add_arc(1, 4, 1);
+        net.add_arc(2, 4, 1);
+        net.add_arc(3, 5, 1);
+        net.add_arc(4, 5, 1);
+        assert_eq!(net.max_flow(0, 5), 2);
+    }
+
+    #[test]
+    fn matching_simple() {
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[(0, 0, 0.0, 0.0), (0, 1, 0.0, 0.0), (1, 0, 0.0, 0.0)],
+        );
+        let m = max_cardinality_bmatching_pr(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_dinic_randomized() {
+        for seed in 0..30 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 60,
+                    n_tasks: 40,
+                    avg_degree: 5.0,
+                    capacity: 1 + (seed % 3) as u32,
+                    demand: 1 + (seed % 2) as u32,
+                },
+                seed,
+            );
+            let pr = max_cardinality_bmatching_pr(&g);
+            pr.validate(&g).unwrap();
+            let dinic = max_cardinality_bmatching(&g);
+            assert_eq!(pr.len(), dinic.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(&[], &[], &[]);
+        assert!(max_cardinality_bmatching_pr(&g).is_empty());
+    }
+
+    #[test]
+    fn larger_flow_values() {
+        // Parallel high-capacity arcs through a middle layer.
+        let mut net = PushRelabelNetwork::new(5);
+        net.add_arc(0, 1, 100);
+        net.add_arc(0, 2, 100);
+        net.add_arc(1, 3, 60);
+        net.add_arc(2, 3, 70);
+        net.add_arc(3, 4, 120);
+        assert_eq!(net.max_flow(0, 4), 120);
+    }
+}

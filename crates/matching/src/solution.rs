@@ -1,0 +1,229 @@
+//! The common solution type all solvers return.
+
+use mbta_graph::{BipartiteGraph, EdgeId};
+use std::fmt;
+
+/// A degree-feasible edge subset of a bipartite labor-market graph.
+///
+/// Solvers guarantee feasibility of what they return; [`Matching::validate`]
+/// re-checks it (tests and the experiment harness always re-validate, so a
+/// solver bug cannot silently inflate an objective).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// Chosen edge ids, in solver-specific order.
+    pub edges: Vec<EdgeId>,
+}
+
+/// Why a matching is infeasible for a given graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Infeasibility {
+    /// An edge id exceeded the graph's edge count.
+    UnknownEdge(EdgeId),
+    /// The same edge was selected twice.
+    DuplicateEdge(EdgeId),
+    /// A worker's load exceeded its capacity.
+    WorkerOverload {
+        /// The overloaded worker (raw id).
+        worker: u32,
+        /// Assigned load.
+        load: u32,
+        /// Declared capacity.
+        capacity: u32,
+    },
+    /// A task's load exceeded its demand.
+    TaskOverload {
+        /// The overloaded task (raw id).
+        task: u32,
+        /// Assigned load.
+        load: u32,
+        /// Declared demand.
+        demand: u32,
+    },
+}
+
+impl fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Infeasibility::UnknownEdge(e) => write!(f, "unknown edge id {e}"),
+            Infeasibility::DuplicateEdge(e) => write!(f, "edge {e} selected twice"),
+            Infeasibility::WorkerOverload {
+                worker,
+                load,
+                capacity,
+            } => write!(f, "worker {worker} load {load} > capacity {capacity}"),
+            Infeasibility::TaskOverload { task, load, demand } => {
+                write!(f, "task {task} load {load} > demand {demand}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Infeasibility {}
+
+impl Matching {
+    /// An empty matching.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a matching from chosen edge ids.
+    pub fn from_edges(edges: Vec<EdgeId>) -> Self {
+        Self { edges }
+    }
+
+    /// Number of chosen edges (assignment cardinality).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are chosen.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Sum of `weights[e]` over chosen edges.
+    pub fn total_weight(&self, weights: &[f64]) -> f64 {
+        self.edges.iter().map(|e| weights[e.index()]).sum()
+    }
+
+    /// Per-worker assigned load, indexed by worker id.
+    pub fn worker_loads(&self, g: &BipartiteGraph) -> Vec<u32> {
+        let mut loads = vec![0u32; g.n_workers()];
+        for &e in &self.edges {
+            loads[g.worker_of(e).index()] += 1;
+        }
+        loads
+    }
+
+    /// Per-task assigned load, indexed by task id.
+    pub fn task_loads(&self, g: &BipartiteGraph) -> Vec<u32> {
+        let mut loads = vec![0u32; g.n_tasks()];
+        for &e in &self.edges {
+            loads[g.task_of(e).index()] += 1;
+        }
+        loads
+    }
+
+    /// Checks degree feasibility and id validity against `g`.
+    pub fn validate(&self, g: &BipartiteGraph) -> Result<(), Infeasibility> {
+        let mut chosen = vec![false; g.n_edges()];
+        let mut w_load = vec![0u32; g.n_workers()];
+        let mut t_load = vec![0u32; g.n_tasks()];
+        for &e in &self.edges {
+            if e.index() >= g.n_edges() {
+                return Err(Infeasibility::UnknownEdge(e));
+            }
+            if chosen[e.index()] {
+                return Err(Infeasibility::DuplicateEdge(e));
+            }
+            chosen[e.index()] = true;
+            w_load[g.worker_of(e).index()] += 1;
+            t_load[g.task_of(e).index()] += 1;
+        }
+        for (w, (&load, &cap)) in w_load.iter().zip(g.capacities()).enumerate() {
+            if load > cap {
+                return Err(Infeasibility::WorkerOverload {
+                    worker: w as u32,
+                    load,
+                    capacity: cap,
+                });
+            }
+        }
+        for (t, (&load, &dem)) in t_load.iter().zip(g.demands()).enumerate() {
+            if load > dem {
+                return Err(Infeasibility::TaskOverload {
+                    task: t as u32,
+                    load,
+                    demand: dem,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sorts chosen edges by id — canonical form for equality tests.
+    pub fn canonicalize(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::from_edges;
+
+    #[test]
+    fn weight_and_loads() {
+        // w0 (cap 2) takes both tasks; w1 idle.
+        let g = from_edges(
+            &[2, 1],
+            &[1, 1],
+            &[(0, 0, 0.5, 0.1), (0, 1, 0.25, 0.2), (1, 0, 0.9, 0.3)],
+        );
+        let m = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(1)]);
+        m.validate(&g).unwrap();
+        let weights = vec![1.0, 2.0, 4.0];
+        assert_eq!(m.total_weight(&weights), 3.0);
+        assert_eq!(m.worker_loads(&g), vec![2, 0]);
+        assert_eq!(m.task_loads(&g), vec![1, 1]);
+    }
+
+    #[test]
+    fn detects_worker_overload() {
+        let g = from_edges(&[1], &[1, 1], &[(0, 0, 0.5, 0.5), (0, 1, 0.5, 0.5)]);
+        let m = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(1)]);
+        assert!(matches!(
+            m.validate(&g),
+            Err(Infeasibility::WorkerOverload {
+                worker: 0,
+                load: 2,
+                capacity: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_task_overload() {
+        let g = from_edges(&[1, 1], &[1], &[(0, 0, 0.5, 0.5), (1, 0, 0.5, 0.5)]);
+        let m = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(1)]);
+        assert!(matches!(
+            m.validate(&g),
+            Err(Infeasibility::TaskOverload {
+                task: 0,
+                load: 2,
+                demand: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_and_unknown() {
+        let g = from_edges(&[2], &[2], &[(0, 0, 0.5, 0.5)]);
+        let dup = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(0)]);
+        assert!(matches!(
+            dup.validate(&g),
+            Err(Infeasibility::DuplicateEdge(_))
+        ));
+        let unk = Matching::from_edges(vec![EdgeId::new(7)]);
+        assert!(matches!(
+            unk.validate(&g),
+            Err(Infeasibility::UnknownEdge(_))
+        ));
+    }
+
+    #[test]
+    fn empty_matching_always_valid() {
+        let g = from_edges(&[1], &[1], &[]);
+        Matching::empty().validate(&g).unwrap();
+        assert!(Matching::empty().is_empty());
+        assert_eq!(Matching::empty().total_weight(&[]), 0.0);
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let mut m = Matching::from_edges(vec![EdgeId::new(3), EdgeId::new(1), EdgeId::new(3)]);
+        m.canonicalize();
+        assert_eq!(m.edges, vec![EdgeId::new(1), EdgeId::new(3)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! A fast, non-cryptographic hash function in the style of `rustc`'s FxHash.
+//!
+//! The workspace dependency allowlist does not include `rustc-hash`, so we
+//! implement the same multiply-rotate construction here. It is *not* HashDoS
+//! resistant; all keys in this workspace are internally generated integer
+//! identifiers, so that is acceptable (and is the same trade-off `rustc`
+//! itself makes).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiplicative constant (the golden-ratio constant used by FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied between words; spreads low-entropy input bits.
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic [`Hasher`] for integer-keyed tables.
+///
+/// State is a single 64-bit word; each input word is combined with
+/// `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail. This path is rarely hit
+        // (identifier keys use the fixed-width methods below) but must still
+        // be correct for e.g. string keys in test helpers.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Convenience: hash a single `u64` with [`FxHasher`].
+///
+/// Used for cheap seed derivation and debugging; not exposed on hot paths.
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+    }
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        m.remove(&1);
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn set_dedup() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn byte_stream_tail_disambiguation() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn spread_on_sequential_keys() {
+        // Sequential integer keys should not collide in the low bits too
+        // badly: check all 1024 keys land in >= 512 distinct 10-bit buckets.
+        let mut buckets: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1024u64 {
+            buckets.insert(hash_u64(i) & 0x3ff);
+        }
+        assert!(buckets.len() >= 512, "only {} buckets", buckets.len());
+    }
+}

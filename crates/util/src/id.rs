@@ -1,0 +1,99 @@
+//! Typed `u32` identifier newtypes.
+//!
+//! Graph-heavy code indexes everything by dense integer ids. Raw `usize`
+//! everywhere invites transposed-argument bugs (passing a worker index where
+//! a task index is expected compiles fine and corrupts results silently).
+//! [`define_id!`](crate::define_id) generates a zero-cost `u32` newtype with the conversions
+//! the rest of the workspace needs.
+
+/// Defines a `u32` newtype identifier.
+///
+/// The generated type is `Copy`, ordered, hashable, and convertible to and
+/// from `usize` for slice indexing. Construction from `usize` asserts the
+/// value fits in `u32` (debug builds) — markets beyond 4 billion nodes are
+/// out of scope.
+///
+/// # Example
+/// ```
+/// mbta_util::define_id!(pub struct FooId, "identifier for Foo");
+/// let f = FooId::new(7);
+/// assert_eq!(f.index(), 7usize);
+/// assert_eq!(FooId::from_index(7), f);
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    (pub struct $name:ident, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw `u32`.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Creates an id from a `usize` index (asserts it fits in `u32`).
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize, "id overflow");
+                Self(i as u32)
+            }
+
+            /// Returns the id as a `usize` suitable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(pub struct TestId, "test identifier");
+
+    #[test]
+    fn roundtrip() {
+        let id = TestId::new(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.raw(), 5);
+        assert_eq!(TestId::from_index(5), id);
+        assert_eq!(TestId::from(5u32), id);
+        assert_eq!(usize::from(id), 5);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(TestId::new(1) < TestId::new(2));
+        assert_eq!(format!("{}", TestId::new(3)), "TestId(3)");
+    }
+}

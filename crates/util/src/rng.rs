@@ -1,0 +1,186 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every randomized component in the workspace (workload generators, the
+//! `Random` baseline, the Ranking online algorithm) takes an explicit `u64`
+//! seed so experiments are exactly reproducible. This module provides
+//! `SplitMix64` — small, fast, and with well-understood statistical quality —
+//! plus seed-derivation helpers so one experiment seed can fan out into
+//! independent per-component streams.
+//!
+//! Distribution sampling (Zipf, Box–Muller normal, exponential) is built
+//! on this same stream in `mbta-workload::dist` — the workspace ended up
+//! needing no external RNG crate at all, which makes cross-version
+//! reproducibility a non-issue.
+
+/// SplitMix64 generator (Steele, Lea & Flood; the JDK's seeding generator).
+///
+/// Passes BigCrush when used as a 64-bit generator; period 2^64.
+///
+/// # Example
+/// ```
+/// use mbta_util::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic in the seed
+/// let mut worker_stream = a.derive("workers");
+/// assert!(worker_stream.next_f64() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Distinct seeds give independent-ish
+    /// streams; seed 0 is fine (the increment breaks the fixed point).
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next uniform 64-bit word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method — unbiased, no modulo.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` index in `[0, len)`. `len` must be nonzero.
+    #[inline]
+    pub fn next_index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator for a named component.
+    ///
+    /// Mixing the label's bytes through the stream means
+    /// `seed.derive("workers")` and `seed.derive("tasks")` do not collide
+    /// even though they come from the same experiment seed.
+    pub fn derive(&self, label: &str) -> SplitMix64 {
+        let mut h = self.state ^ 0xd1b5_4a32_d192_ed03;
+        for &b in label.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        SplitMix64::new(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound_and_is_roughly_uniform() {
+        let mut r = SplitMix64::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 per bucket; allow 10% slack.
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // And it actually moved something.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_streams_are_independent() {
+        let root = SplitMix64::new(42);
+        let mut a = root.derive("workers");
+        let mut b = root.derive("tasks");
+        let mut same = 0;
+        for _ in 0..64 {
+            if a.next_u64() == b.next_u64() {
+                same += 1;
+            }
+        }
+        assert_eq!(same, 0);
+        // Deriving the same label twice gives the same stream.
+        let mut c = root.derive("workers");
+        let mut a2 = root.derive("workers");
+        assert_eq!(c.next_u64(), a2.next_u64());
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = SplitMix64::new(11);
+        let hits = (0..100_000).filter(|_| r.next_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Statistics accumulators for the experiment harness.
+//!
+//! Two shapes: [`OnlineStats`] (Welford mean/variance, O(1) memory, used for
+//! timing loops) and [`Percentiles`] (stores samples, exact quantiles, used
+//! for benefit-distribution reporting in the tables).
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample-retaining summary for exact percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation. `NaN` observations are rejected with a panic —
+    /// they indicate an upstream bug, not a data condition.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN pushed into Percentiles");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Exact p-quantile by linear interpolation, `p ∈ [0, 1]`.
+    /// Returns `None` when empty.
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        if n == 1 {
+            return Some(self.samples[0]);
+        }
+        let rank = p * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Mean of all observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.samples.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_mean_var_match_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4.0 → sample variance 4.0 * 8/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..40] {
+            a.push(x);
+        }
+        for &x in &data[40..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before_mean = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before_mean);
+
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), before_mean);
+    }
+
+    #[test]
+    fn percentiles_exact() {
+        let mut p = Percentiles::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            p.push(x);
+        }
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(5.0));
+        assert_eq!(p.median(), Some(3.0));
+        assert_eq!(p.quantile(0.25), Some(2.0));
+        assert_eq!(p.mean(), Some(3.0));
+        assert_eq!(p.sum(), 15.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let mut p = Percentiles::new();
+        p.push(0.0);
+        p.push(10.0);
+        assert_eq!(p.quantile(0.5), Some(5.0));
+        assert_eq!(p.quantile(0.75), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.median(), None);
+        assert_eq!(p.mean(), None);
+        p.push(42.0);
+        assert_eq!(p.quantile(0.99), Some(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn percentiles_reject_nan() {
+        Percentiles::new().push(f64::NAN);
+    }
+}

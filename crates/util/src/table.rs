@@ -1,0 +1,211 @@
+//! Aligned text tables and CSV emission for the experiment harness.
+//!
+//! The benchmark binary prints each reproduced table/figure as an aligned
+//! monospace table (the "same rows/series the paper reports") and also
+//! writes a CSV next to it so the series can be re-plotted.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+///
+/// All cells are strings; numeric formatting is the caller's concern (the
+/// harness uses fixed precision so diffs between runs are readable).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Panics if the arity does not match the header —
+    /// a mismatched row is always a harness bug.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned monospace string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:>w$}", h, w = widths[i]);
+            if i + 1 < ncols {
+                line.push_str("  ");
+            }
+        }
+        let _ = writeln!(out, "{line}");
+        let _ = writeln!(out, "{}", "-".repeat(line.len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}", cell, w = widths[i]);
+                if i + 1 < ncols {
+                    line.push_str("  ");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting where needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with `prec` decimals (harness-wide numeric style).
+pub fn fnum(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a duration in adaptive units (ns/µs/ms/s).
+pub fn fdur(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["algo", "value"]);
+        t.row(vec!["greedy".into(), "1.50".into()]);
+        t.row(vec!["exact".into(), "2.00".into()]);
+        t
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let r = sample().render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // header, separator, two rows (+ title line)
+        assert_eq!(lines.len(), 5);
+        // Right-aligned columns: both value cells end at the same offset.
+        assert!(lines[3].ends_with("1.50"));
+        assert!(lines[4].ends_with("2.00"));
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_roundtrip_simple() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "algo,value\ngreedy,1.50\nexact,2.00\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_chars() {
+        let mut t = Table::new("q", &["a"]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new("bad", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("mbta_table_test_{}", std::process::id()));
+        let path = dir.join("nested/out.csv");
+        sample().write_csv(&path).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("algo,value"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fdur(0.5e-9 * 3.0), "1.5ns");
+        assert_eq!(fdur(2.5e-6), "2.5µs");
+        assert_eq!(fdur(0.0125), "12.50ms");
+        assert_eq!(fdur(3.25), "3.250s");
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(1.0, 0), "1");
+    }
+}

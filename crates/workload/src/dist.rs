@@ -1,0 +1,217 @@
+//! Distribution samplers over the deterministic `SplitMix64` stream.
+//!
+//! `rand_distr` is not on the dependency allowlist, and determinism across
+//! toolchain updates matters more here than sampler sophistication, so the
+//! three distributions the profiles need are implemented directly:
+//! uniform ranges, Box–Muller normal, and table-inversion Zipf.
+
+use mbta_util::SplitMix64;
+
+/// Uniform sample in `[lo, hi)`.
+#[inline]
+pub fn uniform(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    lo + (hi - lo) * rng.next_f64()
+}
+
+/// Standard normal via Box–Muller (one sample per call; the twin is
+/// discarded — simplicity over throughput, generation is not a hot path).
+pub fn normal(rng: &mut SplitMix64, mean: f64, stddev: f64) -> f64 {
+    // Avoid ln(0): nudge u1 away from zero.
+    let u1 = rng.next_f64().max(1e-12);
+    let u2 = rng.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + stddev * z
+}
+
+/// Log-normal: `exp(normal(μ, σ))`.
+pub fn log_normal(rng: &mut SplitMix64, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s`: rank `r` has weight
+/// `(r+1)^-s`. Table inversion — O(n) setup, O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n ≥ 1`, `s ≥ 0` (s = 0 degenerates to uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+/// Samples a sparse vector in `[0,1]^d`: each dimension is active with
+/// probability `density`; active dimensions get `uniform(lo, hi)`. At least
+/// one dimension is always activated (a fully zero skill vector would make
+/// the node structurally useless and is never what a profile wants).
+pub fn sparse_unit_vector(
+    rng: &mut SplitMix64,
+    d: usize,
+    density: f64,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
+    assert!(d >= 1, "need at least one dimension");
+    let mut v = vec![0.0; d];
+    let mut any = false;
+    for slot in v.iter_mut() {
+        if rng.next_bool(density) {
+            *slot = uniform(rng, lo, hi);
+            any = true;
+        }
+    }
+    if !any {
+        let i = rng.next_index(d);
+        v[i] = uniform(rng, lo, hi);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let x = uniform(&mut rng, 2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SplitMix64::new(2);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = SplitMix64::new(4);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 is the single most frequent, and the head dominates the
+        // tail (top-10 gets more than half the mass at s = 1.1, n = 100).
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[50]);
+        let head: u32 = counts[..10].iter().sum();
+        assert!(head > 50_000, "head mass {head}");
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(37, 0.8);
+        let total: f64 = (0..37).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn sparse_vector_never_all_zero() {
+        let mut rng = SplitMix64::new(6);
+        for _ in 0..1000 {
+            let v = sparse_unit_vector(&mut rng, 8, 0.05, 0.5, 1.0);
+            assert!(v.iter().any(|&x| x > 0.0));
+            assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn sparse_vector_density_controls_fill() {
+        let mut rng = SplitMix64::new(7);
+        let mut dense_active = 0usize;
+        let mut sparse_active = 0usize;
+        for _ in 0..500 {
+            dense_active += sparse_unit_vector(&mut rng, 10, 0.9, 0.1, 1.0)
+                .iter()
+                .filter(|&&x| x > 0.0)
+                .count();
+            sparse_active += sparse_unit_vector(&mut rng, 10, 0.2, 0.1, 1.0)
+                .iter()
+                .filter(|&&x| x > 0.0)
+                .count();
+        }
+        assert!(dense_active > 3 * sparse_active);
+    }
+}

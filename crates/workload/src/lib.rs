@@ -1,0 +1,35 @@
+//! `mbta-workload`: synthetic labor-market workload generators.
+//!
+//! The paper's evaluation (like every ICDE task-assignment evaluation of
+//! its era) runs on synthetic parameter sweeps plus real platform traces.
+//! The traces are not redistributable, so this crate substitutes
+//! *trace-shaped* generators (see DESIGN.md §4): the two robust empirical
+//! facts about crowd labor markets — heavy-tailed participation/pay and
+//! sparse eligibility — are what the algorithms' relative ranking depends
+//! on, and both are reproduced here with fixed seeds.
+//!
+//! * [`dist`] — the samplers ([`dist::Zipf`], Box–Muller normal, uniform
+//!   ranges) built on the deterministic `SplitMix64` stream.
+//! * [`spec`] — [`spec::WorkloadSpec`]: a serializable description of an
+//!   instance (profile + sizes + seed) that generates the same `Market`
+//!   bit-for-bit every time,
+//! * [`trace`] — session-structured timed event streams (worker logins,
+//!   task postings/expiries) for churn and day-in-the-life simulations.
+//!
+//! Profiles:
+//!
+//! | Profile     | Shape                                                       |
+//! |-------------|-------------------------------------------------------------|
+//! | `Uniform`   | i.i.d. uniform everything — the clean baseline sweep        |
+//! | `Zipfian`   | Zipf task popularity (degree skew) and Zipf pay             |
+//! | `Microtask` | AMT-like: cheap redundant tasks, high-capacity workers      |
+//! | `Freelance` | Upwork-like: expensive one-shot tasks, specialist workers   |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod spec;
+pub mod trace;
+
+pub use spec::{Profile, WorkloadSpec};

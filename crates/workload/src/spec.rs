@@ -1,0 +1,374 @@
+//! Workload specifications and market generation.
+//!
+//! A [`WorkloadSpec`] fully determines a market: same spec + same seed ⇒
+//! byte-identical instance. Specs are `serde`-serializable so an experiment
+//! configuration can be recorded alongside its results.
+
+use crate::dist::{log_normal, sparse_unit_vector, uniform, Zipf};
+use mbta_market::{Market, SkillVector, Task, Worker};
+use mbta_util::{FxHashSet, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// Market profile — see the crate docs for the shape of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// i.i.d. uniform attributes, uniform task popularity.
+    Uniform,
+    /// Zipf task popularity (degree skew) and Zipf-ranked pay.
+    Zipfian,
+    /// AMT-like microtask market: cheap redundant tasks, broad skills,
+    /// high-capacity workers.
+    Microtask,
+    /// Upwork-like freelance market: expensive one-shot tasks, specialist
+    /// workers, heavy-tailed pay.
+    Freelance,
+}
+
+impl Profile {
+    /// All profiles, for dataset-statistics tables.
+    pub fn all() -> [Profile; 4] {
+        [
+            Profile::Uniform,
+            Profile::Zipfian,
+            Profile::Microtask,
+            Profile::Freelance,
+        ]
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::Uniform => "uniform",
+            Profile::Zipfian => "zipfian",
+            Profile::Microtask => "microtask",
+            Profile::Freelance => "freelance",
+        }
+    }
+}
+
+/// A fully deterministic description of a market instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which market shape to generate.
+    pub profile: Profile,
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Average eligibility degree per worker (capped by the complete graph).
+    pub avg_worker_degree: f64,
+    /// Skill/interest dimensionality.
+    pub skill_dims: usize,
+    /// Master seed; every attribute stream is derived from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A reasonable default instance for a profile (used by examples).
+    pub fn demo(profile: Profile) -> Self {
+        Self {
+            profile,
+            n_workers: 1000,
+            n_tasks: 500,
+            avg_worker_degree: 8.0,
+            skill_dims: 8,
+            seed: 42,
+        }
+    }
+
+    /// Generates the market. Deterministic in the spec.
+    ///
+    /// # Example
+    /// ```
+    /// use mbta_workload::{Profile, WorkloadSpec};
+    ///
+    /// let spec = WorkloadSpec {
+    ///     profile: Profile::Freelance,
+    ///     n_workers: 100,
+    ///     n_tasks: 50,
+    ///     avg_worker_degree: 4.0,
+    ///     skill_dims: 8,
+    ///     seed: 7,
+    /// };
+    /// let market = spec.generate();
+    /// assert_eq!(market.n_workers(), 100);
+    /// // Same spec, same market — bit for bit.
+    /// assert_eq!(market.n_eligible_pairs(), spec.generate().n_eligible_pairs());
+    /// ```
+    pub fn generate(&self) -> Market {
+        assert!(self.skill_dims >= 1, "need at least one skill dimension");
+        let root = SplitMix64::new(self.seed);
+        let workers = self.gen_workers(&mut root.derive("workers"));
+        let tasks = self.gen_tasks(&mut root.derive("tasks"));
+        let eligibility = self.gen_eligibility(&mut root.derive("edges"));
+        Market::new(workers, tasks, eligibility).expect("generator produces consistent markets")
+    }
+
+    fn gen_workers(&self, rng: &mut SplitMix64) -> Vec<Worker> {
+        let d = self.skill_dims;
+        (0..self.n_workers)
+            .map(|_| match self.profile {
+                Profile::Uniform => Worker::new(
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.8, 0.0, 1.0)),
+                    uniform(rng, 0.5, 1.0),
+                    1 + rng.next_below(3) as u32,
+                    uniform(rng, 5.0, 15.0),
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.8, 0.0, 1.0)),
+                ),
+                Profile::Zipfian => Worker::new(
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.4, 0.2, 1.0)),
+                    uniform(rng, 0.4, 1.0),
+                    1 + rng.next_below(3) as u32,
+                    log_normal(rng, 2.3, 0.5), // median ≈ 10
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.4, 0.2, 1.0)),
+                ),
+                Profile::Microtask => Worker::new(
+                    // Broad, shallow skills: almost everyone can do
+                    // almost everything, reliability is the differentiator.
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.9, 0.5, 1.0)),
+                    uniform(rng, 0.3, 1.0),
+                    5 + rng.next_below(16) as u32, // 5..20 microtasks
+                    uniform(rng, 0.10, 0.30),
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.9, 0.2, 1.0)),
+                ),
+                Profile::Freelance => Worker::new(
+                    // Specialists: one or two strong dimensions.
+                    SkillVector::new(&sparse_unit_vector(rng, d, 1.5 / d as f64, 0.7, 1.0)),
+                    uniform(rng, 0.6, 1.0),
+                    1,
+                    log_normal(rng, 4.0, 0.8), // median ≈ 55
+                    SkillVector::new(&sparse_unit_vector(rng, d, 2.0 / d as f64, 0.5, 1.0)),
+                ),
+            })
+            .collect()
+    }
+
+    fn gen_tasks(&self, rng: &mut SplitMix64) -> Vec<Task> {
+        let d = self.skill_dims;
+        let pay_rank = Zipf::new(self.n_tasks.max(1), 1.0);
+        (0..self.n_tasks)
+            .map(|_| match self.profile {
+                Profile::Uniform => Task::new(
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.6, 0.0, 1.0)),
+                    uniform(rng, 0.0, 1.0),
+                    uniform(rng, 5.0, 15.0),
+                    1 + rng.next_below(3) as u32,
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.6, 0.0, 1.0)),
+                ),
+                Profile::Zipfian => {
+                    // Pay follows a Zipf rank draw: a few hot, well-paid
+                    // tasks and a long cheap tail.
+                    let rank = pay_rank.sample(rng);
+                    let pay = 40.0 / (1.0 + rank as f64).sqrt() + uniform(rng, 0.0, 2.0);
+                    Task::new(
+                        SkillVector::new(&sparse_unit_vector(rng, d, 0.4, 0.2, 1.0)),
+                        uniform(rng, 0.0, 1.0),
+                        pay,
+                        1 + rng.next_below(3) as u32,
+                        SkillVector::new(&sparse_unit_vector(rng, d, 0.4, 0.2, 1.0)),
+                    )
+                }
+                Profile::Microtask => Task::new(
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.7, 0.1, 0.6)),
+                    uniform(rng, 0.0, 0.4),
+                    uniform(rng, 0.05, 0.50),
+                    if rng.next_bool(0.5) { 3 } else { 5 }, // redundancy
+                    SkillVector::new(&sparse_unit_vector(rng, d, 0.7, 0.1, 0.8)),
+                ),
+                Profile::Freelance => Task::new(
+                    SkillVector::new(&sparse_unit_vector(rng, d, 1.5 / d as f64, 0.6, 1.0)),
+                    uniform(rng, 0.3, 1.0),
+                    log_normal(rng, 4.5, 1.0), // heavy-tailed project budgets
+                    1,
+                    SkillVector::new(&sparse_unit_vector(rng, d, 2.0 / d as f64, 0.5, 1.0)),
+                ),
+            })
+            .collect()
+    }
+
+    fn gen_eligibility(&self, rng: &mut SplitMix64) -> Vec<(u32, u32)> {
+        if self.n_workers == 0 || self.n_tasks == 0 {
+            return Vec::new();
+        }
+        let complete = self.n_workers as u64 * self.n_tasks as u64;
+        let want = (((self.n_workers as f64) * self.avg_worker_degree) as u64).min(complete);
+
+        // Task popularity: uniform for Uniform/Microtask, Zipf-skewed for
+        // Zipfian/Freelance (hot tasks attract far more eligible workers).
+        let popularity = match self.profile {
+            Profile::Uniform | Profile::Microtask => None,
+            Profile::Zipfian => Some(Zipf::new(self.n_tasks, 1.0)),
+            Profile::Freelance => Some(Zipf::new(self.n_tasks, 0.7)),
+        };
+
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        seen.reserve(want as usize);
+        let mut edges = Vec::with_capacity(want as usize);
+        // Rejection sampling with an attempt cap: at skewed popularity the
+        // hot tasks saturate, so duplicates grow; the cap bounds generation
+        // time and the achieved degree is reported by the dataset table.
+        let max_attempts = want.saturating_mul(20).max(1000);
+        let mut attempts = 0u64;
+        while (edges.len() as u64) < want && attempts < max_attempts {
+            attempts += 1;
+            let w = rng.next_below(self.n_workers as u64) as u32;
+            let t = match &popularity {
+                None => rng.next_below(self.n_tasks as u64) as u32,
+                Some(z) => z.sample(rng) as u32,
+            };
+            let key = (u64::from(w) << 32) | u64::from(t);
+            if seen.insert(key) {
+                edges.push((w, t));
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::stats::GraphStats;
+    use mbta_market::BenefitParams;
+
+    fn small(profile: Profile) -> WorkloadSpec {
+        WorkloadSpec {
+            profile,
+            n_workers: 200,
+            n_tasks: 100,
+            avg_worker_degree: 6.0,
+            skill_dims: 6,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_profiles_generate_and_realize() {
+        for profile in Profile::all() {
+            let market = small(profile).generate();
+            assert_eq!(market.n_workers(), 200);
+            assert_eq!(market.n_tasks(), 100);
+            let g = market.realize(&BenefitParams::default()).unwrap();
+            assert!(g.n_edges() > 0, "{}", profile.name());
+            // All benefits in range (realize would clamp, but the model
+            // should produce in-range values directly).
+            for e in g.edges() {
+                assert!((0.0..=1.0).contains(&g.rb(e)));
+                assert!((0.0..=1.0).contains(&g.wb(e)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small(Profile::Zipfian).generate();
+        let b = small(Profile::Zipfian).generate();
+        let ga = a.realize(&BenefitParams::default()).unwrap();
+        let gb = b.realize(&BenefitParams::default()).unwrap();
+        assert_eq!(ga, gb);
+
+        let mut other = small(Profile::Zipfian);
+        other.seed = 8;
+        let gc = other.generate().realize(&BenefitParams::default()).unwrap();
+        assert_ne!(ga, gc);
+    }
+
+    #[test]
+    fn uniform_profile_hits_target_degree() {
+        let g = small(Profile::Uniform)
+            .generate()
+            .realize(&BenefitParams::default())
+            .unwrap();
+        let s = GraphStats::compute(&g);
+        assert!(
+            (s.worker_degree_mean - 6.0).abs() < 0.01,
+            "{}",
+            s.worker_degree_mean
+        );
+    }
+
+    #[test]
+    fn zipfian_profile_skews_task_degrees() {
+        let spec = WorkloadSpec {
+            n_workers: 2000,
+            n_tasks: 500,
+            avg_worker_degree: 8.0,
+            ..small(Profile::Zipfian)
+        };
+        let g = spec.generate().realize(&BenefitParams::default()).unwrap();
+        let s_zipf = GraphStats::compute(&g);
+        let uni = WorkloadSpec {
+            profile: Profile::Uniform,
+            ..spec
+        };
+        let gu = uni.generate().realize(&BenefitParams::default()).unwrap();
+        let s_uni = GraphStats::compute(&gu);
+        assert!(
+            s_zipf.task_degree_max > 2 * s_uni.task_degree_max,
+            "zipf max {} vs uniform max {}",
+            s_zipf.task_degree_max,
+            s_uni.task_degree_max
+        );
+    }
+
+    #[test]
+    fn microtask_profile_shape() {
+        let market = small(Profile::Microtask).generate();
+        // High-capacity workers, redundant demands, low pay.
+        assert!(market.workers().iter().all(|w| w.capacity >= 5));
+        assert!(market
+            .tasks()
+            .iter()
+            .all(|t| t.demand == 3 || t.demand == 5));
+        assert!(market.tasks().iter().all(|t| t.pay <= 0.5));
+    }
+
+    #[test]
+    fn freelance_profile_shape() {
+        let market = small(Profile::Freelance).generate();
+        assert!(market.workers().iter().all(|w| w.capacity == 1));
+        assert!(market.tasks().iter().all(|t| t.demand == 1));
+        // Heavy-tailed budgets: the max should dwarf the median.
+        let mut pays: Vec<f64> = market.tasks().iter().map(|t| t.pay).collect();
+        pays.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = pays[pays.len() / 2];
+        let max = pays[pays.len() - 1];
+        assert!(max > 5.0 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        // serde is wired via derives; round-trip through the compact debug
+        // representation of serde_test-style manual check is overkill —
+        // assert the derives exist by serializing to a string with the
+        // `serde` "human readable" via serde's own to-token machinery is
+        // unavailable without a format crate, so check `Clone`/`PartialEq`
+        // semantics instead and that the spec is `Copy`-cheap.
+        let a = small(Profile::Uniform);
+        let b = a;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_sides_ok() {
+        let spec = WorkloadSpec {
+            n_workers: 0,
+            n_tasks: 10,
+            ..small(Profile::Uniform)
+        };
+        let market = spec.generate();
+        assert_eq!(market.n_eligible_pairs(), 0);
+    }
+
+    #[test]
+    fn degree_cap_at_complete_graph() {
+        let spec = WorkloadSpec {
+            n_workers: 5,
+            n_tasks: 4,
+            avg_worker_degree: 100.0,
+            ..small(Profile::Uniform)
+        };
+        let market = spec.generate();
+        assert!(market.n_eligible_pairs() <= 20);
+    }
+}

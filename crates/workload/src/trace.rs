@@ -1,0 +1,212 @@
+//! Timed event traces: who is online when.
+//!
+//! The churn experiments (F14) use uniformly random activate/deactivate
+//! events; real markets have *sessions* — a worker logs on, stays a while,
+//! logs off; a task is posted and expires. This module generates such
+//! session-structured traces deterministically: each worker gets an arrival
+//! time uniform over the horizon and an exponentially distributed session
+//! length; tasks get posting times and lifetimes the same way. The result
+//! is a time-sorted event list a simulation loop can replay against an
+//! `IncrementalAssignment` (see the `day_simulation` example).
+
+use mbta_util::SplitMix64;
+
+/// One market event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Worker `id` comes online.
+    WorkerOn(u32),
+    /// Worker `id` goes offline.
+    WorkerOff(u32),
+    /// Task `id` is posted.
+    TaskPosted(u32),
+    /// Task `id` expires (or is cancelled).
+    TaskExpired(u32),
+}
+
+/// An event with its timestamp (abstract time units in `[0, horizon]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// When the event happens.
+    pub time: f64,
+    /// What happens.
+    pub event: Event,
+}
+
+/// Parameters of a session trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Length of the simulated period (e.g. 24.0 for a day in hours).
+    pub horizon: f64,
+    /// Mean worker session length (exponential).
+    pub mean_session: f64,
+    /// Mean task lifetime (exponential).
+    pub mean_task_lifetime: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Generates the sorted event list for `n_workers` workers and
+    /// `n_tasks` tasks. Every entity gets exactly one on/posted event; the
+    /// matching off/expired event is included only if it falls inside the
+    /// horizon (otherwise the entity is still live at the end).
+    pub fn generate(&self, n_workers: usize, n_tasks: usize) -> Vec<TimedEvent> {
+        assert!(self.horizon > 0.0, "horizon must be positive");
+        assert!(
+            self.mean_session > 0.0 && self.mean_task_lifetime > 0.0,
+            "mean durations must be positive"
+        );
+        let root = SplitMix64::new(self.seed);
+        let mut events = Vec::with_capacity(2 * (n_workers + n_tasks));
+
+        let mut wrng = root.derive("worker-sessions");
+        for w in 0..n_workers as u32 {
+            let start = wrng.next_f64() * self.horizon;
+            let dur = exponential(&mut wrng, self.mean_session);
+            events.push(TimedEvent {
+                time: start,
+                event: Event::WorkerOn(w),
+            });
+            if start + dur < self.horizon {
+                events.push(TimedEvent {
+                    time: start + dur,
+                    event: Event::WorkerOff(w),
+                });
+            }
+        }
+        let mut trng = root.derive("task-lifetimes");
+        for t in 0..n_tasks as u32 {
+            let posted = trng.next_f64() * self.horizon;
+            let dur = exponential(&mut trng, self.mean_task_lifetime);
+            events.push(TimedEvent {
+                time: posted,
+                event: Event::TaskPosted(t),
+            });
+            if posted + dur < self.horizon {
+                events.push(TimedEvent {
+                    time: posted + dur,
+                    event: Event::TaskExpired(t),
+                });
+            }
+        }
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times are finite"));
+        events
+    }
+}
+
+/// Exponential sample with the given mean (inverse CDF).
+fn exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
+    let u = rng.next_f64().max(1e-12);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_util::FxHashMap;
+
+    fn spec() -> TraceSpec {
+        TraceSpec {
+            horizon: 24.0,
+            mean_session: 4.0,
+            mean_task_lifetime: 6.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_horizon() {
+        let evs = spec().generate(200, 100);
+        assert!(evs.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(evs.iter().all(|e| (0.0..24.0).contains(&e.time)));
+    }
+
+    #[test]
+    fn every_entity_turns_on_once_and_off_at_most_once() {
+        let evs = spec().generate(150, 80);
+        let mut on: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut off: FxHashMap<u32, u32> = FxHashMap::default();
+        for e in &evs {
+            match e.event {
+                Event::WorkerOn(w) => *on.entry(w).or_insert(0) += 1,
+                Event::WorkerOff(w) => *off.entry(w).or_insert(0) += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(on.len(), 150);
+        assert!(on.values().all(|&c| c == 1));
+        assert!(off.values().all(|&c| c == 1));
+        // With mean session 4h over a 24h horizon most sessions end inside.
+        assert!(off.len() > 100, "only {} offs", off.len());
+    }
+
+    #[test]
+    fn off_follows_on_for_each_worker() {
+        let evs = spec().generate(100, 0);
+        let mut on_time: FxHashMap<u32, f64> = FxHashMap::default();
+        for e in &evs {
+            match e.event {
+                Event::WorkerOn(w) => {
+                    on_time.insert(w, e.time);
+                }
+                Event::WorkerOff(w) => {
+                    assert!(e.time >= on_time[&w], "off before on for {w}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = spec().generate(50, 50);
+        let b = spec().generate(50, 50);
+        assert_eq!(a, b);
+        let mut other = spec();
+        other.seed = 12;
+        assert_ne!(a, other.generate(50, 50));
+    }
+
+    #[test]
+    fn mean_session_roughly_respected() {
+        // Average measured session (among completed ones) within 25% of the
+        // configured mean, over a long horizon so truncation bias is small.
+        let long = TraceSpec {
+            horizon: 1000.0,
+            mean_session: 5.0,
+            mean_task_lifetime: 5.0,
+            seed: 3,
+        };
+        let evs = long.generate(2000, 0);
+        let mut on_time: FxHashMap<u32, f64> = FxHashMap::default();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for e in &evs {
+            match e.event {
+                Event::WorkerOn(w) => {
+                    on_time.insert(w, e.time);
+                }
+                Event::WorkerOff(w) => {
+                    total += e.time - on_time[&w];
+                    n += 1;
+                }
+                _ => {}
+            }
+        }
+        let mean = total / n as f64;
+        assert!((3.75..6.25).contains(&mean), "mean session {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        TraceSpec {
+            horizon: 0.0,
+            mean_session: 1.0,
+            mean_task_lifetime: 1.0,
+            seed: 0,
+        }
+        .generate(1, 1);
+    }
+}

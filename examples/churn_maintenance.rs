@@ -1,0 +1,108 @@
+//! Market churn scenario: workers log on and off, tasks appear and get
+//! cancelled, and the platform maintains the assignment incrementally
+//! instead of re-solving from scratch on every event.
+//!
+//! ```text
+//! cargo run --release --example churn_maintenance
+//! ```
+
+use mbta::core::incremental::IncrementalAssignment;
+use mbta::graph::{TaskId, WorkerId};
+use mbta::market::benefit::edge_weights;
+use mbta::market::{BenefitParams, Combiner};
+use mbta::matching::greedy::greedy_bmatching;
+use mbta::matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+use mbta::util::SplitMix64;
+use mbta::workload::{Profile, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    let g = WorkloadSpec {
+        profile: Profile::Microtask,
+        n_workers: 2_000,
+        n_tasks: 1_000,
+        avg_worker_degree: 10.0,
+        skill_dims: 8,
+        seed: 500,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .expect("realizes");
+
+    let weights = edge_weights(&g, Combiner::balanced());
+    let mut inc = IncrementalAssignment::new(&g, weights.clone());
+    println!(
+        "initial greedy assignment: {} pairs, total benefit {:.1}\n",
+        inc.len(),
+        inc.total_weight()
+    );
+
+    // Simulate a day of churn: 2000 events.
+    let mut rng = SplitMix64::new(501);
+    let mut off_workers: Vec<u32> = Vec::new();
+    let mut off_tasks: Vec<u32> = Vec::new();
+    let n_events = 2_000;
+
+    let start = Instant::now();
+    for _ in 0..n_events {
+        match rng.next_below(4) {
+            0 => {
+                let w = rng.next_index(g.n_workers()) as u32;
+                inc.deactivate_worker(WorkerId::new(w));
+                off_workers.push(w);
+            }
+            1 => {
+                if let Some(w) = off_workers.pop() {
+                    inc.activate_worker(WorkerId::new(w));
+                }
+            }
+            2 => {
+                let t = rng.next_index(g.n_tasks()) as u32;
+                inc.deactivate_task(TaskId::new(t));
+                off_tasks.push(t);
+            }
+            _ => {
+                if let Some(t) = off_tasks.pop() {
+                    inc.activate_task(TaskId::new(t));
+                }
+            }
+        }
+    }
+    let inc_elapsed = start.elapsed();
+
+    // Compare against from-scratch solves on the final market state.
+    let aw = inc.active_weights();
+    let start = Instant::now();
+    let greedy = greedy_bmatching(&g, &aw, 0.0);
+    let greedy_elapsed = start.elapsed();
+    let start = Instant::now();
+    let (exact, _) = max_weight_bmatching(&g, &aw, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+    let exact_elapsed = start.elapsed();
+
+    println!(
+        "after {n_events} churn events ({} workers, {} tasks offline):",
+        off_workers.len(),
+        off_tasks.len()
+    );
+    println!(
+        "  incremental   : benefit {:>8.1}   ({:.1?} total, {:.1?}/event)",
+        inc.total_weight(),
+        inc_elapsed,
+        inc_elapsed / n_events
+    );
+    println!(
+        "  greedy resolve: benefit {:>8.1}   ({:.1?} per solve)",
+        greedy.total_weight(&aw),
+        greedy_elapsed
+    );
+    println!(
+        "  exact resolve : benefit {:>8.1}   ({:.1?} per solve)",
+        exact.total_weight(&aw),
+        exact_elapsed
+    );
+    println!(
+        "\nincremental keeps {:.1}% of the exact optimum at a per-event cost\n\
+         thousands of times below a re-solve.",
+        100.0 * inc.total_weight() / exact.total_weight(&aw)
+    );
+}

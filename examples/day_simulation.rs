@@ -1,0 +1,102 @@
+//! A day in the life of a labor-market platform: workers log on and off in
+//! sessions, tasks get posted and expire, and the platform maintains the
+//! assignment incrementally the whole time — the full stack exercised
+//! end-to-end (workload trace → incremental engine → evaluation).
+//!
+//! ```text
+//! cargo run --release --example day_simulation
+//! ```
+
+use mbta::core::incremental::IncrementalAssignment;
+use mbta::graph::{TaskId, WorkerId};
+use mbta::market::benefit::edge_weights;
+use mbta::market::{BenefitParams, Combiner};
+use mbta::workload::trace::{Event, TraceSpec};
+use mbta::workload::{Profile, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    // A mid-size market and a 24-hour trace.
+    let g = WorkloadSpec {
+        profile: Profile::Microtask,
+        n_workers: 3_000,
+        n_tasks: 1_500,
+        avg_worker_degree: 10.0,
+        skill_dims: 8,
+        seed: 1234,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .expect("realizes");
+    let trace = TraceSpec {
+        horizon: 24.0,
+        mean_session: 4.0,
+        mean_task_lifetime: 8.0,
+        seed: 1235,
+    }
+    .generate(g.n_workers(), g.n_tasks());
+    println!(
+        "market: {} workers, {} tasks; trace: {} events over 24h",
+        g.n_workers(),
+        g.n_tasks(),
+        trace.len()
+    );
+
+    // The day starts empty: everyone offline, nothing posted.
+    let weights = edge_weights(&g, Combiner::balanced());
+    let mut inc = IncrementalAssignment::new(&g, weights);
+    for w in g.workers() {
+        inc.deactivate_worker(w);
+    }
+    for t in g.tasks() {
+        inc.deactivate_task(t);
+    }
+    assert!(inc.is_empty());
+
+    // Replay, sampling the maintained benefit every 2 simulated hours.
+    let started = Instant::now();
+    let mut next_sample = 2.0f64;
+    println!(
+        "\n{:>5} {:>9} {:>8} {:>8}",
+        "hour", "benefit", "pairs", "online"
+    );
+    let mut online_workers = 0i64;
+    for ev in &trace {
+        while ev.time >= next_sample {
+            println!(
+                "{:>5.0} {:>9.1} {:>8} {:>8}",
+                next_sample,
+                inc.total_weight(),
+                inc.len(),
+                online_workers
+            );
+            next_sample += 2.0;
+        }
+        match ev.event {
+            Event::WorkerOn(w) => {
+                inc.activate_worker(WorkerId::new(w));
+                online_workers += 1;
+            }
+            Event::WorkerOff(w) => {
+                inc.deactivate_worker(WorkerId::new(w));
+                online_workers -= 1;
+            }
+            Event::TaskPosted(t) => inc.activate_task(TaskId::new(t)),
+            Event::TaskExpired(t) => {
+                inc.deactivate_task(TaskId::new(t));
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    inc.check_invariants();
+
+    println!(
+        "\nreplayed {} events in {:.2?} ({:.1?} per event); final assignment: \
+         {} pairs, benefit {:.1}",
+        trace.len(),
+        elapsed,
+        elapsed / trace.len() as u32,
+        inc.len(),
+        inc.total_weight()
+    );
+}

@@ -1,0 +1,70 @@
+//! Microtask platform scenario (AMT-like): redundant cheap tasks, answer
+//! simulation, and aggregation — shows that mutual-benefit-aware assignment
+//! turns into *measurably better answers*, not just a nicer objective value.
+//!
+//! ```text
+//! cargo run --release --example microtask_platform
+//! ```
+
+use mbta::core::algorithms::{solve, Algorithm};
+use mbta::market::aggregate::{accuracy_against, dawid_skene, majority_vote};
+use mbta::market::answers::{simulate_answers, GroundTruth};
+use mbta::market::{BenefitParams, Combiner};
+use mbta::matching::mcmf::PathAlgo;
+use mbta::workload::{Profile, WorkloadSpec};
+
+fn main() {
+    // An AMT-shaped market: 800 workers, 600 multiple-choice tasks that
+    // each want 3-5 independent answers.
+    let spec = WorkloadSpec {
+        profile: Profile::Microtask,
+        n_workers: 800,
+        n_tasks: 600,
+        avg_worker_degree: 12.0,
+        skill_dims: 8,
+        seed: 2024,
+    };
+    let market = spec.generate();
+    let graph = market.realize(&BenefitParams::default()).expect("realizes");
+    println!(
+        "market: {} workers, {} tasks, {} eligibility edges",
+        graph.n_workers(),
+        graph.n_tasks(),
+        graph.n_edges()
+    );
+
+    // Each task is a 4-way multiple choice question with planted truth.
+    let truth = GroundTruth::random(spec.n_tasks, 4, 7);
+
+    println!(
+        "\n{:<14} {:>8} {:>10} {:>12}",
+        "assignment", "answers", "majority", "dawid-skene"
+    );
+    for alg in [
+        Algorithm::ExactMB {
+            algo: PathAlgo::Dijkstra,
+        },
+        Algorithm::GreedyMB,
+        Algorithm::Random { seed: 1 },
+    ] {
+        let m = solve(&graph, Combiner::balanced(), alg);
+        let answers = simulate_answers(&graph, &m, &truth, 99);
+        let mv = majority_vote(&answers, spec.n_tasks, 4);
+        let ds = dawid_skene(&answers, spec.n_tasks, spec.n_workers, 4, 50, 1e-6);
+        let mv_acc = accuracy_against(&mv, &truth.labels).unwrap_or(0.0);
+        let ds_acc = accuracy_against(&ds.estimates, &truth.labels).unwrap_or(0.0);
+        println!(
+            "{:<14} {:>8} {:>9.1}% {:>11.1}%",
+            alg.name(),
+            answers.len(),
+            mv_acc * 100.0,
+            ds_acc * 100.0
+        );
+    }
+
+    println!(
+        "\nBetter assignment lifts accuracy for every aggregator — routing\n\
+         questions to well-matched, motivated workers beats cleaning up\n\
+         noise after the fact."
+    );
+}

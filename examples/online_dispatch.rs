@@ -1,0 +1,66 @@
+//! Online dispatch scenario: workers log in one at a time and must be
+//! served immediately. Compares the online policies against the hindsight
+//! optimum under friendly, random and adversarial arrival orders.
+//!
+//! ```text
+//! cargo run --release --example online_dispatch
+//! ```
+
+use mbta::core::online::{run_online, ArrivalOrder};
+use mbta::market::{BenefitParams, Combiner};
+use mbta::matching::online::OnlinePolicy;
+use mbta::workload::{Profile, WorkloadSpec};
+
+fn main() {
+    let graph = WorkloadSpec {
+        profile: Profile::Uniform,
+        n_workers: 1_000,
+        n_tasks: 500,
+        avg_worker_degree: 8.0,
+        skill_dims: 8,
+        seed: 314,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .expect("realizes");
+
+    let policies: Vec<(&str, OnlinePolicy)> = vec![
+        ("Greedy", OnlinePolicy::Greedy),
+        ("Ranking", OnlinePolicy::Ranking { seed: 5 }),
+        (
+            "TwoPhase",
+            OnlinePolicy::TwoPhase {
+                sample_fraction: 0.5,
+                threshold_quantile: 0.5,
+            },
+        ),
+        ("GreedyRT", OnlinePolicy::RandomThreshold { seed: 5 }),
+    ];
+    let orders = [
+        ("best-first", ArrivalOrder::BestFirst),
+        ("random", ArrivalOrder::Random { seed: 11 }),
+        ("best-last", ArrivalOrder::BestLast),
+    ];
+
+    println!("empirical competitive ratio (online value / hindsight optimum)\n");
+    print!("{:<10}", "policy");
+    for (name, _) in &orders {
+        print!(" {name:>11}");
+    }
+    println!();
+    for (pname, policy) in &policies {
+        print!("{pname:<10}");
+        for (_, order) in &orders {
+            let out = run_online(&graph, Combiner::balanced(), *order, *policy);
+            print!(" {:>10.1}%", out.competitive_ratio() * 100.0);
+        }
+        println!();
+    }
+
+    println!(
+        "\nIrrevocability costs the most when the best workers arrive last:\n\
+         early arrivals burn task demand the specialists needed. The\n\
+         two-phase policy reserves demand for high-value matches and\n\
+         recovers part of that loss."
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a small labor market by hand, run the mutual-benefit
+//! assignment, inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mbta::core::algorithms::Algorithm;
+use mbta::core::pipeline::assign;
+use mbta::market::{BenefitParams, Combiner, Market, SkillVector, Task, Worker};
+use mbta::matching::mcmf::PathAlgo;
+
+fn main() {
+    // A tiny market: three workers, three tasks, skill space of two
+    // dimensions ("translation", "image tagging").
+    let sv = |c: &[f64]| SkillVector::new(c);
+    let workers = vec![
+        // A reliable translation specialist who wants translation work.
+        Worker::new(sv(&[0.95, 0.10]), 0.95, 1, 10.0, sv(&[1.0, 0.0])),
+        // A tagging specialist.
+        Worker::new(sv(&[0.10, 0.95]), 0.90, 1, 10.0, sv(&[0.0, 1.0])),
+        // A generalist with capacity for two tasks, cheaper expectations.
+        Worker::new(sv(&[0.60, 0.60]), 0.70, 2, 6.0, sv(&[0.5, 0.5])),
+    ];
+    let tasks = vec![
+        // A translation task, moderately hard, decent pay.
+        Task::new(sv(&[0.9, 0.0]), 0.4, 12.0, 1, sv(&[1.0, 0.0])),
+        // A tagging task.
+        Task::new(sv(&[0.0, 0.9]), 0.3, 11.0, 1, sv(&[0.0, 1.0])),
+        // A mixed task wanting two distinct workers (redundancy).
+        Task::new(sv(&[0.5, 0.5]), 0.5, 8.0, 2, sv(&[0.5, 0.5])),
+    ];
+    // Everyone is eligible for everything here; real markets are sparse.
+    let eligibility: Vec<(u32, u32)> = (0..3).flat_map(|w| (0..3).map(move |t| (w, t))).collect();
+    let market = Market::new(workers, tasks, eligibility).expect("valid market");
+
+    // Solve exactly under the balanced mutual-benefit combiner.
+    let outcome = assign(
+        &market,
+        &BenefitParams::default(),
+        Combiner::balanced(),
+        Algorithm::ExactMB {
+            algo: PathAlgo::Dijkstra,
+        },
+    )
+    .expect("market realizes");
+
+    println!("assignment ({} pairs):", outcome.matching.len());
+    for (w, t) in outcome.pairs() {
+        let e = outcome.graph.find_edge(w, t).unwrap();
+        println!(
+            "  worker {} -> task {}   (requester benefit {:.3}, worker benefit {:.3})",
+            w.raw(),
+            t.raw(),
+            outcome.graph.rb(e),
+            outcome.graph.wb(e),
+        );
+    }
+    let ev = &outcome.evaluation;
+    println!("\nmetrics:");
+    println!("  total mutual benefit : {:.3}", ev.total_mb);
+    println!("  requester side       : {:.3}", ev.total_rb);
+    println!("  worker side          : {:.3}", ev.total_wb);
+    println!(
+        "  demand coverage      : {:.0}%",
+        ev.demand_coverage * 100.0
+    );
+    println!("  solve time           : {:?}", outcome.solve_time);
+}

@@ -1,0 +1,46 @@
+//! `mbta` — Mutual Benefit Aware Task Assignment in a bipartite labor market.
+//!
+//! Facade crate re-exporting the full public API of the workspace. See the
+//! README for a guided tour and `DESIGN.md` for the system inventory.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mbta::core::algorithms::Algorithm;
+//! use mbta::core::pipeline::assign;
+//! use mbta::market::{BenefitParams, Combiner, Market, SkillVector, Task, Worker};
+//! use mbta::matching::mcmf::PathAlgo;
+//!
+//! let workers = vec![Worker::new(
+//!     SkillVector::new(&[0.9, 0.1]), // skills
+//!     0.95,                          // reliability
+//!     1,                             // capacity
+//!     10.0,                          // wage expectation
+//!     SkillVector::new(&[1.0, 0.0]), // interests
+//! )];
+//! let tasks = vec![Task::new(
+//!     SkillVector::new(&[0.8, 0.0]), // requirements
+//!     0.4,                           // difficulty
+//!     12.0,                          // pay
+//!     1,                             // demand (redundancy)
+//!     SkillVector::new(&[1.0, 0.0]), // category
+//! )];
+//! let market = Market::new(workers, tasks, vec![(0, 0)])?;
+//!
+//! let outcome = assign(
+//!     &market,
+//!     &BenefitParams::default(),
+//!     Combiner::balanced(), // λ·rb + (1−λ)·wb at λ = 0.5
+//!     Algorithm::ExactMB { algo: PathAlgo::Dijkstra },
+//! )?;
+//! assert_eq!(outcome.matching.len(), 1);
+//! assert!(outcome.evaluation.total_mb > 0.0);
+//! # Ok::<(), mbta::market::MarketError>(())
+//! ```
+
+pub use mbta_core as core;
+pub use mbta_graph as graph;
+pub use mbta_market as market;
+pub use mbta_matching as matching;
+pub use mbta_util as util;
+pub use mbta_workload as workload;

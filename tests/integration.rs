@@ -1,0 +1,305 @@
+//! Cross-crate integration tests: workload → market → graph → solvers →
+//! evaluation, exercised through the public facade exactly as a downstream
+//! user would.
+
+use mbta::core::algorithms::{solve, Algorithm};
+use mbta::core::evaluate::Evaluation;
+use mbta::core::frontier::lambda_sweep;
+use mbta::core::maxmin::{maxmin_bmatching, min_edge_weight};
+use mbta::core::online::{run_online, ArrivalOrder};
+use mbta::core::pipeline::assign;
+use mbta::graph::serial::{read_graph, write_graph};
+use mbta::market::benefit::edge_weights;
+use mbta::market::{BenefitParams, Combiner};
+use mbta::matching::mcmf::PathAlgo;
+use mbta::matching::online::OnlinePolicy;
+use mbta::workload::{Profile, WorkloadSpec};
+
+fn spec(profile: Profile, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        profile,
+        n_workers: 300,
+        n_tasks: 150,
+        avg_worker_degree: 6.0,
+        skill_dims: 8,
+        seed,
+    }
+}
+
+#[test]
+fn every_algorithm_is_feasible_on_every_profile() {
+    for profile in Profile::all() {
+        let market = spec(profile, 1).generate();
+        for alg in Algorithm::comparison_set() {
+            let out = assign(
+                &market,
+                &BenefitParams::default(),
+                Combiner::balanced(),
+                alg,
+            )
+            .expect("pipeline runs");
+            out.matching
+                .validate(&out.graph)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), profile.name()));
+        }
+    }
+}
+
+#[test]
+fn exact_dominates_on_every_profile_and_combiner() {
+    for profile in Profile::all() {
+        let g = spec(profile, 2)
+            .generate()
+            .realize(&BenefitParams::default())
+            .unwrap();
+        for combiner in [Combiner::balanced(), Combiner::Harmonic, Combiner::Min] {
+            let w = edge_weights(&g, combiner);
+            let exact = solve(
+                &g,
+                combiner,
+                Algorithm::ExactMB {
+                    algo: PathAlgo::Dijkstra,
+                },
+            );
+            let best = exact.total_weight(&w);
+            for alg in Algorithm::comparison_set() {
+                let m = solve(&g, combiner, alg);
+                assert!(
+                    m.total_weight(&w) <= best + 1e-6,
+                    "{} beat ExactMB on {} under {:?}",
+                    alg.name(),
+                    profile.name(),
+                    combiner
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let market = spec(Profile::Zipfian, 3).generate();
+    let a = assign(
+        &market,
+        &BenefitParams::default(),
+        Combiner::balanced(),
+        Algorithm::GreedyMB,
+    )
+    .unwrap();
+    let b = assign(
+        &market,
+        &BenefitParams::default(),
+        Combiner::balanced(),
+        Algorithm::GreedyMB,
+    )
+    .unwrap();
+    assert_eq!(a.matching, b.matching);
+    assert_eq!(a.evaluation, b.evaluation);
+}
+
+#[test]
+fn generated_instances_roundtrip_through_binary_format() {
+    for profile in Profile::all() {
+        let g = spec(profile, 4)
+            .generate()
+            .realize(&BenefitParams::default())
+            .unwrap();
+        let bytes = write_graph(&g);
+        let g2 = read_graph(bytes).expect("roundtrip");
+        assert_eq!(g, g2, "{} roundtrip", profile.name());
+        // And the solvers agree on the deserialized copy.
+        let w = edge_weights(&g, Combiner::balanced());
+        let m1 = solve(&g, Combiner::balanced(), Algorithm::GreedyMB);
+        let m2 = solve(&g2, Combiner::balanced(), Algorithm::GreedyMB);
+        assert_eq!(m1.total_weight(&w), m2.total_weight(&w));
+    }
+}
+
+#[test]
+fn maxmin_floor_beats_sum_optimum_floor() {
+    let g = spec(Profile::Uniform, 5)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let combiner = Combiner::balanced();
+    let w = edge_weights(&g, combiner);
+    let bottleneck = maxmin_bmatching(&g, combiner);
+    bottleneck.matching.validate(&g).unwrap();
+    let exact_sum = solve(
+        &g,
+        combiner,
+        Algorithm::ExactMB {
+            algo: PathAlgo::Dijkstra,
+        },
+    );
+    // At the same (maximum) cardinality, the bottleneck floor dominates.
+    let card = solve(&g, combiner, Algorithm::Cardinality);
+    assert_eq!(bottleneck.cardinality, card.len());
+    if exact_sum.len() == bottleneck.cardinality {
+        assert!(bottleneck.bottleneck >= min_edge_weight(&exact_sum, &w) - 1e-12);
+    }
+    // The evaluation's min_edge_mb agrees with the standalone helper.
+    let ev = Evaluation::compute(&g, &bottleneck.matching, combiner);
+    assert!((ev.min_edge_mb - min_edge_weight(&bottleneck.matching, &w)).abs() < 1e-12);
+}
+
+#[test]
+fn frontier_endpoints_match_single_sided_solvers() {
+    let g = spec(Profile::Freelance, 6)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let pts = lambda_sweep(&g, &[0.0, 1.0]);
+    let rb_only = solve(&g, Combiner::balanced(), Algorithm::QualityOnly);
+    let wb_only = solve(&g, Combiner::balanced(), Algorithm::WorkerOnly);
+    let rb_w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+    let wb_w: Vec<f64> = g.edges().map(|e| g.wb(e)).collect();
+    // λ = 1 point achieves the same Σrb as the QualityOnly baseline.
+    assert!((pts[1].total_rb - rb_only.total_weight(&rb_w)).abs() < 1e-6);
+    // λ = 0 point achieves the same Σwb as the WorkerOnly baseline.
+    assert!((pts[0].total_wb - wb_only.total_weight(&wb_w)).abs() < 1e-6);
+}
+
+#[test]
+fn online_policies_feasible_and_bounded_across_profiles() {
+    for profile in [Profile::Uniform, Profile::Microtask] {
+        let g = spec(profile, 7)
+            .generate()
+            .realize(&BenefitParams::default())
+            .unwrap();
+        for policy in [
+            OnlinePolicy::Greedy,
+            OnlinePolicy::Ranking { seed: 1 },
+            OnlinePolicy::TwoPhase {
+                sample_fraction: 0.5,
+                threshold_quantile: 0.5,
+            },
+            OnlinePolicy::RandomThreshold { seed: 1 },
+        ] {
+            let out = run_online(
+                &g,
+                Combiner::balanced(),
+                ArrivalOrder::Random { seed: 2 },
+                policy,
+            );
+            out.matching.validate(&g).unwrap();
+            let r = out.competitive_ratio();
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&r),
+                "{}: ratio {r}",
+                profile.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_replay_preserves_incremental_invariants() {
+    use mbta::core::incremental::IncrementalAssignment;
+    use mbta::graph::{TaskId, WorkerId};
+    use mbta::workload::trace::{Event, TraceSpec};
+
+    let g = spec(Profile::Microtask, 8)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let trace = TraceSpec {
+        horizon: 10.0,
+        mean_session: 3.0,
+        mean_task_lifetime: 4.0,
+        seed: 9,
+    }
+    .generate(g.n_workers(), g.n_tasks());
+    let weights = edge_weights(&g, Combiner::balanced());
+    let mut inc = IncrementalAssignment::new(&g, weights);
+    for w in g.workers() {
+        inc.deactivate_worker(w);
+    }
+    for t in g.tasks() {
+        inc.deactivate_task(t);
+    }
+    for ev in &trace {
+        match ev.event {
+            Event::WorkerOn(w) => inc.activate_worker(WorkerId::new(w)),
+            Event::WorkerOff(w) => {
+                inc.deactivate_worker(WorkerId::new(w));
+            }
+            Event::TaskPosted(t) => inc.activate_task(TaskId::new(t)),
+            Event::TaskExpired(t) => {
+                inc.deactivate_task(TaskId::new(t));
+            }
+        }
+    }
+    inc.check_invariants();
+    // Still-online entities exist (sessions longer than the horizon tail).
+    assert!(
+        !inc.is_empty(),
+        "a 10h trace should leave some work running"
+    );
+}
+
+#[test]
+fn certified_exact_solve_through_the_facade() {
+    use mbta::matching::mcmf::{max_weight_bmatching_certified, verify_certificate};
+
+    let g = spec(Profile::Zipfian, 10)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let w = edge_weights(&g, Combiner::Harmonic);
+    let (m, stats, cert) = max_weight_bmatching_certified(&g, &w);
+    assert!(verify_certificate(&g, &w, &m, &cert));
+    assert!(stats.profit >= 0);
+    // The certified solution matches the plain exact solver's objective.
+    let plain = solve(
+        &g,
+        Combiner::Harmonic,
+        Algorithm::ExactMB {
+            algo: PathAlgo::Dijkstra,
+        },
+    );
+    assert!((m.total_weight(&w) - plain.total_weight(&w)).abs() < 1e-6);
+}
+
+#[test]
+fn offer_loop_and_report_compose() {
+    use mbta::core::offers::run_offer_loop;
+    use mbta::core::report::AssignmentReport;
+    use mbta::market::acceptance::AcceptanceModel;
+
+    let g = spec(Profile::Uniform, 11)
+        .generate()
+        .realize(&BenefitParams::default())
+        .unwrap();
+    let r = run_offer_loop(
+        &g,
+        Combiner::balanced(),
+        Algorithm::GreedyMB,
+        &AcceptanceModel::benefit_sensitive(),
+        3,
+        5,
+    );
+    r.accepted.validate(&g).unwrap();
+    assert_eq!(r.offers_made, r.accepted.len() + r.declined);
+    let report = AssignmentReport::build(&g, &r.accepted, Combiner::balanced());
+    let text = report.render(5);
+    assert!(text.contains("assignment summary"));
+    // Coverage in the report equals the loop's own bookkeeping.
+    assert!(
+        (report.evaluation.demand_coverage - r.accepted.len() as f64 / g.total_demand() as f64)
+            .abs()
+            < 1e-12
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `mbta` facade must expose the whole workspace; spot-check one
+    // item per crate.
+    let _ = mbta::util::SplitMix64::new(1).next_u64();
+    let _ = mbta::graph::GraphBuilder::new();
+    let _ = mbta::matching::Matching::empty();
+    let _ = mbta::market::Combiner::balanced();
+    let _ = mbta::core::algorithms::Algorithm::GreedyMB;
+    let _ = mbta::workload::Profile::Uniform;
+}

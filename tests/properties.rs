@@ -1,0 +1,377 @@
+//! Property-based tests (proptest) over the core invariants.
+//!
+//! Strategy: generate small arbitrary-but-valid market instances (random
+//! capacities, demands, edge sets and weights), then assert the algebraic
+//! relationships between the solvers that must hold on *every* instance —
+//! feasibility, optimality dominance, approximation bounds, monotonicity,
+//! and cross-solver agreement.
+
+use mbta::graph::{BipartiteGraph, GraphBuilder, TaskId, WorkerId};
+use mbta::market::Combiner;
+use mbta::matching::dinic::max_cardinality_bmatching;
+use mbta::matching::greedy::greedy_bmatching;
+use mbta::matching::hopcroft_karp::hopcroft_karp;
+use mbta::matching::hungarian::hungarian_max_weight;
+use mbta::matching::local_search::local_search;
+use mbta::matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+use mbta::matching::online::{online_assign, OnlinePolicy};
+use mbta::matching::stable::{deferred_acceptance, find_blocking_pair};
+use mbta::util::fixed::objectives_close;
+use proptest::prelude::*;
+
+/// A generated instance: node attributes plus a duplicate-free edge list.
+#[derive(Debug, Clone)]
+struct Instance {
+    caps: Vec<u32>,
+    dems: Vec<u32>,
+    edges: Vec<(u32, u32, f64, f64)>,
+}
+
+impl Instance {
+    fn graph(&self) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for &c in &self.caps {
+            b.add_worker(c);
+        }
+        for &d in &self.dems {
+            b.add_task(d);
+        }
+        for &(w, t, rb, wb) in &self.edges {
+            b.add_edge(WorkerId::new(w), TaskId::new(t), rb, wb)
+                .expect("strategy emits unique edges");
+        }
+        b.build().expect("strategy emits valid instances")
+    }
+}
+
+/// Strategy for instances with bounded size and configurable capacities.
+fn instance(max_side: usize, max_cap: u32) -> impl Strategy<Value = Instance> {
+    (1..=max_side, 1..=max_side).prop_flat_map(move |(n_w, n_t)| {
+        let caps = proptest::collection::vec(1..=max_cap, n_w);
+        let dems = proptest::collection::vec(1..=max_cap, n_t);
+        // Edge presence: one bool per (w, t) pair; weights per present edge.
+        let pairs =
+            proptest::collection::vec((any::<bool>(), 0.0f64..=1.0, 0.0f64..=1.0), n_w * n_t);
+        (caps, dems, pairs).prop_map(move |(caps, dems, pairs)| {
+            let edges = pairs
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (present, _, _))| *present)
+                .map(|(i, (_, rb, wb))| ((i / n_t) as u32, (i % n_t) as u32, rb, wb))
+                .collect();
+            Instance { caps, dems, edges }
+        })
+    })
+}
+
+fn mb_weights(g: &BipartiteGraph) -> Vec<f64> {
+    let c = Combiner::balanced();
+    g.edges().map(|e| c.combine(g.rb(e), g.wb(e))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every solver's output is feasible, and the exact solver dominates.
+    #[test]
+    fn solvers_feasible_and_exact_dominates(inst in instance(6, 3)) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let (exact, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        prop_assert!(exact.validate(&g).is_ok());
+        let best = exact.total_weight(&w);
+
+        let greedy = greedy_bmatching(&g, &w, 0.0);
+        prop_assert!(greedy.validate(&g).is_ok());
+        prop_assert!(greedy.total_weight(&w) <= best + 1e-6);
+        // Greedy ½-approximation.
+        prop_assert!(greedy.total_weight(&w) >= 0.5 * best - 1e-9);
+
+        let (ls, _) = local_search(&g, &w, greedy.clone(), 16);
+        prop_assert!(ls.validate(&g).is_ok());
+        prop_assert!(ls.total_weight(&w) + 1e-9 >= greedy.total_weight(&w));
+        prop_assert!(ls.total_weight(&w) <= best + 1e-6);
+
+        let card = max_cardinality_bmatching(&g);
+        prop_assert!(card.validate(&g).is_ok());
+        prop_assert!(exact.len() <= card.len());
+    }
+
+    /// Dijkstra and SPFA variants compute the same optimal profit.
+    #[test]
+    fn mcmf_variants_agree(inst in instance(6, 3)) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let (_, sd) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        let (_, ss) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Spfa);
+        prop_assert_eq!(sd.profit, ss.profit);
+    }
+
+    /// On unit instances, Hopcroft–Karp, Dinic and the Hungarian solver
+    /// agree on what's achievable.
+    #[test]
+    fn unit_matching_cross_validation(inst in instance(6, 1)) {
+        let g = inst.graph();
+        let hk = hopcroft_karp(&g);
+        let dinic = max_cardinality_bmatching(&g);
+        prop_assert_eq!(hk.len(), dinic.len());
+
+        let w = mb_weights(&g);
+        let hung = hungarian_max_weight(&g, &w);
+        prop_assert!(hung.validate(&g).is_ok());
+        let (flow, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        prop_assert!(
+            objectives_close(hung.total_weight(&w), flow.total_weight(&w), g.n_edges().max(1)),
+            "hungarian {} vs flow {}", hung.total_weight(&w), flow.total_weight(&w)
+        );
+    }
+
+    /// Adding an edge never decreases the MaxSum optimum (monotonicity).
+    #[test]
+    fn maxsum_monotone_under_edge_addition(inst in instance(5, 2), rb in 0.0f64..=1.0, wb in 0.0f64..=1.0) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let (before, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        // Find a missing pair to add, if any.
+        let missing = g.workers().find_map(|wk| {
+            g.tasks()
+                .find(|&t| g.find_edge(wk, t).is_none())
+                .map(|t| (wk, t))
+        });
+        if let Some((wk, t)) = missing {
+            let (caps, dems, mut edges) = g.to_edge_list();
+            edges.push((wk.raw(), t.raw(), rb, wb));
+            let g2 = mbta::graph::random::from_edges(&caps, &dems, &edges);
+            let w2 = mb_weights(&g2);
+            let (after, _) = max_weight_bmatching(&g2, &w2, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            prop_assert!(after.total_weight(&w2) >= before.total_weight(&w) - 1e-9);
+        }
+    }
+
+    /// Deferred acceptance always produces a pairwise-stable outcome.
+    #[test]
+    fn deferred_acceptance_is_stable(inst in instance(6, 3)) {
+        let g = inst.graph();
+        let m = deferred_acceptance(&g);
+        prop_assert!(m.validate(&g).is_ok());
+        prop_assert!(find_blocking_pair(&g, &m).is_none());
+    }
+
+    /// No online policy ever beats the offline optimum, under any arrival
+    /// permutation.
+    #[test]
+    fn online_bounded_by_offline(inst in instance(6, 2), seed in 0u64..1000) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let (opt, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        let best = opt.total_weight(&w);
+        let mut arrivals: Vec<WorkerId> = g.workers().collect();
+        mbta::util::SplitMix64::new(seed).shuffle(&mut arrivals);
+        for policy in [
+            OnlinePolicy::Greedy,
+            OnlinePolicy::Ranking { seed },
+            OnlinePolicy::TwoPhase { sample_fraction: 0.5, threshold_quantile: 0.5 },
+            OnlinePolicy::RandomThreshold { seed },
+        ] {
+            let m = online_assign(&g, &w, &arrivals, policy);
+            prop_assert!(m.validate(&g).is_ok());
+            prop_assert!(m.total_weight(&w) <= best + 1e-6);
+        }
+    }
+
+    /// Combiners stay inside [min(rb,wb), max(rb,wb)] ⊆ [0,1].
+    #[test]
+    fn combiner_bounds(rb in 0.0f64..=1.0, wb in 0.0f64..=1.0, lambda in 0.0f64..=1.0) {
+        for c in [Combiner::Linear { lambda }, Combiner::Harmonic, Combiner::Min] {
+            let v = c.combine(rb, wb);
+            prop_assert!((0.0..=1.0).contains(&v), "{c:?} -> {v}");
+            prop_assert!(v <= rb.max(wb) + 1e-12);
+            // Harmonic and Min lower-bound: 0; Linear lower-bound: min.
+            if let Combiner::Linear { .. } = c {
+                prop_assert!(v >= rb.min(wb) - 1e-12);
+            }
+        }
+    }
+
+    /// Push–relabel and Dinic agree on maximum cardinality everywhere.
+    #[test]
+    fn flow_engines_agree(inst in instance(7, 3)) {
+        let g = inst.graph();
+        let dinic = max_cardinality_bmatching(&g);
+        let pr = mbta::matching::push_relabel::max_cardinality_bmatching_pr(&g);
+        prop_assert!(pr.validate(&g).is_ok());
+        prop_assert_eq!(dinic.len(), pr.len());
+    }
+
+    /// The incremental maintainer stays feasible and internally consistent
+    /// under arbitrary churn sequences, and never exceeds the exact optimum
+    /// of the active sub-market.
+    #[test]
+    fn incremental_churn_invariants(inst in instance(6, 2), ops in proptest::collection::vec((0u8..4, 0usize..6), 0..30)) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let mut inc = mbta::core::incremental::IncrementalAssignment::new(&g, w.clone());
+        for (kind, idx) in ops {
+            match kind {
+                0 if g.n_workers() > 0 => {
+                    inc.deactivate_worker(WorkerId::from_index(idx % g.n_workers()));
+                }
+                1 if g.n_workers() > 0 => {
+                    inc.activate_worker(WorkerId::from_index(idx % g.n_workers()));
+                }
+                2 if g.n_tasks() > 0 => {
+                    inc.deactivate_task(TaskId::from_index(idx % g.n_tasks()));
+                }
+                3 if g.n_tasks() > 0 => {
+                    inc.activate_task(TaskId::from_index(idx % g.n_tasks()));
+                }
+                _ => {}
+            }
+            inc.check_invariants();
+        }
+        let aw = inc.active_weights();
+        let (opt, _) = max_weight_bmatching(&g, &aw, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        prop_assert!(inc.total_weight() <= opt.total_weight(&aw) + 1e-6);
+    }
+
+    /// Batched online assignment is feasible, never beats offline, and a
+    /// single whole-market batch recovers the offline optimum.
+    #[test]
+    fn batched_online_invariants(inst in instance(6, 2), batch in 1usize..8) {
+        let g = inst.graph();
+        let out = mbta::core::online::run_batched(
+            &g,
+            Combiner::balanced(),
+            mbta::core::online::ArrivalOrder::ById,
+            batch,
+        );
+        prop_assert!(out.matching.validate(&g).is_ok());
+        prop_assert!(out.online_value <= out.offline_value + 1e-6);
+        if batch >= g.n_workers().max(1) {
+            prop_assert!(
+                mbta::util::fixed::objectives_close(out.online_value, out.offline_value, g.n_edges().max(1)),
+                "single batch {} vs offline {}", out.online_value, out.offline_value
+            );
+        }
+    }
+
+    /// Budgeted solvers respect the budget and never beat the
+    /// unconstrained optimum.
+    #[test]
+    fn budget_invariants(inst in instance(5, 2), budget in 0.0f64..10.0) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        // Deterministic pseudo-costs derived from edge ids.
+        let costs: Vec<f64> = (0..g.n_edges()).map(|i| ((i * 7) % 5) as f64).collect();
+        let (opt, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        for r in [
+            mbta::core::budget::greedy_budgeted(&g, &w, &costs, budget),
+            mbta::core::budget::lagrangian_budgeted(&g, &w, &costs, budget, 15),
+        ] {
+            prop_assert!(r.matching.validate(&g).is_ok());
+            prop_assert!(r.total_cost <= budget + 1e-9);
+            prop_assert!(r.total_weight <= opt.total_weight(&w) + 1e-6);
+            prop_assert!((r.total_weight - r.matching.total_weight(&w)).abs() < 1e-9);
+        }
+    }
+
+    /// The certified exact solver's certificate verifies on every instance,
+    /// and refuses strictly lighter matchings.
+    #[test]
+    fn certificates_verify(inst in instance(6, 2)) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let (m, _, cert) =
+            mbta::matching::mcmf::max_weight_bmatching_certified(&g, &w);
+        prop_assert!(m.validate(&g).is_ok());
+        prop_assert!(mbta::matching::mcmf::verify_certificate(&g, &w, &m, &cert));
+        // A strictly worse matching must be rejected with the same
+        // certificate (the empty matching, when the optimum is non-empty).
+        if m.total_weight(&w) > 1e-6 {
+            prop_assert!(!mbta::matching::mcmf::verify_certificate(
+                &g,
+                &w,
+                &mbta::matching::Matching::empty(),
+                &cert
+            ));
+        }
+    }
+
+    /// k-best enumeration: non-increasing order, all feasible, all distinct,
+    /// first equals the exact optimum.
+    #[test]
+    fn kbest_invariants(inst in instance(4, 2)) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let top = mbta::matching::kbest::k_best_bmatchings(&g, &w, 4);
+        prop_assert!(!top.is_empty());
+        let (opt, _) = max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        prop_assert!((top[0].weight - opt.total_weight(&w)).abs() < 1e-6);
+        let mut seen = std::collections::BTreeSet::new();
+        for pair in top.windows(2) {
+            prop_assert!(pair[0].weight >= pair[1].weight - 1e-9);
+        }
+        for s in &top {
+            prop_assert!(s.matching.validate(&g).is_ok());
+            let mut canon: Vec<u32> = s.matching.edges.iter().map(|e| e.raw()).collect();
+            canon.sort_unstable();
+            prop_assert!(seen.insert(canon), "duplicate solution");
+        }
+    }
+
+    /// Acceptance model: probability is monotone in wb and in [0, 1].
+    #[test]
+    fn acceptance_probability_sane(a in -5.0f64..5.0, b in 0.0f64..10.0, wb1 in 0.0f64..=1.0, wb2 in 0.0f64..=1.0) {
+        let m = mbta::market::acceptance::AcceptanceModel { intercept: a, slope: b };
+        let (p1, p2) = (m.p_accept(wb1), m.p_accept(wb2));
+        prop_assert!((0.0..=1.0).contains(&p1));
+        if wb1 <= wb2 {
+            prop_assert!(p1 <= p2 + 1e-12);
+        }
+    }
+
+    /// Rotation never increases total welfare relative to myopic and never
+    /// shrinks participation; all round matchings stay feasible.
+    #[test]
+    fn rotation_invariants(inst in instance(5, 2), strength in 0.0f64..3.0, rounds in 1u32..5) {
+        use mbta::core::rotation::{repeated_rounds, RotationPolicy};
+        let g = inst.graph();
+        let myopic = repeated_rounds(&g, Combiner::balanced(), RotationPolicy::Myopic, rounds);
+        let rotated = repeated_rounds(
+            &g,
+            Combiner::balanced(),
+            RotationPolicy::LoadDiscount { strength },
+            rounds,
+        );
+        prop_assert!(rotated.total_welfare <= myopic.total_welfare + 1e-6);
+        prop_assert!(rotated.workers_ever_used >= myopic.workers_ever_used);
+        for m in rotated.rounds.iter().chain(myopic.rounds.iter()) {
+            prop_assert!(m.validate(&g).is_ok());
+        }
+    }
+
+    /// Binary serialization round-trips every generated instance exactly.
+    #[test]
+    fn serialization_roundtrip(inst in instance(7, 4)) {
+        let g = inst.graph();
+        let bytes = mbta::graph::serial::write_graph(&g);
+        let g2 = mbta::graph::serial::read_graph(bytes).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// The bottleneck solver's floor is optimal: no feasible matching of
+    /// maximum cardinality has a higher minimum edge (checked against the
+    /// exact-sum and greedy solutions at equal cardinality).
+    #[test]
+    fn bottleneck_floor_dominates(inst in instance(5, 2)) {
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let r = mbta::core::maxmin::maxmin_with_weights(&g, &w);
+        prop_assert!(r.matching.validate(&g).is_ok());
+        let (exact, _) = max_weight_bmatching(&g, &w, FlowMode::MaxFlow, PathAlgo::Dijkstra);
+        if exact.len() == r.cardinality && !exact.is_empty() {
+            let floor = mbta::core::maxmin::min_edge_weight(&exact, &w);
+            prop_assert!(r.bottleneck >= floor - 1e-9);
+        }
+    }
+}

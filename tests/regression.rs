@@ -1,0 +1,149 @@
+//! Golden regression tests.
+//!
+//! The whole pipeline — workload generation, benefit model, combiner,
+//! solvers — is deterministic given a seed, so exact objective values on
+//! fixed instances are stable across runs and platforms (IEEE-754 f64 plus
+//! integer fixed-point in the solvers). These goldens pin that behaviour:
+//! a failing test here means an algorithmic change altered *results*, not
+//! just performance, and must be a conscious decision (update the golden
+//! in the same change, with an explanation).
+
+use mbta::core::algorithms::{solve, Algorithm};
+use mbta::core::maxmin::maxmin_bmatching;
+use mbta::market::benefit::edge_weights;
+use mbta::market::{BenefitParams, Combiner};
+use mbta::matching::mcmf::PathAlgo;
+use mbta::workload::{Profile, WorkloadSpec};
+
+struct Golden {
+    profile: Profile,
+    edges: usize,
+    exact: f64,
+    greedy: f64,
+    max_cardinality: usize,
+    bottleneck: f64,
+}
+
+/// Values recorded from the pinned toolchain run; see module docs.
+const GOLDENS: &[Golden] = &[
+    Golden {
+        profile: Profile::Uniform,
+        edges: 1200,
+        exact: 101.412_746_115_5,
+        greedy: 101.076_958_872_1,
+        max_cardinality: 184,
+        bottleneck: 0.352_907_008_2,
+    },
+    Golden {
+        profile: Profile::Zipfian,
+        edges: 1200,
+        exact: 73.996_450_246_9,
+        greedy: 71.203_054_079_7,
+        max_cardinality: 179,
+        bottleneck: 0.081_746_711_7,
+    },
+    Golden {
+        profile: Profile::Microtask,
+        edges: 1200,
+        exact: 275.156_967_443_4,
+        greedy: 275.064_491_579_9,
+        max_cardinality: 398,
+        bottleneck: 0.440_513_860_5,
+    },
+    Golden {
+        profile: Profile::Freelance,
+        edges: 1200,
+        exact: 49.661_077_206_3,
+        greedy: 48.428_157_833_8,
+        max_cardinality: 99,
+        bottleneck: 0.248_481_944_4,
+    },
+];
+
+/// Fixed instance per profile: 200 workers, 100 tasks, degree 6, seed
+/// 20260706 (the recording date).
+fn instance(profile: Profile) -> mbta::graph::BipartiteGraph {
+    WorkloadSpec {
+        profile,
+        n_workers: 200,
+        n_tasks: 100,
+        avg_worker_degree: 6.0,
+        skill_dims: 8,
+        seed: 20_260_706,
+    }
+    .generate()
+    .realize(&BenefitParams::default())
+    .unwrap()
+}
+
+#[test]
+fn golden_objectives_per_profile() {
+    // Tolerance: the recorded values have 10 decimals; allow rounding of
+    // the recording itself, far tighter than any algorithmic change.
+    const TOL: f64 = 5e-10;
+    for golden in GOLDENS {
+        let g = instance(golden.profile);
+        assert_eq!(g.n_edges(), golden.edges, "{}", golden.profile.name());
+        let w = edge_weights(&g, Combiner::balanced());
+        let exact = solve(
+            &g,
+            Combiner::balanced(),
+            Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+        );
+        assert!(
+            (exact.total_weight(&w) - golden.exact).abs() < TOL,
+            "{}: exact {} vs golden {}",
+            golden.profile.name(),
+            exact.total_weight(&w),
+            golden.exact
+        );
+        let greedy = solve(&g, Combiner::balanced(), Algorithm::GreedyMB);
+        assert!(
+            (greedy.total_weight(&w) - golden.greedy).abs() < TOL,
+            "{}: greedy {} vs golden {}",
+            golden.profile.name(),
+            greedy.total_weight(&w),
+            golden.greedy
+        );
+        let mm = maxmin_bmatching(&g, Combiner::balanced());
+        assert_eq!(
+            mm.cardinality,
+            golden.max_cardinality,
+            "{}",
+            golden.profile.name()
+        );
+        assert!(
+            (mm.bottleneck - golden.bottleneck).abs() < TOL,
+            "{}: bottleneck {} vs golden {}",
+            golden.profile.name(),
+            mm.bottleneck,
+            golden.bottleneck
+        );
+    }
+}
+
+#[test]
+fn golden_spfa_agrees_with_dijkstra() {
+    // The two exact variants must keep producing identical objectives on
+    // the pinned instances — a drift here is a solver bug, full stop.
+    for golden in GOLDENS {
+        let g = instance(golden.profile);
+        let spfa = solve(
+            &g,
+            Combiner::balanced(),
+            Algorithm::ExactMB {
+                algo: PathAlgo::Spfa,
+            },
+        );
+        let w = edge_weights(&g, Combiner::balanced());
+        assert!(
+            (spfa.total_weight(&w) - golden.exact).abs() < 1e-6,
+            "{}: spfa {} vs golden {}",
+            golden.profile.name(),
+            spfa.total_weight(&w),
+            golden.exact
+        );
+    }
+}
