@@ -20,6 +20,8 @@ usage:
   mbta-cli stats FILE
   mbta-cli solve FILE [--algorithm <exact|greedy|local|quality|worker|random|cardinality|stable>]
                       [--combiner <balanced|harmonic|min|linear:L>] [--pairs]
+                      [--deadline-ms N] [--fallback]
+  mbta-cli solve --inject-faults [--instances N] [--deadline-ms N] [--seed N]
   mbta-cli sweep FILE [--steps N]
   mbta-cli maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
   mbta-cli budget FILE --limit B [--combiner C] [--iters N]
@@ -64,6 +66,23 @@ pub enum Command {
         combiner: Combiner,
         /// Whether to print every assigned pair.
         pairs: bool,
+        /// Wall-clock budget for the solve; routes through the robust
+        /// engine when set.
+        deadline_ms: Option<u64>,
+        /// Enable the graceful-degradation chain (greedy -> local search ->
+        /// exact) instead of exact-only; routes through the robust engine.
+        fallback: bool,
+    },
+    /// Run the synthetic fault-injection campaign through the robust
+    /// engine (`solve --inject-faults`): adversarial topologies and
+    /// poisoned weights, each solved under a deadline.
+    FaultCampaign {
+        /// Number of fuzzed instances.
+        instances: usize,
+        /// Per-instance deadline handed to the engine.
+        deadline_ms: u64,
+        /// Base seed of the campaign.
+        seed: u64,
     },
     /// λ-sweep frontier of a persisted instance.
     Sweep {
@@ -147,6 +166,10 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.args.get(self.pos).map(|s| s.as_str())
+    }
+
     fn next(&mut self) -> Option<&'a str> {
         let v = self.args.get(self.pos).map(|s| s.as_str());
         self.pos += 1;
@@ -268,27 +291,72 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "solve" => {
-            let Some(file) = cur.next() else {
-                return err("solve requires a file");
+            // `solve --inject-faults` runs on synthetic instances and takes
+            // no file; every other form requires one, so the positional is
+            // only consumed when the next token is not a flag.
+            let file = match cur.peek() {
+                Some(tok) if !tok.starts_with("--") => {
+                    cur.next();
+                    Some(PathBuf::from(tok))
+                }
+                _ => None,
             };
             let mut algorithm = Algorithm::ExactMB {
                 algo: PathAlgo::Dijkstra,
             };
             let mut combiner = Combiner::balanced();
             let mut pairs = false;
+            let mut deadline_ms: Option<u64> = None;
+            let mut fallback = false;
+            let mut inject_faults = false;
+            let mut instances = 1_000usize;
+            let mut seed = 0u64;
+            let mut campaign_only_flag: Option<&str> = None;
             while let Some(flag) = cur.next() {
                 match flag {
                     "--algorithm" => algorithm = parse_algorithm(cur.value_for(flag)?)?,
                     "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
                     "--pairs" => pairs = true,
+                    "--deadline-ms" => deadline_ms = Some(parse_num(flag, cur.value_for(flag)?)?),
+                    "--fallback" => fallback = true,
+                    "--inject-faults" => inject_faults = true,
+                    "--instances" => {
+                        campaign_only_flag = Some(flag);
+                        instances = parse_num(flag, cur.value_for(flag)?)?;
+                        if instances == 0 {
+                            return err("--instances must be >= 1");
+                        }
+                    }
+                    "--seed" => {
+                        campaign_only_flag = Some(flag);
+                        seed = parse_num(flag, cur.value_for(flag)?)?;
+                    }
                     _ => return err(format!("unknown flag for solve: '{flag}'")),
                 }
             }
+            if inject_faults {
+                if file.is_some() {
+                    return err("--inject-faults generates its own instances; drop the file");
+                }
+                return Ok(Command::FaultCampaign {
+                    instances,
+                    deadline_ms: deadline_ms.unwrap_or(50),
+                    seed,
+                });
+            }
+            if let Some(flag) = campaign_only_flag {
+                return err(format!("{flag} only applies with --inject-faults"));
+            }
+            let Some(file) = file else {
+                return err("solve requires a file (or --inject-faults)");
+            };
             Ok(Command::Solve {
-                file: PathBuf::from(file),
+                file,
                 algorithm,
                 combiner,
                 pairs,
+                deadline_ms,
+                fallback,
             })
         }
         "sweep" => {
@@ -524,6 +592,83 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_robust_solve_flags() {
+        match parse(&sv(&[
+            "solve",
+            "m.mbta",
+            "--deadline-ms",
+            "50",
+            "--fallback",
+        ]))
+        .unwrap()
+        {
+            Command::Solve {
+                deadline_ms,
+                fallback,
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(50));
+                assert!(fallback);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&sv(&["solve", "m.mbta"])).unwrap() {
+            Command::Solve {
+                deadline_ms,
+                fallback,
+                ..
+            } => {
+                assert_eq!(deadline_ms, None);
+                assert!(!fallback);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_fault_campaign() {
+        match parse(&sv(&[
+            "solve",
+            "--inject-faults",
+            "--instances",
+            "200",
+            "--deadline-ms",
+            "25",
+            "--seed",
+            "7",
+        ]))
+        .unwrap()
+        {
+            Command::FaultCampaign {
+                instances,
+                deadline_ms,
+                seed,
+            } => {
+                assert_eq!(instances, 200);
+                assert_eq!(deadline_ms, 25);
+                assert_eq!(seed, 7);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Deadline defaults to the CI smoke budget of 50 ms.
+        assert!(matches!(
+            parse(&sv(&["solve", "--inject-faults"])).unwrap(),
+            Command::FaultCampaign {
+                instances: 1000,
+                deadline_ms: 50,
+                seed: 0,
+            }
+        ));
+        // A file and the campaign are mutually exclusive; campaign-only
+        // flags need --inject-faults; plain solve still needs a file.
+        assert!(parse(&sv(&["solve", "m.mbta", "--inject-faults"])).is_err());
+        assert!(parse(&sv(&["solve", "m.mbta", "--instances", "5"])).is_err());
+        assert!(parse(&sv(&["solve", "m.mbta", "--seed", "5"])).is_err());
+        assert!(parse(&sv(&["solve"])).is_err());
+        assert!(parse(&sv(&["solve", "--inject-faults", "--instances", "0"])).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::{Command, USAGE};
 use mbta_core::algorithms::solve;
 use mbta_core::budget::{greedy_budgeted, lagrangian_budgeted};
+use mbta_core::engine::{solve_robust, EngineConfig, EngineError};
 use mbta_core::evaluate::Evaluation;
 use mbta_core::frontier::lambda_sweep;
 use mbta_core::maxmin::maxmin_with_weights;
@@ -15,7 +16,9 @@ use mbta_market::benefit::edge_weights;
 use mbta_market::BenefitParams;
 use mbta_matching::kbest::k_best_bmatchings;
 use mbta_util::table::{fnum, Table};
+use mbta_workload::faults::adversarial_instance;
 use mbta_workload::WorkloadSpec;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fs;
 use std::path::Path;
@@ -90,20 +93,48 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             algorithm,
             combiner,
             pairs,
+            deadline_ms,
+            fallback,
         } => {
             let g = load(&file)?;
+            let robust = deadline_ms.is_some() || fallback;
             let start = Instant::now();
-            let m = solve(&g, combiner, algorithm);
+            let (m, tier) = if robust {
+                // Route through the fault-tolerant engine: --fallback opts
+                // into the degradation chain, --deadline-ms bounds the solve.
+                // --algorithm is ignored here (the engine picks its chain).
+                let weights = edge_weights(&g, combiner);
+                let mut cfg = if fallback {
+                    EngineConfig::new()
+                } else {
+                    EngineConfig::new().exact_only()
+                };
+                if let Some(ms) = deadline_ms {
+                    cfg = cfg.with_deadline_ms(ms);
+                }
+                let sol = solve_robust(&g, &weights, &cfg)?;
+                (sol.matching, Some(sol.tier))
+            } else {
+                (solve(&g, combiner, algorithm), None)
+            };
             let elapsed = start.elapsed();
             m.validate(&g)?;
             let ev = Evaluation::compute(&g, &m, combiner);
-            println!(
-                "{} under {:?}: {} pairs in {:.2?}",
-                algorithm.name(),
-                combiner,
-                m.len(),
-                elapsed
-            );
+            match tier {
+                Some(t) => println!(
+                    "robust engine under {:?}: {} pairs in {:.2?} [tier: {t}]",
+                    combiner,
+                    m.len(),
+                    elapsed
+                ),
+                None => println!(
+                    "{} under {:?}: {} pairs in {:.2?}",
+                    algorithm.name(),
+                    combiner,
+                    m.len(),
+                    elapsed
+                ),
+            }
             println!("  total mutual benefit : {:.3}", ev.total_mb);
             println!("  requester side       : {:.3}", ev.total_rb);
             println!("  worker side          : {:.3}", ev.total_wb);
@@ -127,6 +158,57 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
                     );
                 }
             }
+            Ok(())
+        }
+        Command::FaultCampaign {
+            instances,
+            deadline_ms,
+            seed,
+        } => {
+            println!(
+                "fault-injection campaign: {instances} instances, \
+                 {deadline_ms} ms deadline, base seed {seed}"
+            );
+            let mut injected: BTreeMap<&'static str, usize> = BTreeMap::new();
+            let mut tiers: BTreeMap<&'static str, usize> = BTreeMap::new();
+            let mut errors: BTreeMap<&'static str, usize> = BTreeMap::new();
+            let (mut solved, mut rejected) = (0usize, 0usize);
+            let start = Instant::now();
+            for i in 0..instances {
+                let inst = adversarial_instance(seed.wrapping_add(i as u64));
+                for k in &inst.injected {
+                    *injected.entry(k.name()).or_insert(0) += 1;
+                }
+                let cfg = EngineConfig::new().with_deadline_ms(deadline_ms);
+                match solve_robust(&inst.graph, &inst.weights, &cfg) {
+                    Ok(sol) => {
+                        sol.matching.validate(&inst.graph).map_err(|e| {
+                            format!("seed {}: engine returned invalid matching: {e}", inst.seed)
+                        })?;
+                        *tiers.entry(sol.tier.name()).or_insert(0) += 1;
+                        solved += 1;
+                    }
+                    Err(e) => {
+                        *errors.entry(engine_error_class(&e)).or_insert(0) += 1;
+                        rejected += 1;
+                    }
+                }
+            }
+            let elapsed = start.elapsed();
+            let mut t = Table::new("campaign outcomes", &["outcome", "count"]);
+            t.row(vec!["solved (valid matching)".into(), solved.to_string()]);
+            t.row(vec!["rejected (typed error)".into(), rejected.to_string()]);
+            for (name, n) in &tiers {
+                t.row(vec![format!("tier: {name}"), n.to_string()]);
+            }
+            for (name, n) in &errors {
+                t.row(vec![format!("error: {name}"), n.to_string()]);
+            }
+            for (name, n) in &injected {
+                t.row(vec![format!("fault: {name}"), n.to_string()]);
+            }
+            print!("{}", t.render());
+            println!("campaign passed: no panics, every matching valid, in {elapsed:.2?}");
             Ok(())
         }
         Command::MaxMin { file, combiner } => {
@@ -250,6 +332,18 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
     }
 }
 
+/// Stable short labels for campaign accounting (the `Display` impl
+/// interpolates instance-specific numbers, which would fragment the tally).
+fn engine_error_class(e: &EngineError) -> &'static str {
+    match e {
+        EngineError::WeightLenMismatch { .. } => "weight-len-mismatch",
+        EngineError::NonFiniteWeight { .. } => "non-finite-weight",
+        EngineError::NegativeWeight { .. } => "negative-weight",
+        EngineError::EmptyGraph { .. } => "empty-graph",
+        EngineError::NoAssignableCapacity => "no-assignable-capacity",
+    }
+}
+
 fn load(path: &Path) -> Result<BipartiteGraph, Box<dyn Error>> {
     let bytes = fs::read(path)?;
     Ok(read_graph(&bytes[..])?)
@@ -291,6 +385,19 @@ mod tests {
             },
             combiner: Combiner::balanced(),
             pairs: true,
+            deadline_ms: None,
+            fallback: false,
+        })
+        .unwrap();
+        run(Command::Solve {
+            file: out.clone(),
+            algorithm: Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+            combiner: Combiner::balanced(),
+            pairs: false,
+            deadline_ms: Some(50),
+            fallback: true,
         })
         .unwrap();
         run(Command::Sweep {
@@ -330,6 +437,16 @@ mod tests {
         })
         .unwrap();
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn fault_campaign_runs_clean() {
+        run(Command::FaultCampaign {
+            instances: 120,
+            deadline_ms: 50,
+            seed: 0,
+        })
+        .unwrap();
     }
 
     #[test]

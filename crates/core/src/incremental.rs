@@ -18,7 +18,53 @@
 //! ½-optimal, and churn rarely moves the global structure).
 
 use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
-use mbta_matching::Matching;
+use mbta_matching::{Infeasibility, Matching};
+use std::fmt;
+
+/// Why a seed matching was rejected by
+/// [`IncrementalAssignment::from_matching`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedRejection {
+    /// The weight slice does not cover every edge of the graph.
+    WeightLenMismatch {
+        /// Number of edges in the graph.
+        expected: usize,
+        /// Length of the supplied weight slice.
+        got: usize,
+    },
+    /// The seed matching violates graph feasibility.
+    Infeasible(Infeasibility),
+    /// A seeded edge carries a non-finite weight, which would poison the
+    /// maintained running total.
+    NonFiniteWeight {
+        /// The offending edge (raw id).
+        edge: u32,
+        /// Its weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for SeedRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SeedRejection::WeightLenMismatch { expected, got } => {
+                write!(f, "weight slice length {got} != edge count {expected}")
+            }
+            SeedRejection::Infeasible(ref e) => write!(f, "infeasible seed matching: {e}"),
+            SeedRejection::NonFiniteWeight { edge, weight } => {
+                write!(f, "seeded edge {edge} has non-finite weight {weight}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeedRejection {}
+
+impl From<Infeasibility> for SeedRejection {
+    fn from(e: Infeasibility) -> Self {
+        SeedRejection::Infeasible(e)
+    }
+}
 
 /// A feasible assignment maintained under node activation churn.
 #[derive(Debug, Clone)]
@@ -38,13 +84,37 @@ impl<'g> IncrementalAssignment<'g> {
     pub fn new(g: &'g BipartiteGraph, weights: Vec<f64>) -> Self {
         assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
         let initial = mbta_matching::greedy::greedy_bmatching(g, &weights, 0.0);
-        Self::from_matching(g, weights, &initial)
+        // Greedy only takes finite-weight edges and is always feasible.
+        Self::from_matching(g, weights, &initial).expect("greedy seed is always accepted")
     }
 
-    /// Starts from an existing feasible matching (all nodes active).
-    pub fn from_matching(g: &'g BipartiteGraph, weights: Vec<f64>, m: &Matching) -> Self {
-        assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
-        debug_assert!(m.validate(g).is_ok());
+    /// Starts from an existing matching (all nodes active), after checking
+    /// that the seed is actually usable: the weight slice must cover every
+    /// edge, the matching must be feasible for `g`, and every seeded edge
+    /// must carry a finite weight (a NaN/±inf seed would silently poison
+    /// the maintained running total). Formerly these were `debug_assert!`s,
+    /// which made release builds accept corrupt seeds; churn traces replay
+    /// against this state for thousands of events, so reject loudly instead.
+    pub fn from_matching(
+        g: &'g BipartiteGraph,
+        weights: Vec<f64>,
+        m: &Matching,
+    ) -> Result<Self, SeedRejection> {
+        if weights.len() != g.n_edges() {
+            return Err(SeedRejection::WeightLenMismatch {
+                expected: g.n_edges(),
+                got: weights.len(),
+            });
+        }
+        m.validate(g)?;
+        for &e in &m.edges {
+            if !weights[e.index()].is_finite() {
+                return Err(SeedRejection::NonFiniteWeight {
+                    edge: e.raw(),
+                    weight: weights[e.index()],
+                });
+            }
+        }
         let mut s = Self {
             g,
             weights,
@@ -58,7 +128,7 @@ impl<'g> IncrementalAssignment<'g> {
         for &e in &m.edges {
             s.insert(e);
         }
-        s
+        Ok(s)
     }
 
     /// Current total weight of the maintained assignment.
@@ -112,12 +182,14 @@ impl<'g> IncrementalAssignment<'g> {
         self.total -= self.weights[e.index()];
     }
 
-    /// Whether edge `e` could be added right now.
+    /// Whether edge `e` could be added right now. Non-finite weights are
+    /// never addable: repair must not poison the running total.
     fn addable(&self, e: EdgeId) -> bool {
         let w = self.g.worker_of(e);
         let t = self.g.task_of(e);
         !self.in_matching[e.index()]
             && self.weights[e.index()] > 0.0
+            && self.weights[e.index()].is_finite()
             && self.worker_active[w.index()]
             && self.task_active[t.index()]
             && self.w_load[w.index()] < self.g.capacity(w)
@@ -133,8 +205,7 @@ impl<'g> IncrementalAssignment<'g> {
             self.g.task_edges(t).filter(|&e| self.addable(e)).collect();
         candidates.sort_unstable_by(|&a, &b| {
             self.weights[b.index()]
-                .partial_cmp(&self.weights[a.index()])
-                .expect("weights are finite")
+                .total_cmp(&self.weights[a.index()])
                 .then(a.cmp(&b))
         });
         for e in candidates {
@@ -159,8 +230,7 @@ impl<'g> IncrementalAssignment<'g> {
             .collect();
         candidates.sort_unstable_by(|&a, &b| {
             self.weights[b.index()]
-                .partial_cmp(&self.weights[a.index()])
-                .expect("weights are finite")
+                .total_cmp(&self.weights[a.index()])
                 .then(a.cmp(&b))
         });
         for e in candidates {
@@ -389,9 +459,79 @@ mod tests {
         let (opt, _) =
             max_weight_bmatching(&g, &weights, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
         let expected = opt.total_weight(&weights);
-        let inc = IncrementalAssignment::from_matching(&g, weights, &opt);
+        let inc = IncrementalAssignment::from_matching(&g, weights, &opt).unwrap();
         assert!((inc.total_weight() - expected).abs() < 1e-9);
         inc.check_invariants();
+    }
+
+    #[test]
+    fn from_matching_rejects_bad_seeds() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.5, 0.5), (1, 1, 0.5, 0.5)]);
+
+        // Short weight slice.
+        let err =
+            IncrementalAssignment::from_matching(&g, vec![0.5], &Matching::empty()).unwrap_err();
+        assert!(matches!(
+            err,
+            SeedRejection::WeightLenMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+
+        // Infeasible seed: the same edge twice overloads both endpoints.
+        let dup = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(0)]);
+        let err = IncrementalAssignment::from_matching(&g, vec![0.5, 0.5], &dup).unwrap_err();
+        assert!(matches!(err, SeedRejection::Infeasible(_)), "{err}");
+
+        // Seeded edge with a NaN weight.
+        let seed = Matching::from_edges(vec![EdgeId::new(0)]);
+        let err = IncrementalAssignment::from_matching(&g, vec![f64::NAN, 0.5], &seed).unwrap_err();
+        assert!(
+            matches!(err, SeedRejection::NonFiniteWeight { edge: 0, .. }),
+            "{err}"
+        );
+
+        // NaN weight on an *unmatched* edge is fine — repair just never
+        // takes that edge.
+        let ok = IncrementalAssignment::from_matching(&g, vec![0.5, f64::NAN], &seed).unwrap();
+        ok.check_invariants();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn dropout_storms_keep_invariants() {
+        use mbta_workload::faults::{dropout_storm, ChurnEvent};
+        for seed in 0..10 {
+            let g = random_bipartite(
+                &RandomGraphSpec {
+                    n_workers: 60,
+                    n_tasks: 40,
+                    avg_degree: 5.0,
+                    capacity: 2,
+                    demand: 2,
+                },
+                seed,
+            );
+            let weights: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+            let mut inc = IncrementalAssignment::new(&g, weights);
+            // A storm drops 70% of each side nearly at once, then half of
+            // the dropped nodes come back; every intermediate state must
+            // stay feasible and consistent.
+            for ev in dropout_storm(g.n_workers(), g.n_tasks(), 0.7, seed ^ 0xABCD) {
+                match ev {
+                    ChurnEvent::DeactivateWorker(w) => {
+                        inc.deactivate_worker(WorkerId::new(w));
+                    }
+                    ChurnEvent::ActivateWorker(w) => inc.activate_worker(WorkerId::new(w)),
+                    ChurnEvent::DeactivateTask(t) => {
+                        inc.deactivate_task(TaskId::new(t));
+                    }
+                    ChurnEvent::ActivateTask(t) => inc.activate_task(TaskId::new(t)),
+                }
+                inc.check_invariants();
+            }
+        }
     }
 
     #[test]

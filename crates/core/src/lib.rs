@@ -22,6 +22,9 @@
 //!   worker-side welfare, and the balance-constrained variant built on it.
 //! * [`online`] — arrival orders and empirical competitive ratios for the
 //!   online policies.
+//! * [`engine`] — the fault-tolerant serving boundary: typed input
+//!   validation, deadline/cancellation budgets, and the graceful-degradation
+//!   fallback chain (greedy → local search → exact) with tiered quality.
 //! * [`incremental`] — assignment maintenance under worker/task churn with
 //!   greedy local repair (experiment F14).
 //! * [`budget`] — MB-Budget: budget-constrained assignment via density
@@ -41,6 +44,7 @@
 
 pub mod algorithms;
 pub mod budget;
+pub mod engine;
 pub mod evaluate;
 pub mod frontier;
 pub mod incremental;
@@ -52,5 +56,6 @@ pub mod report;
 pub mod rotation;
 
 pub use algorithms::{solve, Algorithm};
+pub use engine::{solve_robust, EngineConfig, EngineError, EngineSolution, QualityTier};
 pub use evaluate::Evaluation;
 pub use pipeline::{assign, AssignmentOutcome};

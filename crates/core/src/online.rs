@@ -36,6 +36,13 @@ pub enum ArrivalOrder {
 
 /// Materializes the arrival sequence for a graph under the given order.
 /// `weights` drives the Best* orders (ties break by worker id).
+///
+/// Non-finite weights are tolerated rather than fatal: a NaN edge weight is
+/// ignored when computing a worker's best edge (`f64::max` propagates the
+/// other operand), `+inf` best edges sort ahead of every finite value in
+/// `BestFirst` (last in `BestLast`), and `-inf` cannot occur because the
+/// fold starts at `0.0`. The sort itself uses [`f64::total_cmp`], which is
+/// a total order, so poisoned inputs can never panic here.
 pub fn make_arrival_order(
     g: &BipartiteGraph,
     weights: &[f64],
@@ -56,12 +63,7 @@ pub fn make_arrival_order(
                         .fold(0.0f64, f64::max)
                 })
                 .collect();
-            workers.sort_by(|&a, &b| {
-                best[b.index()]
-                    .partial_cmp(&best[a.index()])
-                    .expect("weights are finite")
-                    .then(a.cmp(&b))
-            });
+            workers.sort_by(|&a, &b| best[b.index()].total_cmp(&best[a.index()]).then(a.cmp(&b)));
             if order == ArrivalOrder::BestLast {
                 workers.reverse();
             }
@@ -337,6 +339,53 @@ mod tests {
             large_total >= small_total,
             "batch 25 ({large_total}) should not lose to batch 1 ({small_total})"
         );
+    }
+
+    #[test]
+    fn arrival_order_survives_poisoned_weights() {
+        let g = from_edges(
+            &[1, 1, 1],
+            &[1, 1, 1],
+            &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5), (2, 2, 0.7, 0.7)],
+        );
+        let w = vec![f64::NAN, f64::INFINITY, 0.7];
+        for order in [ArrivalOrder::BestFirst, ArrivalOrder::BestLast] {
+            let seq = make_arrival_order(&g, &w, order);
+            let mut ids: Vec<u32> = seq.iter().map(|w| w.raw()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2]);
+        }
+        // NaN is ignored by the max fold (worker 0's best is 0.0); +inf
+        // sorts first under BestFirst.
+        let seq = make_arrival_order(&g, &w, ArrivalOrder::BestFirst);
+        assert_eq!(seq[0].raw(), 1);
+        assert_eq!(seq[1].raw(), 2);
+        assert_eq!(seq[2].raw(), 0);
+    }
+
+    #[test]
+    fn arrival_orders_survive_the_fault_campaign() {
+        // Every adversarial instance whose weight slice actually covers the
+        // edge set must order workers without panicking — including the
+        // NaN/±inf-poisoned and disconnected ones.
+        let mut exercised = 0usize;
+        for seed in 0..300 {
+            let inst = mbta_workload::faults::adversarial_instance(seed);
+            if inst.weights.len() != inst.graph.n_edges() {
+                continue; // truncated-weights faults target the engine path
+            }
+            exercised += 1;
+            for order in [
+                ArrivalOrder::ById,
+                ArrivalOrder::Random { seed },
+                ArrivalOrder::BestFirst,
+                ArrivalOrder::BestLast,
+            ] {
+                let seq = make_arrival_order(&inst.graph, &inst.weights, order);
+                assert_eq!(seq.len(), inst.graph.n_workers(), "seed {seed}");
+            }
+        }
+        assert!(exercised > 200, "campaign too small: {exercised}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::solution::Matching;
 use mbta_graph::{BipartiteGraph, EdgeId, WorkerId};
 use mbta_util::fixed::benefit_to_profit;
+use mbta_util::SolveCtl;
 
 const NONE: u32 = u32::MAX;
 
@@ -33,6 +34,21 @@ const NONE: u32 = u32::MAX;
 /// # Panics
 /// Panics unless all capacities and demands are 1.
 pub fn auction_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
+    auction_max_weight_ctl(g, weights, &SolveCtl::unlimited()).0
+}
+
+/// [`auction_max_weight`] with cooperative cancellation.
+///
+/// The stop check runs once per bid. Mid-auction state is always a feasible
+/// partial assignment (each worker holds at most one object, each real task
+/// at most one worker), so on early stop the current `assigned_edge` table
+/// is extracted as-is — it validates, it just may be far from optimal. The
+/// returned `bool` is `false` iff the solve was interrupted.
+pub fn auction_max_weight_ctl(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    ctl: &SolveCtl,
+) -> (Matching, bool) {
     assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
     assert!(
         g.capacities().iter().all(|&c| c == 1) && g.demands().iter().all(|&d| d == 1),
@@ -41,7 +57,7 @@ pub fn auction_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
     let n_w = g.n_workers();
     let n_t = g.n_tasks();
     if n_w == 0 || g.n_edges() == 0 {
-        return Matching::empty();
+        return (Matching::empty(), true);
     }
 
     // Integer values scaled by (n+1) so that final ε < 1 ⇒ exact optimum.
@@ -66,9 +82,14 @@ pub fn auction_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
 
     // Single phase with ε = 1 (values are scaled by n+1, so this is exact).
     let eps = 1i64;
+    let mut completed = true;
     {
         let mut queue: Vec<u32> = (0..n_w as u32).collect();
         while let Some(wi) = queue.pop() {
+            if ctl.should_stop() {
+                completed = false;
+                break;
+            }
             if assigned_obj[wi as usize] != NONE {
                 continue; // stale queue entry
             }
@@ -119,7 +140,7 @@ pub fn auction_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
         .filter(|&&e| e != NONE && benefit_to_profit(weights[e as usize]) > 0)
         .map(|&e| EdgeId::new(e))
         .collect();
-    Matching::from_edges(edges)
+    (Matching::from_edges(edges), completed)
 }
 
 #[cfg(test)]
@@ -221,5 +242,21 @@ mod tests {
     fn empty_graph() {
         let g = from_edges(&[], &[], &[]);
         assert!(auction_max_weight(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn cancelled_auction_returns_feasible_partial() {
+        use mbta_util::{CancelToken, SolveCtl};
+        let g = complete_bipartite(10, 10, 11);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        // Coarse interval: a few bids land before the stop is observed.
+        let ctl = SolveCtl::unlimited()
+            .with_token(token)
+            .with_check_interval(5);
+        let (m, completed) = auction_max_weight_ctl(&g, &w, &ctl);
+        assert!(!completed);
+        m.validate(&g).unwrap();
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::solution::Matching;
 use mbta_graph::BipartiteGraph;
+use mbta_util::SolveCtl;
 
 /// A reusable max-flow network (forward/backward arc-pair arena).
 #[derive(Debug, Clone)]
@@ -80,6 +81,14 @@ impl FlowNetwork {
     /// Computes the max flow from `source` to `sink`, mutating residual
     /// capacities in place. Returns the flow value.
     pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        self.max_flow_with_ctl(source, sink, &SolveCtl::unlimited())
+            .0
+    }
+
+    /// Like [`max_flow`](Self::max_flow), but consulting `ctl` at each BFS
+    /// phase and each blocking-flow push. Returns `(flow, completed)`; on
+    /// early stop the pushed flow is feasible but possibly not maximum.
+    pub fn max_flow_with_ctl(&mut self, source: usize, sink: usize, ctl: &SolveCtl) -> (u64, bool) {
         assert_ne!(source, sink, "source == sink");
         let n = self.n_nodes;
         let mut level = vec![NONE; n];
@@ -88,6 +97,9 @@ impl FlowNetwork {
         let mut total = 0u64;
 
         loop {
+            if ctl.stop_requested() {
+                return (total, false);
+            }
             // BFS level graph.
             level.iter_mut().for_each(|l| *l = NONE);
             level[source] = 0;
@@ -113,6 +125,9 @@ impl FlowNetwork {
             iter.copy_from_slice(&self.first);
             // DFS blocking flow (iterative to avoid recursion depth limits).
             loop {
+                if ctl.should_stop() {
+                    return (total, false);
+                }
                 let pushed = self.dfs_push(source, sink, u32::MAX, &level, &mut iter);
                 if pushed == 0 {
                     break;
@@ -120,7 +135,7 @@ impl FlowNetwork {
                 total += u64::from(pushed);
             }
         }
-        total
+        (total, true)
     }
 
     /// Iterative DFS pushing one augmenting path in the level graph.
@@ -238,6 +253,22 @@ pub fn max_cardinality_bmatching(g: &BipartiteGraph) -> Matching {
         })
         .collect();
     Matching::from_edges(edges)
+}
+
+/// Like [`max_cardinality_bmatching`], but consulting `ctl`. Returns
+/// `(matching, completed)`; on early stop the matching is feasible but may
+/// not be maximum.
+pub fn max_cardinality_bmatching_ctl(g: &BipartiteGraph, ctl: &SolveCtl) -> (Matching, bool) {
+    let mut bn = build_bipartite_network(g, None);
+    let (_, completed) = bn.net.max_flow_with_ctl(bn.source, bn.sink, ctl);
+    let edges = g
+        .edges()
+        .filter(|e| {
+            let a = bn.edge_arcs[e.index()];
+            a != NONE && bn.net.flow(a) > 0
+        })
+        .collect();
+    (Matching::from_edges(edges), completed)
 }
 
 /// Size of the maximum b-matching using only edges where `edge_mask` is true.

@@ -31,12 +31,16 @@ use mbta_graph::{BipartiteGraph, EdgeId};
 pub fn greedy_bmatching(g: &BipartiteGraph, weights: &[f64], min_weight: f64) -> Matching {
     assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
     // Sort edge ids by weight descending; ties broken by edge id so results
-    // are deterministic across runs and platforms.
-    let mut order: Vec<u32> = (0..g.n_edges() as u32).collect();
+    // are deterministic across runs and platforms. Non-finite weights (NaN,
+    // ±inf) are dropped up front: greedy is the engine's last-resort
+    // fallback and must never panic or take a poisoned edge, and filtering
+    // keeps the sorted-order early `break` below sound.
+    let mut order: Vec<u32> = (0..g.n_edges() as u32)
+        .filter(|&e| weights[e as usize].is_finite())
+        .collect();
     order.sort_unstable_by(|&a, &b| {
         weights[b as usize]
-            .partial_cmp(&weights[a as usize])
-            .expect("weights must not be NaN")
+            .total_cmp(&weights[a as usize])
             .then(a.cmp(&b))
     });
 
@@ -170,5 +174,19 @@ mod tests {
     fn empty_inputs() {
         let g = from_edges(&[], &[], &[]);
         assert!(greedy_bmatching(&g, &[], 0.0).is_empty());
+    }
+
+    #[test]
+    fn poisoned_weights_are_skipped_not_fatal() {
+        let g = from_edges(
+            &[1, 1, 1],
+            &[1, 1, 1],
+            &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5), (2, 2, 0.5, 0.5)],
+        );
+        let w = vec![f64::NAN, f64::INFINITY, 0.5];
+        let m = greedy_bmatching(&g, &w, 0.0);
+        m.validate(&g).unwrap();
+        // Only the finite-weight edge is eligible.
+        assert_eq!(m.edges, vec![EdgeId::new(2)]);
     }
 }

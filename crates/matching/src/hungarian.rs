@@ -13,6 +13,7 @@
 use crate::solution::Matching;
 use mbta_graph::BipartiteGraph;
 use mbta_util::fixed::benefit_to_profit;
+use mbta_util::SolveCtl;
 
 const INF: i64 = i64::MAX / 4;
 
@@ -27,9 +28,32 @@ pub fn solve_assignment<C>(n_rows: usize, n_cols: usize, cost: C) -> (i64, Vec<u
 where
     C: Fn(usize, usize) -> i64,
 {
+    let (total, row_to_col, completed) =
+        solve_assignment_ctl(n_rows, n_cols, cost, &SolveCtl::unlimited());
+    debug_assert!(completed);
+    (total, row_to_col)
+}
+
+/// [`solve_assignment`] with cooperative cancellation.
+///
+/// The stop check runs once per Dijkstra step (each step scans all columns,
+/// so the granularity is `O(n_cols)` work). On early stop the row being
+/// processed is abandoned *before* augmenting, which keeps `row_to_col` a
+/// valid partial assignment of the rows completed so far; unassigned rows
+/// hold `usize::MAX`. The returned `bool` is `false` iff the solve was
+/// interrupted.
+pub fn solve_assignment_ctl<C>(
+    n_rows: usize,
+    n_cols: usize,
+    cost: C,
+    ctl: &SolveCtl,
+) -> (i64, Vec<usize>, bool)
+where
+    C: Fn(usize, usize) -> i64,
+{
     assert!(n_rows <= n_cols, "need n_rows <= n_cols (pad with dummies)");
     if n_rows == 0 {
-        return (0, Vec::new());
+        return (0, Vec::new(), true);
     }
     // 1-based internals; index 0 is the virtual "unmatched" column/row.
     let (n, m) = (n_rows, n_cols);
@@ -37,13 +61,24 @@ where
     let mut v = vec![0i64; m + 1];
     let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
     let mut way = vec![0usize; m + 1];
+    let mut completed = true;
 
-    for i in 1..=n {
+    'rows: for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
         let mut minv = vec![INF; m + 1];
         let mut used = vec![false; m + 1];
+        // Snapshot the cost accumulator so an abandoned row's partial
+        // potential updates do not taint the reported total.
+        let v0_at_row_start = v[0];
         loop {
+            // Abandoning mid-row (before the augmentation below) leaves the
+            // rows already matched untouched, so the partial result is valid.
+            if ctl.should_stop() {
+                completed = false;
+                v[0] = v0_at_row_start;
+                break 'rows;
+            }
             used[j0] = true;
             let i0 = p[j0];
             let mut delta = INF;
@@ -92,8 +127,8 @@ where
             row_to_col[p[j] - 1] = j - 1;
         }
     }
-    debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
-    (-v[0], row_to_col)
+    debug_assert!(!completed || row_to_col.iter().all(|&c| c != usize::MAX));
+    (-v[0], row_to_col, completed)
 }
 
 /// Exact maximum-weight one-to-one matching via the Hungarian algorithm.
@@ -107,6 +142,19 @@ where
 /// Panics unless all capacities and demands are 1 (the dense oracle is
 /// deliberately restricted to the one-to-one regime).
 pub fn hungarian_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
+    hungarian_max_weight_ctl(g, weights, &SolveCtl::unlimited()).0
+}
+
+/// [`hungarian_max_weight`] with cooperative cancellation.
+///
+/// On early stop the matching covers only the workers whose augmentation
+/// rows completed — a feasible (validating) partial assignment. The
+/// returned `bool` is `false` iff the solve was interrupted.
+pub fn hungarian_max_weight_ctl(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    ctl: &SolveCtl,
+) -> (Matching, bool) {
     assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
     assert!(
         g.capacities().iter().all(|&c| c == 1) && g.demands().iter().all(|&d| d == 1),
@@ -115,7 +163,7 @@ pub fn hungarian_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
     let n_w = g.n_workers();
     let n_t = g.n_tasks();
     if n_w == 0 {
-        return Matching::empty();
+        return (Matching::empty(), true);
     }
 
     // Dense profit matrix over real columns; missing pair = MISSING marker.
@@ -143,8 +191,10 @@ pub fn hungarian_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
             penalty // someone else's dummy
         }
     };
-    let (_total, row_to_col) = solve_assignment(n_w, n_cols, cost);
+    let (_total, row_to_col, completed) = solve_assignment_ctl(n_w, n_cols, cost, ctl);
 
+    // Rows left unassigned by an interrupted solve hold usize::MAX, which
+    // never equals a real task index, so they simply contribute no edge.
     let edges = g
         .edges()
         .filter(|&e| {
@@ -153,7 +203,7 @@ pub fn hungarian_max_weight(g: &BipartiteGraph, weights: &[f64]) -> Matching {
             row_to_col[w] == t && benefit_to_profit(weights[e.index()]) > 0
         })
         .collect();
-    Matching::from_edges(edges)
+    (Matching::from_edges(edges), completed)
 }
 
 #[cfg(test)]
@@ -259,6 +309,39 @@ mod tests {
         let m = hungarian_max_weight(&g, &w);
         assert_eq!(m.len(), 1);
         assert!((m.total_weight(&w) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_solve_returns_feasible_partial() {
+        use mbta_util::{CancelToken, SolveCtl};
+        let g = complete_bipartite(10, 10, 7);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = SolveCtl::unlimited()
+            .with_token(token)
+            .with_check_interval(1);
+        let (m, completed) = hungarian_max_weight_ctl(&g, &w, &ctl);
+        assert!(!completed);
+        m.validate(&g).unwrap();
+        assert!(m.is_empty(), "cancelled before any row completed");
+    }
+
+    #[test]
+    fn mid_solve_cancellation_keeps_completed_rows() {
+        use mbta_util::{CancelToken, SolveCtl};
+        let g = complete_bipartite(12, 12, 3);
+        let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        // A coarse check interval lets a few rows finish before the stop is
+        // observed; whatever is kept must still validate.
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = SolveCtl::unlimited()
+            .with_token(token)
+            .with_check_interval(40);
+        let (m, completed) = hungarian_max_weight_ctl(&g, &w, &ctl);
+        assert!(!completed);
+        m.validate(&g).unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::solution::Matching;
 use mbta_graph::{BipartiteGraph, EdgeId};
+use mbta_util::SolveCtl;
 
 /// Minimal gain for a move to be accepted (guards float-noise livelock).
 const EPS: f64 = 1e-12;
@@ -45,6 +46,25 @@ pub fn local_search(
     start: Matching,
     max_passes: u32,
 ) -> (Matching, LocalSearchStats) {
+    let (m, stats, _) = local_search_ctl(g, weights, start, max_passes, &SolveCtl::unlimited());
+    (m, stats)
+}
+
+/// [`local_search`] with cooperative cancellation.
+///
+/// Every accepted move preserves feasibility, so the search can stop after
+/// any move and return a valid matching no worse than `start` (objective
+/// never decreases). Non-finite weights are tolerated: edges with NaN/±inf
+/// weight are never inserted, and a NaN gain is treated as "not an
+/// improvement". The returned `bool` is `false` iff the search was
+/// interrupted before converging or exhausting `max_passes`.
+pub fn local_search_ctl(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    start: Matching,
+    max_passes: u32,
+    ctl: &SolveCtl,
+) -> (Matching, LocalSearchStats, bool) {
     assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
     debug_assert!(start.validate(g).is_ok());
 
@@ -61,8 +81,7 @@ pub fn local_search(
     let mut order: Vec<u32> = (0..m as u32).collect();
     order.sort_unstable_by(|&a, &b| {
         weights[b as usize]
-            .partial_cmp(&weights[a as usize])
-            .expect("weights must not be NaN")
+            .total_cmp(&weights[a as usize])
             .then(a.cmp(&b))
     });
 
@@ -79,8 +98,7 @@ pub fn local_search(
             .filter(|e| in_m[e.index()])
             .min_by(|&a, &b| {
                 weights[a.index()]
-                    .partial_cmp(&weights[b.index()])
-                    .expect("no NaN")
+                    .total_cmp(&weights[b.index()])
                     .then(a.cmp(&b))
             })
     };
@@ -89,18 +107,24 @@ pub fn local_search(
             .filter(|e| in_m[e.index()])
             .min_by(|&a, &b| {
                 weights[a.index()]
-                    .partial_cmp(&weights[b.index()])
-                    .expect("no NaN")
+                    .total_cmp(&weights[b.index()])
                     .then(a.cmp(&b))
             })
     };
 
-    while stats.passes < max_passes {
+    let mut completed = true;
+    'passes: while stats.passes < max_passes {
         stats.passes += 1;
         let mut improved = false;
         for &eid in &order {
+            if ctl.should_stop() {
+                completed = false;
+                break 'passes;
+            }
             let e = EdgeId::new(eid);
-            if in_matching[e.index()] || weights[e.index()] <= EPS {
+            // Skip chosen, worthless, and poisoned (NaN/±inf) edges alike.
+            let we = weights[e.index()];
+            if in_matching[e.index()] || !we.is_finite() || we <= EPS {
                 continue;
             }
             let w = g.worker_of(e);
@@ -137,8 +161,9 @@ pub fn local_search(
                 (_, Some(b)) => cost += weights[b.index()],
                 _ => {}
             }
+            // A NaN gain (poisoned evictee) is "not an improvement".
             let gain = weights[e.index()] - cost;
-            if gain <= EPS {
+            if gain.is_nan() || gain <= EPS {
                 continue;
             }
             // Apply the move.
@@ -171,6 +196,10 @@ pub fn local_search(
         // Split sweep: drop one chosen edge, insert the best replacement at
         // each freed endpoint.
         for &eid in &order {
+            if ctl.should_stop() {
+                completed = false;
+                break 'passes;
+            }
             let c = EdgeId::new(eid);
             if !in_matching[c.index()] {
                 continue;
@@ -185,12 +214,12 @@ pub fn local_search(
                 .filter(|&e| {
                     !in_matching[e.index()]
                         && weights[e.index()] > EPS
+                        && weights[e.index()].is_finite()
                         && t_load[g.task_of(e).index()] < g.demand(g.task_of(e))
                 })
                 .max_by(|&a, &b| {
                     weights[a.index()]
-                        .partial_cmp(&weights[b.index()])
-                        .expect("no NaN")
+                        .total_cmp(&weights[b.index()])
                         .then(b.cmp(&a))
                 });
             // Best non-chosen edge at t whose worker has slack (never `w`).
@@ -199,19 +228,20 @@ pub fn local_search(
                 .filter(|&e| {
                     !in_matching[e.index()]
                         && weights[e.index()] > EPS
+                        && weights[e.index()].is_finite()
                         && w_load[g.worker_of(e).index()] < g.capacity(g.worker_of(e))
                 })
                 .max_by(|&a, &b| {
                     weights[a.index()]
-                        .partial_cmp(&weights[b.index()])
-                        .expect("no NaN")
+                        .total_cmp(&weights[b.index()])
                         .then(b.cmp(&a))
                 });
             let (Some(ew), Some(et)) = (best_at_w, best_at_t) else {
                 continue; // single-replacement cases are the swap move's job
             };
+            // A NaN gain (poisoned evictee `c`) is "not an improvement".
             let gain = weights[ew.index()] + weights[et.index()] - weights[c.index()];
-            if gain <= EPS {
+            if gain.is_nan() || gain <= EPS {
                 continue;
             }
             // Apply: remove c, add ew and et.
@@ -236,7 +266,7 @@ pub fn local_search(
         .map(EdgeId::new)
         .filter(|e| in_matching[e.index()])
         .collect();
-    (Matching::from_edges(edges), stats)
+    (Matching::from_edges(edges), stats, completed)
 }
 
 #[cfg(test)]
@@ -328,5 +358,45 @@ mod tests {
         let w = vec![0.0];
         let (m, _) = local_search(&g, &w, Matching::empty(), 8);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn poisoned_weights_never_inserted_and_never_panic() {
+        let g = from_edges(
+            &[1, 1, 1],
+            &[1, 1, 1],
+            &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5), (2, 2, 0.5, 0.5)],
+        );
+        let w = vec![f64::NAN, f64::INFINITY, 0.6];
+        let (m, _) = local_search(&g, &w, Matching::empty(), 16);
+        m.validate(&g).unwrap();
+        assert_eq!(m.edges, vec![EdgeId::new(2)]);
+    }
+
+    #[test]
+    fn cancelled_search_returns_start_or_better() {
+        use mbta_util::{CancelToken, SolveCtl};
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 30,
+                n_tasks: 30,
+                avg_degree: 5.0,
+                capacity: 1,
+                demand: 1,
+            },
+            9,
+        );
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let start = greedy_bmatching(&g, &w, 0.0);
+        let before = start.total_weight(&w);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = SolveCtl::unlimited()
+            .with_token(token)
+            .with_check_interval(10);
+        let (m, _, completed) = crate::local_search::local_search_ctl(&g, &w, start, 64, &ctl);
+        assert!(!completed);
+        m.validate(&g).unwrap();
+        assert!(m.total_weight(&w) >= before - 1e-9);
     }
 }

@@ -29,7 +29,7 @@
 use crate::solution::Matching;
 use mbta_graph::BipartiteGraph;
 use mbta_util::fixed::benefit_to_profit;
-use mbta_util::IndexedHeap;
+use mbta_util::{IndexedHeap, SolveCtl};
 
 const NONE: u32 = u32::MAX;
 const INF: i64 = i64::MAX / 4;
@@ -127,16 +127,42 @@ impl CostFlow {
         mode: FlowMode,
         algo: PathAlgo,
     ) -> FlowResult {
+        self.run_with_ctl(source, sink, mode, algo, &SolveCtl::unlimited())
+            .0
+    }
+
+    /// Like [`run`](Self::run), but consulting `ctl` between (and inside)
+    /// path searches. Returns `(result, completed)`: on early stop the
+    /// partial flow is still feasible — a prefix of the augmenting-path
+    /// sequence — but `completed` is `false` and optimality is forfeited.
+    pub fn run_with_ctl(
+        &mut self,
+        source: usize,
+        sink: usize,
+        mode: FlowMode,
+        algo: PathAlgo,
+        ctl: &SolveCtl,
+    ) -> (FlowResult, bool) {
         assert_ne!(source, sink);
         match algo {
-            PathAlgo::Dijkstra => self.run_dijkstra(source, sink, mode),
-            PathAlgo::Spfa => self.run_spfa(source, sink, mode),
+            PathAlgo::Dijkstra => {
+                let (r, _, completed) = self.run_dijkstra_with_potentials(source, sink, mode, ctl);
+                (r, completed)
+            }
+            PathAlgo::Spfa => self.run_spfa(source, sink, mode, ctl),
         }
     }
 
     /// SPFA (queue Bellman–Ford) shortest path on raw residual costs.
-    /// Fills `dist` and `parent_arc`; returns whether `sink` is reachable.
-    fn spfa(&self, source: usize, dist: &mut [i64], parent_arc: &mut [u32]) {
+    /// Fills `dist` and `parent_arc`; returns `false` if stopped early by
+    /// `ctl` (in which case the labels must not be used for augmentation).
+    fn spfa(
+        &self,
+        source: usize,
+        dist: &mut [i64],
+        parent_arc: &mut [u32],
+        ctl: &SolveCtl,
+    ) -> bool {
         dist.iter_mut().for_each(|d| *d = INF);
         parent_arc.iter_mut().for_each(|p| *p = NONE);
         let mut in_queue = vec![false; self.n_nodes];
@@ -145,6 +171,9 @@ impl CostFlow {
         queue.push_back(source as u32);
         in_queue[source] = true;
         while let Some(v) = queue.pop_front() {
+            if ctl.should_stop() {
+                return false;
+            }
             let v = v as usize;
             in_queue[v] = false;
             let dv = dist[v];
@@ -166,6 +195,7 @@ impl CostFlow {
                 a = self.next[ai];
             }
         }
+        true
     }
 
     /// Dijkstra on reduced costs `cost + π[u] − π[v]`, terminating as soon
@@ -178,6 +208,7 @@ impl CostFlow {
     /// classic argument; any node adjacent to a finalized node was relaxed,
     /// and all still-queued tentative distances are `≥ dist[sink]` at the
     /// moment the sink pops, which covers the remaining cases.
+    #[allow(clippy::too_many_arguments)] // internal: scratch buffers + ctl
     fn dijkstra(
         &self,
         source: usize,
@@ -186,13 +217,17 @@ impl CostFlow {
         dist: &mut [i64],
         parent_arc: &mut [u32],
         heap: &mut IndexedHeap<i64>,
-    ) {
+        ctl: &SolveCtl,
+    ) -> bool {
         dist.iter_mut().for_each(|d| *d = INF);
         parent_arc.iter_mut().for_each(|p| *p = NONE);
         heap.clear();
         dist[source] = 0;
         heap.push_or_decrease(source, 0);
         while let Some((v, dv)) = heap.pop() {
+            if ctl.should_stop() {
+                return false;
+            }
             if dv > dist[v] {
                 continue;
             }
@@ -216,6 +251,7 @@ impl CostFlow {
                 a = self.next[ai];
             }
         }
+        true
     }
 
     /// Augments along parent arcs; returns `(bottleneck, true_path_cost)`.
@@ -239,19 +275,25 @@ impl CostFlow {
         (bottleneck, cost)
     }
 
-    fn run_dijkstra(&mut self, source: usize, sink: usize, mode: FlowMode) -> FlowResult {
-        self.run_dijkstra_with_potentials(source, sink, mode).0
-    }
-
-    fn run_spfa(&mut self, source: usize, sink: usize, mode: FlowMode) -> FlowResult {
+    fn run_spfa(
+        &mut self,
+        source: usize,
+        sink: usize,
+        mode: FlowMode,
+        ctl: &SolveCtl,
+    ) -> (FlowResult, bool) {
         let n = self.n_nodes;
         let mut dist = vec![INF; n];
         let mut parent_arc = vec![NONE; n];
         let mut total_flow = 0u64;
         let mut total_cost = 0i64;
         let mut iterations = 0u64;
+        let mut completed = true;
         loop {
-            self.spfa(source, &mut dist, &mut parent_arc);
+            if ctl.stop_requested() || !self.spfa(source, &mut dist, &mut parent_arc, ctl) {
+                completed = false;
+                break;
+            }
             if dist[sink] >= INF {
                 break;
             }
@@ -264,11 +306,14 @@ impl CostFlow {
             total_flow += u64::from(pushed);
             total_cost += i64::from(pushed) * path_cost;
         }
-        FlowResult {
-            flow: total_flow,
-            cost: total_cost,
-            iterations,
-        }
+        (
+            FlowResult {
+                flow: total_flow,
+                cost: total_cost,
+                iterations,
+            },
+            completed,
+        )
     }
 }
 
@@ -351,6 +396,35 @@ pub fn max_weight_bmatching(
     )
 }
 
+/// Like [`max_weight_bmatching`], but consulting `ctl` so the solve can be
+/// cancelled or deadlined. Returns `(matching, stats, completed)`: on early
+/// stop the matching is the feasible partial assignment reached so far
+/// (every augmenting-path prefix is a valid flow) and `completed` is
+/// `false` — the caller must treat the result as approximate.
+pub fn max_weight_bmatching_ctl(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    mode: FlowMode,
+    algo: PathAlgo,
+    ctl: &SolveCtl,
+) -> (Matching, SolveStats, bool) {
+    assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+    let (mut net, edge_arcs, source, sink) = build_network(g, weights);
+    let (result, completed) = net.run_with_ctl(source, sink, mode, algo, ctl);
+    let edges = g
+        .edges()
+        .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
+        .collect();
+    (
+        Matching::from_edges(edges),
+        SolveStats {
+            iterations: result.iterations,
+            profit: -result.cost,
+        },
+        completed,
+    )
+}
+
 /// An optimality certificate for a b-matching: node potentials under which
 /// every residual arc of the induced flow has non-negative reduced cost.
 ///
@@ -376,7 +450,12 @@ pub fn max_weight_bmatching_certified(
     assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
     let (net, edge_arcs, source, sink) = build_network(g, weights);
     let mut net = net;
-    let (result, pi) = net.run_dijkstra_with_potentials(source, sink, FlowMode::FreeCardinality);
+    let (result, pi, _) = net.run_dijkstra_with_potentials(
+        source,
+        sink,
+        FlowMode::FreeCardinality,
+        &SolveCtl::unlimited(),
+    );
     let edges = g
         .edges()
         .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
@@ -476,7 +555,15 @@ pub fn verify_certificate(
     let mut dist = vec![INF; net.n_nodes];
     let mut parent = vec![NONE; net.n_nodes];
     let mut heap = IndexedHeap::new(net.n_nodes);
-    net.dijkstra(source, sink, pi, &mut dist, &mut parent, &mut heap);
+    net.dijkstra(
+        source,
+        sink,
+        pi,
+        &mut dist,
+        &mut parent,
+        &mut heap,
+        &SolveCtl::unlimited(),
+    );
     if dist[sink] >= INF {
         return true; // no augmenting path at all
     }
@@ -518,20 +605,37 @@ impl CostFlow {
         source: usize,
         sink: usize,
         mode: FlowMode,
-    ) -> (FlowResult, Vec<i64>) {
+        ctl: &SolveCtl,
+    ) -> (FlowResult, Vec<i64>, bool) {
         // Duplicate of run_dijkstra that hands the potentials back; kept as
         // a thin wrapper so the hot path stays allocation-identical.
         let n = self.n_nodes;
         let mut dist = vec![INF; n];
         let mut parent_arc = vec![NONE; n];
         let mut heap = IndexedHeap::new(n);
-        self.spfa(source, &mut dist, &mut parent_arc);
+        let mut completed = self.spfa(source, &mut dist, &mut parent_arc, ctl);
         let mut pi: Vec<i64> = dist.iter().map(|&d| if d >= INF { 0 } else { d }).collect();
         let mut total_flow = 0u64;
         let mut total_cost = 0i64;
         let mut iterations = 0u64;
-        loop {
-            self.dijkstra(source, sink, &pi, &mut dist, &mut parent_arc, &mut heap);
+        while completed {
+            // An interrupted Dijkstra pass leaves partial labels that would
+            // corrupt the potential update; discard it and keep the feasible
+            // flow pushed so far (a prefix of the augmenting-path sequence).
+            if ctl.stop_requested()
+                || !self.dijkstra(
+                    source,
+                    sink,
+                    &pi,
+                    &mut dist,
+                    &mut parent_arc,
+                    &mut heap,
+                    ctl,
+                )
+            {
+                completed = false;
+                break;
+            }
             if dist[sink] >= INF {
                 break;
             }
@@ -556,6 +660,7 @@ impl CostFlow {
                 iterations,
             },
             pi,
+            completed,
         )
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::solution::Matching;
 use mbta_graph::BipartiteGraph;
+use mbta_util::SolveCtl;
 
 const NONE: u32 = u32::MAX;
 
@@ -65,6 +66,19 @@ impl PushRelabelNetwork {
     /// Computes the max flow from `source` to `sink` (highest-label
     /// push–relabel with the gap heuristic). Returns the flow value.
     pub fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        self.max_flow_with_ctl(source, sink, &SolveCtl::unlimited())
+            .0
+    }
+
+    /// Like [`max_flow`](Self::max_flow), but consulting `ctl` between
+    /// discharges. Returns `(sink_flow, completed)`.
+    ///
+    /// **On early stop the residual state is a preflow, not a flow** —
+    /// intermediate nodes may hold excess, so per-arc flows can overshoot
+    /// downstream capacity. Callers extracting per-arc results from an
+    /// interrupted run must re-trim them (see
+    /// [`max_cardinality_bmatching_pr_ctl`]).
+    pub fn max_flow_with_ctl(&mut self, source: usize, sink: usize, ctl: &SolveCtl) -> (u64, bool) {
         assert_ne!(source, sink, "source == sink");
         let n = self.n_nodes;
         let mut label = vec![0u32; n];
@@ -100,6 +114,9 @@ impl PushRelabelNetwork {
         }
 
         loop {
+            if ctl.should_stop() {
+                return (excess[sink], false);
+            }
             // Find the highest non-empty bucket.
             while highest > 0 && buckets[highest].is_empty() {
                 highest -= 1;
@@ -197,13 +214,25 @@ impl PushRelabelNetwork {
             }
         }
 
-        excess[sink]
+        (excess[sink], true)
     }
 }
 
 /// Maximum-cardinality b-matching via push–relabel (drop-in alternative to
 /// [`crate::dinic::max_cardinality_bmatching`]).
 pub fn max_cardinality_bmatching_pr(g: &BipartiteGraph) -> Matching {
+    max_cardinality_bmatching_pr_ctl(g, &SolveCtl::unlimited()).0
+}
+
+/// Like [`max_cardinality_bmatching_pr`], but consulting `ctl`. Returns
+/// `(matching, completed)`.
+///
+/// On early stop the residual state is a preflow: worker loads are capped
+/// by the source arcs (inflow ≥ outflow at every node), but a task may
+/// hold excess, i.e. more saturated incoming edges than demand. Those
+/// overloads are trimmed (lowest edge ids kept) so the returned matching
+/// always validates.
+pub fn max_cardinality_bmatching_pr_ctl(g: &BipartiteGraph, ctl: &SolveCtl) -> (Matching, bool) {
     let n_w = g.n_workers();
     let n_t = g.n_tasks();
     let source = 0usize;
@@ -223,12 +252,25 @@ pub fn max_cardinality_bmatching_pr(g: &BipartiteGraph) -> Matching {
     for t in g.tasks() {
         net.add_arc(1 + n_w + t.index(), sink, u64::from(g.demand(t)));
     }
-    net.max_flow(source, sink);
+    let (_, completed) = net.max_flow_with_ctl(source, sink, ctl);
+    let mut t_room: Vec<u32> = g.tasks().map(|t| g.demand(t)).collect();
     let edges = g
         .edges()
-        .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
+        .filter(|e| {
+            if net.flow(edge_arcs[e.index()]) == 0 {
+                return false;
+            }
+            // On a completed run flows respect demand and this never trims;
+            // on an interrupted preflow it drops task overloads.
+            let ti = g.task_of(*e).index();
+            if t_room[ti] == 0 {
+                return false;
+            }
+            t_room[ti] -= 1;
+            true
+        })
         .collect();
-    Matching::from_edges(edges)
+    (Matching::from_edges(edges), completed)
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@
 //!   `i64` costs, so min-cost-flow runs on exact integers.
 //! * [`table`] — aligned text tables and CSV emission for experiment output.
 //! * [`id`] — the `define_id!` macro generating `u32` newtype identifiers.
+//! * [`cancel`] — cooperative cancellation tokens and deadline budgets the
+//!   solver inner loops consult so exact solves can be interrupted.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,6 +26,7 @@
 #[macro_use]
 pub mod id;
 
+pub mod cancel;
 pub mod fixed;
 pub mod fxhash;
 pub mod heap;
@@ -31,6 +34,7 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use cancel::{CancelToken, Deadline, SolveCtl};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use heap::IndexedHeap;
 pub use rng::SplitMix64;

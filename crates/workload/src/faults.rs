@@ -1,0 +1,422 @@
+//! Fault-injection harness: adversarial instances and hostile schedules
+//! for robustness testing.
+//!
+//! The generators in [`spec`](crate::spec) produce *plausible* markets;
+//! this module produces *hostile* ones — the inputs a serving system sees
+//! when an upstream pipeline is broken or a dependency is misbehaving:
+//!
+//! * **poisoned weights** — NaN, ±infinity, or negative values scattered
+//!   into an otherwise healthy weight vector ([`poison_weights`]);
+//! * **degenerate graphs** — empty markets, edgeless markets, disconnected
+//!   blocks with starved nodes ([`adversarial_instance`]);
+//! * **dropout storms** — bursts of worker/task deactivations that stress
+//!   incremental repair ([`dropout_storm`]);
+//! * **cancellation floods** — schedules of near-zero deadlines and
+//!   pre-fired cancellations that stress the solver budget plumbing
+//!   ([`cancellation_flood`]).
+//!
+//! Everything is deterministic in the seed, so a failing campaign case is
+//! reproducible from its seed alone. The harness deliberately lives in
+//! `mbta-workload` (below `mbta-core` in the dependency order): it only
+//! *builds* hostile inputs; driving them through the engine is the job of
+//! `mbta-core`'s tests and the CLI's `--inject-faults` campaign.
+
+use mbta_graph::builder::GraphBuilder;
+use mbta_graph::random::{random_bipartite, RandomGraphSpec};
+use mbta_graph::BipartiteGraph;
+use mbta_util::SplitMix64;
+
+/// A class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Some weights replaced with NaN.
+    NanWeights,
+    /// Some weights replaced with +∞ or -∞.
+    InfiniteWeights,
+    /// Some weights replaced with negative finite values.
+    NegativeWeights,
+    /// Weight slice truncated (length mismatch with the edge count).
+    TruncatedWeights,
+    /// A market with zero workers or zero tasks.
+    EmptyMarket,
+    /// Workers and tasks exist but no edges connect them.
+    EdgelessMarket,
+    /// Two mutually unreachable blocks plus fully isolated nodes.
+    Disconnected,
+    /// Pathological capacity skew: one worker holds nearly all capacity.
+    CapacitySkew,
+}
+
+impl FaultKind {
+    /// Short label for campaign reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::NanWeights => "nan-weights",
+            FaultKind::InfiniteWeights => "inf-weights",
+            FaultKind::NegativeWeights => "neg-weights",
+            FaultKind::TruncatedWeights => "truncated-weights",
+            FaultKind::EmptyMarket => "empty-market",
+            FaultKind::EdgelessMarket => "edgeless-market",
+            FaultKind::Disconnected => "disconnected",
+            FaultKind::CapacitySkew => "capacity-skew",
+        }
+    }
+}
+
+/// An adversarial instance plus the faults that were injected into it.
+#[derive(Debug, Clone)]
+pub struct FaultyInstance {
+    /// The (possibly degenerate) eligibility graph.
+    pub graph: BipartiteGraph,
+    /// The (possibly poisoned, possibly mis-sized) weight vector.
+    pub weights: Vec<f64>,
+    /// Which fault classes were injected. Empty means a healthy control
+    /// instance — campaigns need those too, to catch over-rejection.
+    pub injected: Vec<FaultKind>,
+    /// The seed that reproduces this instance exactly.
+    pub seed: u64,
+}
+
+/// Replaces roughly `fraction` of `weights` with the poison for `kind`
+/// (NaN, ±∞, or a negative value). Returns the number of poisoned slots.
+/// Deterministic in `seed`. Non-poison kinds leave the slice untouched.
+pub fn poison_weights(weights: &mut [f64], fraction: f64, kind: FaultKind, seed: u64) -> usize {
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut hit = 0usize;
+    for w in weights.iter_mut() {
+        if !rng.next_bool(fraction) {
+            continue;
+        }
+        *w = match kind {
+            FaultKind::NanWeights => f64::NAN,
+            FaultKind::InfiniteWeights => {
+                if rng.next_bool(0.5) {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            FaultKind::NegativeWeights => -rng.next_f64() - 1e-9,
+            _ => continue,
+        };
+        hit += 1;
+    }
+    hit
+}
+
+/// Builds a deterministic adversarial instance for `seed`.
+///
+/// The fault mix rotates with the seed so a campaign over consecutive
+/// seeds covers every class: healthy controls, weight poisoning at varying
+/// fractions, degenerate topologies, and combinations thereof. Instance
+/// sizes stay small (≤ ~60 nodes/side) — robustness campaigns run
+/// thousands of these, and the failure modes are structural, not
+/// scale-dependent.
+pub fn adversarial_instance(seed: u64) -> FaultyInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut injected = Vec::new();
+
+    // Topology first.
+    let topo = rng.next_below(10);
+    let graph = match topo {
+        // 0: empty market (one side or both missing).
+        0 => {
+            injected.push(FaultKind::EmptyMarket);
+            let mut b = GraphBuilder::new();
+            if rng.next_bool(0.5) {
+                b.add_workers(rng.next_index(4), 1);
+            } else {
+                b.add_tasks(rng.next_index(4), 1);
+            }
+            b.build().expect("degenerate side-only market builds")
+        }
+        // 1: workers and tasks but no edges.
+        1 => {
+            injected.push(FaultKind::EdgelessMarket);
+            let mut b = GraphBuilder::new();
+            b.add_workers(1 + rng.next_index(6), 1);
+            b.add_tasks(1 + rng.next_index(6), 1);
+            b.build().expect("edgeless market builds")
+        }
+        // 2-3: disconnected blocks + isolated nodes.
+        2 | 3 => {
+            injected.push(FaultKind::Disconnected);
+            let mut b = GraphBuilder::new();
+            let block = 2 + rng.next_index(5);
+            let ws = b.add_workers(2 * block + 2, 1 + rng.next_below(3) as u32);
+            let ts = b.add_tasks(2 * block + 2, 1 + rng.next_below(3) as u32);
+            // Block A: first `block` workers × first `block` tasks.
+            // Block B: second `block` of each. The final +2 nodes per side
+            // stay fully isolated.
+            for blk in 0..2 {
+                for i in 0..block {
+                    for j in 0..block {
+                        if rng.next_bool(0.6) {
+                            let _ = b.add_edge(
+                                ws[blk * block + i],
+                                ts[blk * block + j],
+                                rng.next_f64(),
+                                rng.next_f64(),
+                            );
+                        }
+                    }
+                }
+            }
+            b.build().expect("disconnected market builds")
+        }
+        // 4: extreme capacity skew.
+        4 => {
+            injected.push(FaultKind::CapacitySkew);
+            let mut b = GraphBuilder::new();
+            let hog = b.add_worker(1000);
+            let ws = b.add_workers(5 + rng.next_index(10), 1);
+            let ts = b.add_tasks(6 + rng.next_index(10), 1 + rng.next_below(4) as u32);
+            for &t in &ts {
+                let _ = b.add_edge(hog, t, rng.next_f64(), rng.next_f64());
+                let w = ws[rng.next_index(ws.len())];
+                let _ = b.add_edge(w, t, rng.next_f64(), rng.next_f64());
+            }
+            b.build().expect("skewed market builds")
+        }
+        // 5-9: structurally healthy random market.
+        _ => random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 5 + rng.next_index(55),
+                n_tasks: 5 + rng.next_index(40),
+                avg_degree: 1.0 + rng.next_f64() * 6.0,
+                capacity: 1 + rng.next_below(3) as u32,
+                demand: 1 + rng.next_below(3) as u32,
+            },
+            rng.next_u64(),
+        ),
+    };
+
+    // Healthy baseline weights in [0, 1].
+    let mut weights: Vec<f64> = (0..graph.n_edges()).map(|_| rng.next_f64()).collect();
+
+    // Then maybe poison them.
+    match rng.next_below(8) {
+        0 => {
+            let kind = FaultKind::NanWeights;
+            if poison_weights(
+                &mut weights,
+                0.05 + rng.next_f64() * 0.5,
+                kind,
+                rng.next_u64(),
+            ) > 0
+            {
+                injected.push(kind);
+            }
+        }
+        1 => {
+            let kind = FaultKind::InfiniteWeights;
+            if poison_weights(
+                &mut weights,
+                0.05 + rng.next_f64() * 0.5,
+                kind,
+                rng.next_u64(),
+            ) > 0
+            {
+                injected.push(kind);
+            }
+        }
+        2 => {
+            let kind = FaultKind::NegativeWeights;
+            if poison_weights(
+                &mut weights,
+                0.05 + rng.next_f64() * 0.5,
+                kind,
+                rng.next_u64(),
+            ) > 0
+            {
+                injected.push(kind);
+            }
+        }
+        3 if !weights.is_empty() => {
+            injected.push(FaultKind::TruncatedWeights);
+            let keep = rng.next_index(weights.len());
+            weights.truncate(keep);
+        }
+        _ => {} // healthy weights
+    }
+
+    FaultyInstance {
+        graph,
+        weights,
+        injected,
+        seed,
+    }
+}
+
+/// One event of a churn script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Worker logs off (raw id).
+    DeactivateWorker(u32),
+    /// Worker logs back in.
+    ActivateWorker(u32),
+    /// Task is cancelled.
+    DeactivateTask(u32),
+    /// Task is re-posted.
+    ActivateTask(u32),
+}
+
+/// A dropout storm: a burst of deactivations hitting roughly
+/// `storm_fraction` of each side almost back-to-back, followed by a
+/// partial recovery wave. Stresses incremental repair far harder than
+/// uniform churn — repair work piles up on the survivors, then the
+/// recovery wave re-adds nodes into an already-rearranged assignment.
+pub fn dropout_storm(
+    n_workers: usize,
+    n_tasks: usize,
+    storm_fraction: f64,
+    seed: u64,
+) -> Vec<ChurnEvent> {
+    let mut rng = SplitMix64::new(seed);
+    let mut events = Vec::new();
+
+    let mut workers: Vec<u32> = (0..n_workers as u32).collect();
+    let mut tasks: Vec<u32> = (0..n_tasks as u32).collect();
+    rng.shuffle(&mut workers);
+    rng.shuffle(&mut tasks);
+    let w_hit = ((n_workers as f64) * storm_fraction).round() as usize;
+    let t_hit = ((n_tasks as f64) * storm_fraction).round() as usize;
+
+    // The storm: interleaved worker/task dropouts.
+    let mut wi = workers.iter().take(w_hit).peekable();
+    let mut ti = tasks.iter().take(t_hit).peekable();
+    while wi.peek().is_some() || ti.peek().is_some() {
+        if wi.peek().is_some() && (ti.peek().is_none() || rng.next_bool(0.5)) {
+            events.push(ChurnEvent::DeactivateWorker(*wi.next().unwrap()));
+        } else if let Some(&t) = ti.next() {
+            events.push(ChurnEvent::DeactivateTask(t));
+        }
+    }
+
+    // Partial recovery: about half of each hit set comes back, in a
+    // different order than it left.
+    let mut back_w: Vec<u32> = workers.iter().take(w_hit).copied().collect();
+    let mut back_t: Vec<u32> = tasks.iter().take(t_hit).copied().collect();
+    rng.shuffle(&mut back_w);
+    rng.shuffle(&mut back_t);
+    for &w in back_w.iter().take(w_hit / 2) {
+        events.push(ChurnEvent::ActivateWorker(w));
+    }
+    for &t in back_t.iter().take(t_hit / 2) {
+        events.push(ChurnEvent::ActivateTask(t));
+    }
+    events
+}
+
+/// One solve of a cancellation-flood schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodSolve {
+    /// Wall-clock budget for this solve, in milliseconds (0 = already
+    /// expired at entry).
+    pub deadline_ms: u64,
+    /// Whether the cancellation token fires before the solve even starts.
+    pub pre_cancelled: bool,
+}
+
+/// A cancellation flood: `n` solve budgets drawn adversarially tight —
+/// mostly 0–3 ms, with a scatter of pre-fired cancellations and a few
+/// generous budgets as controls. Deterministic in `seed`.
+pub fn cancellation_flood(n: usize, seed: u64) -> Vec<FloodSolve> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| FloodSolve {
+            deadline_ms: match rng.next_below(10) {
+                0..=5 => rng.next_below(4),      // brutal: 0-3 ms
+                6..=8 => 5 + rng.next_below(45), // tight: 5-49 ms
+                _ => 1000,                       // control: effectively unbounded
+            },
+            pre_cancelled: rng.next_bool(0.2),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic_in_seed() {
+        for seed in 0..50 {
+            let a = adversarial_instance(seed);
+            let b = adversarial_instance(seed);
+            assert_eq!(a.graph.n_edges(), b.graph.n_edges(), "seed {seed}");
+            assert_eq!(a.injected, b.injected, "seed {seed}");
+            assert_eq!(a.weights.len(), b.weights.len(), "seed {seed}");
+            // NaN != NaN, so compare bit patterns.
+            let bits = |v: &[f64]| v.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.weights), bits(&b.weights), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn campaign_covers_every_fault_class() {
+        let mut seen = std::collections::HashSet::new();
+        let mut healthy = 0usize;
+        for seed in 0..500 {
+            let inst = adversarial_instance(seed);
+            if inst.injected.is_empty() {
+                healthy += 1;
+            }
+            for k in &inst.injected {
+                seen.insert(*k);
+            }
+        }
+        for kind in [
+            FaultKind::NanWeights,
+            FaultKind::InfiniteWeights,
+            FaultKind::NegativeWeights,
+            FaultKind::TruncatedWeights,
+            FaultKind::EmptyMarket,
+            FaultKind::EdgelessMarket,
+            FaultKind::Disconnected,
+            FaultKind::CapacitySkew,
+        ] {
+            assert!(seen.contains(&kind), "never injected {}", kind.name());
+        }
+        assert!(healthy > 50, "need healthy controls, got {healthy}");
+    }
+
+    #[test]
+    fn poison_respects_fraction_roughly() {
+        let mut w = vec![0.5f64; 10_000];
+        let hit = poison_weights(&mut w, 0.3, FaultKind::NanWeights, 1);
+        assert!((2_500..3_500).contains(&hit), "hit {hit}");
+        assert_eq!(w.iter().filter(|x| x.is_nan()).count(), hit);
+    }
+
+    #[test]
+    fn storm_only_recovers_dropped_nodes() {
+        let events = dropout_storm(40, 30, 0.5, 9);
+        let mut dropped_w = std::collections::HashSet::new();
+        let mut dropped_t = std::collections::HashSet::new();
+        for e in &events {
+            match *e {
+                ChurnEvent::DeactivateWorker(w) => {
+                    dropped_w.insert(w);
+                }
+                ChurnEvent::DeactivateTask(t) => {
+                    dropped_t.insert(t);
+                }
+                ChurnEvent::ActivateWorker(w) => assert!(dropped_w.contains(&w)),
+                ChurnEvent::ActivateTask(t) => assert!(dropped_t.contains(&t)),
+            }
+        }
+        assert_eq!(dropped_w.len(), 20);
+        assert_eq!(dropped_t.len(), 15);
+    }
+
+    #[test]
+    fn flood_has_brutal_and_control_budgets() {
+        let flood = cancellation_flood(200, 3);
+        assert_eq!(flood.len(), 200);
+        assert!(flood.iter().any(|f| f.deadline_ms < 4));
+        assert!(flood.iter().any(|f| f.deadline_ms == 1000));
+        assert!(flood.iter().any(|f| f.pre_cancelled));
+        assert!(flood.iter().any(|f| !f.pre_cancelled));
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! * [`dist`] — the samplers ([`dist::Zipf`], Box–Muller normal, uniform
 //!   ranges) built on the deterministic `SplitMix64` stream.
+//! * [`faults`] — the fault-injection harness: poisoned weights, degenerate
+//!   topologies, dropout storms and cancellation floods for robustness
+//!   campaigns.
 //! * [`spec`] — [`spec::WorkloadSpec`]: a serializable description of an
 //!   instance (profile + sizes + seed) that generates the same `Market`
 //!   bit-for-bit every time,
@@ -29,7 +32,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dist;
+pub mod faults;
 pub mod spec;
 pub mod trace;
 
+pub use faults::{adversarial_instance, FaultKind, FaultyInstance};
 pub use spec::{Profile, WorkloadSpec};

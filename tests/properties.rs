@@ -359,6 +359,102 @@ proptest! {
         prop_assert_eq!(g, g2);
     }
 
+    /// The robust engine never returns an infeasible matching, no matter
+    /// what fault is injected: poisoned weights are rejected with a typed
+    /// error, tight deadlines degrade the tier, and every `Ok` matching
+    /// validates against the graph.
+    #[test]
+    fn engine_never_infeasible_under_faults(
+        inst in instance(6, 2),
+        fault in 0u8..4,
+        frac in 0.0f64..0.6,
+        seed in any::<u64>(),
+        bounded in any::<bool>(),
+        deadline in 0u64..20,
+    ) {
+        use mbta::core::engine::{solve_robust, EngineConfig};
+        use mbta::workload::faults::{poison_weights, FaultKind};
+        let g = inst.graph();
+        let mut w = mb_weights(&g);
+        let poisoned = match fault {
+            0 => poison_weights(&mut w, frac, FaultKind::NanWeights, seed),
+            1 => poison_weights(&mut w, frac, FaultKind::InfiniteWeights, seed),
+            2 => poison_weights(&mut w, frac, FaultKind::NegativeWeights, seed),
+            _ => 0, // healthy control
+        };
+        let mut cfg = EngineConfig::new();
+        if bounded {
+            cfg = cfg.with_deadline_ms(deadline);
+        }
+        match solve_robust(&g, &w, &cfg) {
+            Ok(sol) => {
+                prop_assert_eq!(poisoned, 0, "poisoned weights must be rejected");
+                prop_assert!(sol.matching.validate(&g).is_ok());
+                prop_assert!(sol.value.is_finite());
+            }
+            Err(_) => {
+                // A typed rejection is only legitimate when the instance
+                // actually carries a fault (poison or a degenerate graph).
+                prop_assert!(poisoned > 0 || g.n_edges() == 0);
+            }
+        }
+    }
+
+    /// Dropout storms from the fault harness preserve every capacity
+    /// invariant of the incremental maintainer at each step.
+    #[test]
+    fn storm_churn_keeps_capacity_invariants(
+        inst in instance(6, 2),
+        storm_frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        use mbta::core::incremental::IncrementalAssignment;
+        use mbta::workload::faults::{dropout_storm, ChurnEvent};
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        let mut inc = IncrementalAssignment::new(&g, w);
+        for ev in dropout_storm(g.n_workers(), g.n_tasks(), storm_frac, seed) {
+            match ev {
+                ChurnEvent::DeactivateWorker(i) => {
+                    inc.deactivate_worker(WorkerId::new(i));
+                }
+                ChurnEvent::ActivateWorker(i) => {
+                    inc.activate_worker(WorkerId::new(i));
+                }
+                ChurnEvent::DeactivateTask(i) => {
+                    inc.deactivate_task(TaskId::new(i));
+                }
+                ChurnEvent::ActivateTask(i) => {
+                    inc.activate_task(TaskId::new(i));
+                }
+            }
+            inc.check_invariants();
+        }
+    }
+
+    /// Degradation is monotone: the unbounded solve reaches the `Exact`
+    /// tier, a cancelled solve never reports a higher tier or a higher
+    /// value, and both orderings agree with `QualityTier`'s `Ord`.
+    #[test]
+    fn engine_degradation_is_monotone(inst in instance(6, 2)) {
+        use mbta::core::engine::{solve_robust, EngineConfig, QualityTier};
+        use mbta::util::CancelToken;
+        let g = inst.graph();
+        let w = mb_weights(&g);
+        prop_assert!(QualityTier::Degraded < QualityTier::Approximate);
+        prop_assert!(QualityTier::Approximate < QualityTier::Exact);
+        let Ok(full) = solve_robust(&g, &w, &EngineConfig::new()) else {
+            return Ok(()); // degenerate instance (no edges): typed rejection
+        };
+        prop_assert_eq!(full.tier, QualityTier::Exact);
+        let token = CancelToken::new();
+        token.cancel();
+        let floor = solve_robust(&g, &w, &EngineConfig::new().with_cancel(token)).unwrap();
+        prop_assert!(floor.tier <= full.tier);
+        prop_assert!(floor.value <= full.value + 1e-6);
+        prop_assert!(floor.matching.validate(&g).is_ok());
+    }
+
     /// The bottleneck solver's floor is optimal: no feasible matching of
     /// maximum cardinality has a higher minimum edge (checked against the
     /// exact-sum and greedy solutions at equal cardinality).

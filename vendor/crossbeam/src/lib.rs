@@ -1,0 +1,66 @@
+//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads.
+//!
+//! The build environment has no access to crates.io; since Rust 1.63,
+//! `std::thread::scope` provides the same structured-concurrency guarantee
+//! crossbeam pioneered, so this shim adapts crossbeam's `scope(|s|
+//! s.spawn(|_| ...))` call shape onto the std primitive.
+//!
+//! Behavioral difference: if a spawned thread panics, `std::thread::scope`
+//! re-raises the panic when the scope unwinds instead of returning `Err`;
+//! callers that `.expect()` the result abort with a panic either way.
+
+/// Scoped-thread namespace (mirrors `crossbeam::thread`).
+pub mod thread {
+    /// Result of a [`scope`] call.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure; spawns threads that may borrow
+    /// from the enclosing stack frame.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam's signature) so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            self.inner.spawn(move || f(&me))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_borrows_stack() {
+        let data = vec![1, 2, 3];
+        let total = std::sync::atomic::AtomicI32::new(0);
+        super::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|_| {
+                    let sum: i32 = data.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 18);
+    }
+}

@@ -1,0 +1,60 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for [`vec`]: a fixed size or a range of sizes.
+pub trait IntoSizeRange {
+    /// Inclusive `(min, max)` length bounds.
+    fn size_bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn size_bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Generates vectors with `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.size_bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min_len == self.max_len {
+            self.min_len
+        } else {
+            self.min_len + rng.next_index(self.max_len - self.min_len + 1)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

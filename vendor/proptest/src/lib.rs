@@ -1,0 +1,185 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the proptest API its property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`,
+//! * range strategies (`0u8..4`, `1..=max`, `0.0f64..=1.0`, ...),
+//!   tuple strategies, and [`collection::vec`],
+//! * [`arbitrary::any`] for primitives,
+//! * the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros and
+//!   [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name, so failures reproduce across
+//! runs), and there is **no shrinking** — a failing case reports its raw
+//! inputs via `Debug` instead of a minimized counterexample.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{}` == `{}` ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} vs {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{}` != `{}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let seed = $crate::test_runner::TestRng::seed_from_name(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let inputs = format!("{:?}", ($(&$arg,)*));
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}\ninputs: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..10, 1u32..10).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..7, y in 0.25f64..=0.5, b in any::<bool>()) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((0.25..=0.5).contains(&y));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..4, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn mapped_pairs_ordered(p in pair()) {
+            prop_assert!(p.0 <= p.1);
+            prop_assert_eq!(p.0.min(p.1), p.0);
+            prop_assert_ne!(p.1 + 1, p.0);
+        }
+
+        #[test]
+        fn vec_with_range_len(v in crate::collection::vec(any::<bool>(), 0..6)) {
+            prop_assert!(v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seed = crate::test_runner::TestRng::seed_from_name("x");
+        let mut a = crate::test_runner::TestRng::for_case(seed, 3);
+        let mut b = crate::test_runner::TestRng::for_case(seed, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

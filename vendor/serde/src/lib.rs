@@ -1,0 +1,31 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. Nothing in this
+//! workspace actually serializes through serde yet (the derives only mark
+//! spec types as serializable for downstream tooling), so the stand-in
+//! provides marker traits and a derive that emits empty impls. If a future
+//! PR needs real serialization, it should replace this shim with a proper
+//! vendored copy or a hand-rolled format.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}

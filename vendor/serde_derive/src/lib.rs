@@ -1,0 +1,56 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde shim.
+//!
+//! Emits `impl ::serde::Serialize for T {}` (resp. `Deserialize`) for the
+//! derived type. Hand-rolled token scanning instead of `syn`/`quote` —
+//! the offline build has no third-party proc-macro dependencies. Supports
+//! plain (non-generic) structs and enums, which is all the workspace
+//! derives on; generic types get a compile error rather than a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the type name of a `struct`/`enum` item, rejecting generics.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Ok(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("vendored serde derive does not support generic types".to_string());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            _ => {}
+        }
+    }
+    Err("vendored serde derive: could not find type name".to_string())
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+/// Derives the `Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the `Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
