@@ -1,0 +1,209 @@
+//! Sustained-throughput benchmark for the streaming dispatch service.
+//!
+//! Generates one synthetic market universe plus a lifecycle/drift event
+//! trace, then replays it through [`DispatchService`] at shard counts
+//! {1, 4, 8} under the production `serve` configuration (count/byte/time
+//! watermarks, wall-clock solve budgets). Prints a JSON report to stdout
+//! or `--out <path>` — the committed `BENCH_service.json` baseline is a
+//! direct capture of this output:
+//!
+//! ```text
+//! cargo run -p mbta-bench --release --bin service_bench -- --out BENCH_service.json
+//! ```
+
+use mbta_service::{
+    Arrival, BatchConfig, BenefitDrift, BudgetMode, DispatchService, NullSink, OfferOutcome,
+    Routing, ServiceConfig, ServiceReport, ShardPlan,
+};
+use mbta_workload::trace::TraceSpec;
+use mbta_workload::{Profile, WorkloadSpec};
+use std::process::ExitCode;
+
+/// Universe + trace scale: big enough that per-batch solves dominate the
+/// wall time, small enough that the full sweep stays under a minute.
+const WORKERS: usize = 2000;
+const TASKS: usize = 1000;
+const DEGREE: f64 = 8.0;
+const SEED: u64 = 42;
+const HORIZON: f64 = 60.0;
+const REPEATS: u32 = 4;
+const DRIFT: f64 = 0.2;
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn serve_config() -> ServiceConfig {
+    ServiceConfig {
+        batch: BatchConfig {
+            max_events: 256,
+            max_bytes: 64 * 1024,
+            flush_interval: 10.0,
+        },
+        queue_cap: 4096,
+        drop_policy: mbta_service::DropPolicy::Defer,
+        budget: BudgetMode::Wallclock(50),
+    }
+}
+
+fn run_one(
+    g: &mbta_graph::BipartiteGraph,
+    weights: &[f64],
+    events: &[Arrival],
+    shards: usize,
+) -> ServiceReport {
+    let plan = ShardPlan::build(g, weights, shards, Routing::HashId);
+    let mut svc = DispatchService::new(g, &plan, serve_config());
+    let mut sink = NullSink;
+    for &a in events {
+        while let OfferOutcome::Deferred = svc.offer(a) {
+            svc.pump(&mut sink);
+        }
+        svc.pump(&mut sink);
+    }
+    svc.finish(&mut sink)
+}
+
+/// Renders one shard-count result as a JSON object (two-space indent,
+/// hand-formatted — the workspace has no JSON dependency by design).
+fn json_entry(shards: usize, r: &ServiceReport) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"shards\": {},\n",
+            "      \"cross_shard_edges\": {},\n",
+            "      \"retained_weight_fraction\": {:.4},\n",
+            "      \"events\": {},\n",
+            "      \"batches\": {},\n",
+            "      \"decisions\": {},\n",
+            "      \"events_per_sec\": {:.0},\n",
+            "      \"p50_batch_solve_ms\": {:.3},\n",
+            "      \"p99_batch_solve_ms\": {:.3},\n",
+            "      \"max_batch_solve_ms\": {:.3},\n",
+            "      \"wall_ms\": {:.1},\n",
+            "      \"tier_exact\": {},\n",
+            "      \"tier_approximate\": {},\n",
+            "      \"tier_degraded\": {},\n",
+            "      \"capacity_violations\": {}\n",
+            "    }}"
+        ),
+        shards,
+        r.cross_edges,
+        r.retained_weight,
+        r.events_in,
+        r.batches,
+        r.decisions,
+        r.events_per_sec,
+        r.p50_solve_ms,
+        r.p99_solve_ms,
+        r.max_solve_ms,
+        r.wall_ms,
+        r.tier_exact,
+        r.tier_approximate,
+        r.tier_degraded,
+        r.capacity_violations
+    )
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            other => {
+                eprintln!("unknown argument: {other} (usage: service_bench [--out <path>])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let spec = WorkloadSpec {
+        profile: Profile::Uniform,
+        n_workers: WORKERS,
+        n_tasks: TASKS,
+        avg_worker_degree: DEGREE,
+        skill_dims: 8,
+        seed: SEED,
+    };
+    let g = match spec
+        .generate()
+        .realize(&mbta_market::BenefitParams::default())
+    {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("universe generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let weights = mbta_market::benefit::edge_weights(&g, mbta_market::Combiner::balanced());
+
+    let trace = TraceSpec {
+        horizon: HORIZON,
+        mean_session: HORIZON * 0.2,
+        mean_task_lifetime: HORIZON * 0.3,
+        seed: SEED,
+    }
+    .generate_repeated(WORKERS, TASKS, REPEATS);
+    let events =
+        BenefitDrift::new(&g, DRIFT, SEED).weave(trace.into_iter().map(Arrival::from_trace));
+    eprintln!(
+        "universe: {WORKERS}x{TASKS} deg {DEGREE}, trace: {} events over horizon {HORIZON}",
+        events.len()
+    );
+
+    let mut entries = Vec::new();
+    let mut violations = 0usize;
+    for &shards in &SHARD_COUNTS {
+        let r = run_one(&g, &weights, &events, shards);
+        eprintln!(
+            "shards {shards}: {:.0} events/sec, p99 {:.2} ms, {} violations",
+            r.events_per_sec, r.p99_solve_ms, r.capacity_violations
+        );
+        violations += r.capacity_violations;
+        entries.push(json_entry(shards, &r));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"service_dispatch_throughput\",\n",
+            "  \"universe\": {{\n",
+            "    \"workers\": {}, \"tasks\": {}, \"avg_worker_degree\": {}, \"seed\": {}\n",
+            "  }},\n",
+            "  \"trace\": {{\n",
+            "    \"events\": {}, \"horizon\": {}, \"repeats\": {}, \"drift_rate\": {}\n",
+            "  }},\n",
+            "  \"config\": {{\n",
+            "    \"batch_max\": 256, \"batch_bytes\": 65536, \"flush_interval\": 10.0,\n",
+            "    \"queue_cap\": 4096, \"drop_policy\": \"defer\", \"budget_ms\": 50,\n",
+            "    \"routing\": \"hash\"\n",
+            "  }},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        WORKERS,
+        TASKS,
+        DEGREE,
+        SEED,
+        events.len(),
+        HORIZON,
+        REPEATS,
+        DRIFT,
+        entries.join(",\n")
+    );
+
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &json) {
+                eprintln!("write {p} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+
+    if violations > 0 {
+        eprintln!("FAIL: {violations} capacity violations across the sweep");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

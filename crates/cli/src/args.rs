@@ -7,6 +7,7 @@ use mbta_core::online::ArrivalOrder;
 use mbta_market::Combiner;
 use mbta_matching::mcmf::PathAlgo;
 use mbta_matching::online::OnlinePolicy;
+use mbta_service::{DropPolicy, Routing};
 use mbta_workload::Profile;
 use std::fmt;
 use std::path::PathBuf;
@@ -14,22 +15,74 @@ use std::path::PathBuf;
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage:
-  mbta-cli gen --profile <uniform|zipfian|microtask|freelance>
-               [--workers N] [--tasks N] [--degree F] [--dims N] [--seed N]
-               --out FILE
-  mbta-cli stats FILE
-  mbta-cli solve FILE [--algorithm <exact|greedy|local|quality|worker|random|cardinality|stable>]
-                      [--combiner <balanced|harmonic|min|linear:L>] [--pairs]
-                      [--deadline-ms N] [--fallback]
-  mbta-cli solve --inject-faults [--instances N] [--deadline-ms N] [--seed N]
-  mbta-cli sweep FILE [--steps N]
-  mbta-cli maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
-  mbta-cli budget FILE --limit B [--combiner C] [--iters N]
-  mbta-cli online FILE [--policy <greedy|ranking|twophase|threshold>]
-                       [--order <id|random|best-first|best-last>] [--seed N]
-  mbta-cli report FILE [--algorithm A] [--combiner C] [--top K]
-  mbta-cli topk FILE [--k N] [--combiner C]
-  mbta-cli help";
+  mbta gen --profile <uniform|zipfian|microtask|freelance>
+           [--workers N] [--tasks N] [--degree F] [--dims N] [--seed N]
+           --out FILE
+  mbta stats FILE
+  mbta solve FILE [--algorithm <exact|greedy|local|quality|worker|random|cardinality|stable>]
+                  [--combiner <balanced|harmonic|min|linear:L>] [--pairs]
+                  [--deadline-ms N] [--fallback <none|chain>]
+  mbta solve --inject-faults [--instances N] [--deadline-ms N] [--seed N]
+  mbta gen-trace --out FILE [--profile P] [--workers N] [--tasks N]
+                 [--degree F] [--dims N] [--seed N] [--horizon F] [--repeats N]
+  mbta serve  --trace FILE [--shards N] [--batch-max N] [--batch-bytes N]
+              [--flush-ms F] [--queue-cap N]
+              [--drop-policy <drop-newest|drop-oldest|defer>]
+              [--routing <hash|range>] [--budget-ms N] [--drift F]
+              [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
+  mbta replay --trace FILE [serve flags; deterministic budgets]
+  mbta sweep FILE [--steps N]
+  mbta maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
+  mbta budget FILE --limit B [--combiner C] [--iters N]
+  mbta online FILE [--policy <greedy|ranking|twophase|threshold>]
+                   [--order <id|random|best-first|best-last>] [--seed N]
+  mbta report FILE [--algorithm A] [--combiner C] [--top K]
+  mbta topk FILE [--k N] [--combiner C]
+  mbta help";
+
+/// Degradation policy for robust solves (`--fallback`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Exact tier or bust: the solve *fails* (non-zero exit) if the engine
+    /// returns anything below [`mbta_core::engine::QualityTier::Exact`].
+    None,
+    /// Full graceful-degradation chain; any tier is accepted.
+    Chain,
+}
+
+/// Options shared by `serve` and `replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOpts {
+    /// Trace file produced by `gen-trace` (or `TraceFile::render`).
+    pub trace: PathBuf,
+    /// Shard count.
+    pub shards: usize,
+    /// Batch count watermark.
+    pub batch_max: usize,
+    /// Batch byte watermark.
+    pub batch_bytes: usize,
+    /// Batch time watermark, in trace time units.
+    pub flush_ms: f64,
+    /// Ingress queue capacity.
+    pub queue_cap: usize,
+    /// Ingress overload policy.
+    pub drop_policy: DropPolicy,
+    /// Task-to-shard routing.
+    pub routing: Routing,
+    /// Per-batch wall-clock solve budget in ms (`serve` only; `replay`
+    /// always runs deterministic, unbudgeted solves).
+    pub budget_ms: u64,
+    /// Benefit-drift injection rate in [0, 1] (0 = lifecycle events only).
+    pub drift: f64,
+    /// Pre-poison one shard (fault-injection demo): its solves degrade to
+    /// the greedy floor without stalling siblings.
+    pub poison_shard: Option<usize>,
+    /// Fail (non-zero exit) if the whole run exceeds this wall-clock
+    /// budget.
+    pub max_wall_ms: Option<u64>,
+    /// Write the decision log here.
+    pub decisions: Option<PathBuf>,
+}
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,9 +122,10 @@ pub enum Command {
         /// Wall-clock budget for the solve; routes through the robust
         /// engine when set.
         deadline_ms: Option<u64>,
-        /// Enable the graceful-degradation chain (greedy -> local search ->
-        /// exact) instead of exact-only; routes through the robust engine.
-        fallback: bool,
+        /// Degradation policy; routes through the robust engine when set.
+        /// `none` demands the exact tier (non-zero exit otherwise),
+        /// `chain` accepts graceful degradation.
+        fallback: Option<FallbackMode>,
     },
     /// Run the synthetic fault-injection campaign through the robust
     /// engine (`solve --inject-faults`): adversarial topologies and
@@ -131,6 +185,32 @@ pub enum Command {
         /// Rows per report section.
         top: usize,
     },
+    /// Generate a persisted event trace for the dispatch service.
+    GenTrace {
+        /// Workload profile of the market universe.
+        profile: Profile,
+        /// Worker count.
+        workers: usize,
+        /// Task count.
+        tasks: usize,
+        /// Average worker degree.
+        degree: f64,
+        /// Skill dimensionality.
+        dims: usize,
+        /// Generation seed (universe and trace).
+        seed: u64,
+        /// Trace horizon in abstract time units.
+        horizon: f64,
+        /// Sessions per worker / postings per task.
+        repeats: u32,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Run the dispatch service over a trace with wall-clock budgets.
+    Serve(ServeOpts),
+    /// Deterministically replay a trace (unbudgeted solves, byte-identical
+    /// decision logs across runs).
+    Replay(ServeOpts),
     /// Enumerate the k best assignments (Murty).
     TopK {
         /// Instance path.
@@ -238,6 +318,121 @@ fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, ParseError>
         .map_err(|_| ParseError(format!("bad value for {flag}: '{s}'")))
 }
 
+fn parse_fallback(s: &str) -> Result<FallbackMode, ParseError> {
+    match s {
+        "none" => Ok(FallbackMode::None),
+        "chain" => Ok(FallbackMode::Chain),
+        _ => err(format!("unknown fallback mode '{s}' (try none|chain)")),
+    }
+}
+
+fn parse_routing(s: &str) -> Result<Routing, ParseError> {
+    match s {
+        "hash" => Ok(Routing::HashId),
+        "range" => Ok(Routing::Range),
+        _ => err(format!("unknown routing '{s}' (try hash|range)")),
+    }
+}
+
+fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseError> {
+    let mut trace = None;
+    let mut shards = 4usize;
+    let mut batch_max = 256usize;
+    let mut batch_bytes = 64 * 1024usize;
+    let mut flush_ms = 10.0f64;
+    let mut queue_cap = 4096usize;
+    let mut drop_policy = DropPolicy::Defer;
+    let mut routing = Routing::HashId;
+    let mut budget_ms = 50u64;
+    let mut drift = 0.0f64;
+    let mut poison_shard = None;
+    let mut max_wall_ms = None;
+    let mut decisions = None;
+    while let Some(flag) = cur.next() {
+        match flag {
+            "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--shards" => {
+                shards = parse_num(flag, cur.value_for(flag)?)?;
+                if shards == 0 {
+                    return err("--shards must be >= 1");
+                }
+            }
+            "--batch-max" => {
+                batch_max = parse_num(flag, cur.value_for(flag)?)?;
+                if batch_max == 0 {
+                    return err("--batch-max must be >= 1");
+                }
+            }
+            "--batch-bytes" => {
+                batch_bytes = parse_num(flag, cur.value_for(flag)?)?;
+                if batch_bytes == 0 {
+                    return err("--batch-bytes must be >= 1");
+                }
+            }
+            "--flush-ms" => {
+                flush_ms = parse_num(flag, cur.value_for(flag)?)?;
+                if !(flush_ms > 0.0 && flush_ms.is_finite()) {
+                    return err("--flush-ms must be positive and finite");
+                }
+            }
+            "--queue-cap" => {
+                queue_cap = parse_num(flag, cur.value_for(flag)?)?;
+                if queue_cap == 0 {
+                    return err("--queue-cap must be >= 1");
+                }
+            }
+            "--drop-policy" => {
+                let v = cur.value_for(flag)?;
+                drop_policy = DropPolicy::parse(v).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown drop policy '{v}' (try drop-newest|drop-oldest|defer)"
+                    ))
+                })?;
+            }
+            "--routing" => routing = parse_routing(cur.value_for(flag)?)?,
+            "--budget-ms" => {
+                budget_ms = parse_num(flag, cur.value_for(flag)?)?;
+                if budget_ms == 0 {
+                    return err("--budget-ms must be >= 1");
+                }
+            }
+            "--drift" => {
+                drift = parse_num(flag, cur.value_for(flag)?)?;
+                if !(0.0..=1.0).contains(&drift) {
+                    return err("--drift must be in [0,1]");
+                }
+            }
+            "--poison-shard" => poison_shard = Some(parse_num(flag, cur.value_for(flag)?)?),
+            "--max-wall-ms" => max_wall_ms = Some(parse_num(flag, cur.value_for(flag)?)?),
+            "--decisions" => decisions = Some(PathBuf::from(cur.value_for(flag)?)),
+            _ => return err(format!("unknown flag for {cmd}: '{flag}'")),
+        }
+    }
+    let Some(trace) = trace else {
+        return err(format!("{cmd} requires --trace"));
+    };
+    if let Some(s) = poison_shard {
+        if s >= shards {
+            return err(format!("--poison-shard {s} out of range (shards {shards})"));
+        }
+    }
+    Ok(ServeOpts {
+        trace,
+        shards,
+        batch_max,
+        batch_bytes,
+        flush_ms,
+        queue_cap,
+        drop_policy,
+        routing,
+        budget_ms,
+        drift,
+        poison_shard,
+        max_wall_ms,
+        decisions,
+    })
+}
+
 /// Parses a full command line (without `argv[0]`).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut cur = Cursor { args, pos: 0 };
@@ -307,7 +502,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut combiner = Combiner::balanced();
             let mut pairs = false;
             let mut deadline_ms: Option<u64> = None;
-            let mut fallback = false;
+            let mut fallback: Option<FallbackMode> = None;
             let mut inject_faults = false;
             let mut instances = 1_000usize;
             let mut seed = 0u64;
@@ -318,7 +513,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--combiner" => combiner = parse_combiner(cur.value_for(flag)?)?,
                     "--pairs" => pairs = true,
                     "--deadline-ms" => deadline_ms = Some(parse_num(flag, cur.value_for(flag)?)?),
-                    "--fallback" => fallback = true,
+                    "--fallback" => fallback = Some(parse_fallback(cur.value_for(flag)?)?),
                     "--inject-faults" => inject_faults = true,
                     "--instances" => {
                         campaign_only_flag = Some(flag);
@@ -359,6 +554,57 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 fallback,
             })
         }
+        "gen-trace" => {
+            let mut profile = Profile::Uniform;
+            let mut workers = 1_000usize;
+            let mut tasks = 500usize;
+            let mut degree = 8.0f64;
+            let mut dims = 8usize;
+            let mut seed = 42u64;
+            let mut horizon = 50.0f64;
+            let mut repeats = 4u32;
+            let mut out = None;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--profile" => profile = parse_profile(cur.value_for(flag)?)?,
+                    "--workers" => workers = parse_num(flag, cur.value_for(flag)?)?,
+                    "--tasks" => tasks = parse_num(flag, cur.value_for(flag)?)?,
+                    "--degree" => degree = parse_num(flag, cur.value_for(flag)?)?,
+                    "--dims" => dims = parse_num(flag, cur.value_for(flag)?)?,
+                    "--seed" => seed = parse_num(flag, cur.value_for(flag)?)?,
+                    "--horizon" => {
+                        horizon = parse_num(flag, cur.value_for(flag)?)?;
+                        if !(horizon > 0.0 && horizon.is_finite()) {
+                            return err("--horizon must be positive and finite");
+                        }
+                    }
+                    "--repeats" => {
+                        repeats = parse_num(flag, cur.value_for(flag)?)?;
+                        if repeats == 0 {
+                            return err("--repeats must be >= 1");
+                        }
+                    }
+                    "--out" => out = Some(PathBuf::from(cur.value_for(flag)?)),
+                    _ => return err(format!("unknown flag for gen-trace: '{flag}'")),
+                }
+            }
+            let Some(out) = out else {
+                return err("gen-trace requires --out");
+            };
+            Ok(Command::GenTrace {
+                profile,
+                workers,
+                tasks,
+                degree,
+                dims,
+                seed,
+                horizon,
+                repeats,
+                out,
+            })
+        }
+        "serve" => Ok(Command::Serve(parse_serve_opts(&mut cur, "serve")?)),
+        "replay" => Ok(Command::Replay(parse_serve_opts(&mut cur, "replay")?)),
         "sweep" => {
             let Some(file) = cur.next() else {
                 return err("sweep requires a file");
@@ -602,6 +848,7 @@ mod tests {
             "--deadline-ms",
             "50",
             "--fallback",
+            "chain",
         ]))
         .unwrap()
         {
@@ -611,7 +858,13 @@ mod tests {
                 ..
             } => {
                 assert_eq!(deadline_ms, Some(50));
-                assert!(fallback);
+                assert_eq!(fallback, Some(FallbackMode::Chain));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&sv(&["solve", "m.mbta", "--fallback", "none"])).unwrap() {
+            Command::Solve { fallback, .. } => {
+                assert_eq!(fallback, Some(FallbackMode::None));
             }
             _ => panic!("wrong command"),
         }
@@ -622,10 +875,117 @@ mod tests {
                 ..
             } => {
                 assert_eq!(deadline_ms, None);
-                assert!(!fallback);
+                assert_eq!(fallback, None);
             }
             _ => panic!("wrong command"),
         }
+        // --fallback is value-taking now; bare or unknown values fail.
+        assert!(parse(&sv(&["solve", "m.mbta", "--fallback"])).is_err());
+        assert!(parse(&sv(&["solve", "m.mbta", "--fallback", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn parses_gen_trace() {
+        match parse(&sv(&[
+            "gen-trace",
+            "--out",
+            "t.trace",
+            "--workers",
+            "800",
+            "--tasks",
+            "500",
+            "--repeats",
+            "4",
+            "--horizon",
+            "60",
+        ]))
+        .unwrap()
+        {
+            Command::GenTrace {
+                workers,
+                tasks,
+                repeats,
+                horizon,
+                out,
+                ..
+            } => {
+                assert_eq!(workers, 800);
+                assert_eq!(tasks, 500);
+                assert_eq!(repeats, 4);
+                assert_eq!(horizon, 60.0);
+                assert_eq!(out, PathBuf::from("t.trace"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["gen-trace"])).is_err()); // needs --out
+        assert!(parse(&sv(&["gen-trace", "--out", "t", "--repeats", "0"])).is_err());
+        assert!(parse(&sv(&["gen-trace", "--out", "t", "--horizon", "nan"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_replay() {
+        match parse(&sv(&[
+            "serve",
+            "--trace",
+            "t.trace",
+            "--batch-max",
+            "256",
+            "--flush-ms",
+            "10",
+            "--shards",
+            "4",
+            "--drop-policy",
+            "drop-oldest",
+            "--routing",
+            "range",
+            "--drift",
+            "0.2",
+            "--poison-shard",
+            "2",
+            "--decisions",
+            "out.log",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert_eq!(o.trace, PathBuf::from("t.trace"));
+                assert_eq!(o.batch_max, 256);
+                assert_eq!(o.flush_ms, 10.0);
+                assert_eq!(o.shards, 4);
+                assert_eq!(o.drop_policy, DropPolicy::DropOldest);
+                assert_eq!(o.routing, Routing::Range);
+                assert_eq!(o.drift, 0.2);
+                assert_eq!(o.poison_shard, Some(2));
+                assert_eq!(o.decisions, Some(PathBuf::from("out.log")));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&sv(&["replay", "--trace", "t.trace"])).unwrap() {
+            Command::Replay(o) => {
+                // Defaults.
+                assert_eq!(o.shards, 4);
+                assert_eq!(o.batch_max, 256);
+                assert_eq!(o.drop_policy, DropPolicy::Defer);
+                assert_eq!(o.routing, Routing::HashId);
+                assert_eq!(o.drift, 0.0);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["serve"])).is_err()); // needs --trace
+        assert!(parse(&sv(&["serve", "--trace", "t", "--shards", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--drift", "1.5"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--drop-policy", "yolo"])).is_err());
+        // Poison shard must be inside the shard range.
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--shards",
+            "2",
+            "--poison-shard",
+            "2"
+        ]))
+        .is_err());
     }
 
     #[test]

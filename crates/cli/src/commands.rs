@@ -1,9 +1,9 @@
 //! Command implementations.
 
-use crate::args::{Command, USAGE};
+use crate::args::{Command, FallbackMode, ServeOpts, USAGE};
 use mbta_core::algorithms::solve;
 use mbta_core::budget::{greedy_budgeted, lagrangian_budgeted};
-use mbta_core::engine::{solve_robust, EngineConfig, EngineError};
+use mbta_core::engine::{solve_robust, EngineConfig, EngineError, QualityTier};
 use mbta_core::evaluate::Evaluation;
 use mbta_core::frontier::lambda_sweep;
 use mbta_core::maxmin::maxmin_with_weights;
@@ -13,14 +13,20 @@ use mbta_graph::serial::{read_graph, write_graph};
 use mbta_graph::stats::GraphStats;
 use mbta_graph::BipartiteGraph;
 use mbta_market::benefit::edge_weights;
-use mbta_market::BenefitParams;
+use mbta_market::{BenefitParams, Combiner};
 use mbta_matching::kbest::k_best_bmatchings;
+use mbta_service::{
+    Arrival, BatchConfig, BenefitDrift, BudgetMode, DecisionSink, DispatchService, NullSink,
+    OfferOutcome, ServiceConfig, ServiceReport, ShardPlan, WriteSink,
+};
 use mbta_util::table::{fnum, Table};
 use mbta_workload::faults::adversarial_instance;
-use mbta_workload::WorkloadSpec;
+use mbta_workload::trace::TraceSpec;
+use mbta_workload::{TraceFile, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fs;
+use std::io::{self, Write};
 use std::path::Path;
 use std::time::Instant;
 
@@ -97,22 +103,31 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             fallback,
         } => {
             let g = load(&file)?;
-            let robust = deadline_ms.is_some() || fallback;
+            let robust = deadline_ms.is_some() || fallback.is_some();
             let start = Instant::now();
             let (m, tier) = if robust {
-                // Route through the fault-tolerant engine: --fallback opts
-                // into the degradation chain, --deadline-ms bounds the solve.
+                // Route through the fault-tolerant engine: --fallback picks
+                // the degradation policy, --deadline-ms bounds the solve.
                 // --algorithm is ignored here (the engine picks its chain).
                 let weights = edge_weights(&g, combiner);
-                let mut cfg = if fallback {
-                    EngineConfig::new()
-                } else {
-                    EngineConfig::new().exact_only()
+                let mut cfg = match fallback {
+                    Some(FallbackMode::Chain) => EngineConfig::new(),
+                    // `--fallback none` and bare `--deadline-ms` both run
+                    // exact-only; only the former makes degradation fatal.
+                    Some(FallbackMode::None) | None => EngineConfig::new().exact_only(),
                 };
                 if let Some(ms) = deadline_ms {
                     cfg = cfg.with_deadline_ms(ms);
                 }
                 let sol = solve_robust(&g, &weights, &cfg)?;
+                if fallback == Some(FallbackMode::None) && sol.tier < QualityTier::Exact {
+                    return Err(format!(
+                        "solve degraded to tier '{}' under --fallback none \
+                         (exact tier required; raise --deadline-ms or use --fallback chain)",
+                        sol.tier
+                    )
+                    .into());
+                }
                 (sol.matching, Some(sol.tier))
             } else {
                 (solve(&g, combiner, algorithm), None)
@@ -301,6 +316,44 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             }
             Ok(())
         }
+        Command::GenTrace {
+            profile,
+            workers,
+            tasks,
+            degree,
+            dims,
+            seed,
+            horizon,
+            repeats,
+            out,
+        } => {
+            let wspec = WorkloadSpec {
+                profile,
+                n_workers: workers,
+                n_tasks: tasks,
+                avg_worker_degree: degree,
+                skill_dims: dims,
+                seed,
+            };
+            let tspec = TraceSpec {
+                horizon,
+                mean_session: horizon * 0.2,
+                mean_task_lifetime: horizon * 0.3,
+                seed,
+            };
+            let events = tspec.generate_repeated(workers, tasks, repeats);
+            let tf = TraceFile::new(wspec, events)?;
+            let n = tf.events.len();
+            fs::write(&out, tf.render())?;
+            println!(
+                "wrote {}: {n} events over horizon {horizon} \
+                 ({workers} workers x {repeats} sessions, {tasks} tasks x {repeats} postings, seed {seed})",
+                out.display()
+            );
+            Ok(())
+        }
+        Command::Serve(opts) => run_service(&opts, false),
+        Command::Replay(opts) => run_service(&opts, true),
         Command::Sweep { file, steps } => {
             let g = load(&file)?;
             let lambdas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
@@ -342,6 +395,103 @@ fn engine_error_class(e: &EngineError) -> &'static str {
         EngineError::EmptyGraph { .. } => "empty-graph",
         EngineError::NoAssignableCapacity => "no-assignable-capacity",
     }
+}
+
+/// Streams every arrival through the service, pumping between offers so
+/// watermark flushes happen promptly and `Defer` backpressure makes
+/// progress instead of spinning.
+fn drive<'p, S: DecisionSink>(
+    mut svc: DispatchService<'p>,
+    events: &[Arrival],
+    sink: &mut S,
+) -> ServiceReport {
+    for &a in events {
+        while let OfferOutcome::Deferred = svc.offer(a) {
+            svc.pump(sink);
+        }
+        svc.pump(sink);
+    }
+    svc.finish(sink)
+}
+
+/// Shared implementation of `serve` (wall-clock solve budgets) and
+/// `replay` (deterministic budgets; the decision log is byte-identical
+/// across runs). Exits non-zero if the final assignment violates any
+/// capacity, or if `--max-wall-ms` is exceeded.
+fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(&opts.trace)
+        .map_err(|e| format!("cannot read trace {}: {e}", opts.trace.display()))?;
+    let tf = TraceFile::parse(&text)?;
+    let g = tf.spec.generate().realize(&BenefitParams::default())?;
+    let weights = edge_weights(&g, Combiner::balanced());
+    let plan = ShardPlan::build(&g, &weights, opts.shards, opts.routing);
+
+    let cfg = ServiceConfig {
+        batch: BatchConfig {
+            max_events: opts.batch_max,
+            max_bytes: opts.batch_bytes,
+            flush_interval: opts.flush_ms,
+        },
+        queue_cap: opts.queue_cap,
+        drop_policy: opts.drop_policy,
+        budget: if deterministic {
+            BudgetMode::Deterministic
+        } else {
+            BudgetMode::Wallclock(opts.budget_ms)
+        },
+    };
+    let mut svc = DispatchService::new(&g, &plan, cfg);
+    if let Some(s) = opts.poison_shard {
+        svc.poison_shard(s);
+    }
+
+    let base = tf.events.iter().copied().map(Arrival::from_trace);
+    let events: Vec<Arrival> = if opts.drift > 0.0 {
+        BenefitDrift::new(&g, opts.drift, tf.spec.seed).weave(base)
+    } else {
+        base.collect()
+    };
+
+    let report = match &opts.decisions {
+        Some(path) => {
+            let file = fs::File::create(path)?;
+            let mut sink = WriteSink::new(io::BufWriter::new(file));
+            let report = drive(svc, &events, &mut sink);
+            if let Some(e) = sink.error.take() {
+                return Err(Box::new(e));
+            }
+            sink.into_inner().flush()?;
+            report
+        }
+        None => drive(svc, &events, &mut NullSink),
+    };
+
+    print!("{}", report.render());
+    println!(
+        "{}: {} events in, {} decisions, {} violations, {} ms",
+        if deterministic { "replay" } else { "serve" },
+        report.events_in,
+        report.decisions,
+        report.capacity_violations,
+        fnum(report.wall_ms, 1)
+    );
+    if report.capacity_violations > 0 {
+        return Err(format!(
+            "capacity invariant violated: {} violations in final assignment",
+            report.capacity_violations
+        )
+        .into());
+    }
+    if let Some(budget) = opts.max_wall_ms {
+        if report.wall_ms > budget as f64 {
+            return Err(format!(
+                "wall-clock budget exceeded: {} ms > {budget} ms",
+                fnum(report.wall_ms, 1)
+            )
+            .into());
+        }
+    }
+    Ok(())
 }
 
 fn load(path: &Path) -> Result<BipartiteGraph, Box<dyn Error>> {
@@ -386,7 +536,7 @@ mod tests {
             combiner: Combiner::balanced(),
             pairs: true,
             deadline_ms: None,
-            fallback: false,
+            fallback: None,
         })
         .unwrap();
         run(Command::Solve {
@@ -397,7 +547,7 @@ mod tests {
             combiner: Combiner::balanced(),
             pairs: false,
             deadline_ms: Some(50),
-            fallback: true,
+            fallback: Some(FallbackMode::Chain),
         })
         .unwrap();
         run(Command::Sweep {
@@ -434,6 +584,129 @@ mod tests {
             file: out.clone(),
             k: 3,
             combiner: Combiner::balanced(),
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(out);
+    }
+
+    fn small_serve_opts(trace: PathBuf, decisions: Option<PathBuf>) -> ServeOpts {
+        ServeOpts {
+            trace,
+            shards: 4,
+            batch_max: 64,
+            batch_bytes: 1 << 20,
+            flush_ms: 5.0,
+            queue_cap: 4096,
+            drop_policy: mbta_service::DropPolicy::Defer,
+            routing: mbta_service::Routing::HashId,
+            budget_ms: 50,
+            drift: 0.1,
+            poison_shard: None,
+            max_wall_ms: None,
+            decisions,
+        }
+    }
+
+    #[test]
+    fn gen_trace_then_replay_is_deterministic() {
+        let trace = tmp("replay.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 60,
+            tasks: 40,
+            degree: 4.0,
+            dims: 4,
+            seed: 11,
+            horizon: 40.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let log_a = tmp("replay_a.log");
+        let log_b = tmp("replay_b.log");
+        run(Command::Replay(small_serve_opts(
+            trace.clone(),
+            Some(log_a.clone()),
+        )))
+        .unwrap();
+        run(Command::Replay(small_serve_opts(
+            trace.clone(),
+            Some(log_b.clone()),
+        )))
+        .unwrap();
+        let a = std::fs::read(&log_a).unwrap();
+        let b = std::fs::read(&log_b).unwrap();
+        assert!(!a.is_empty(), "replay produced an empty decision log");
+        assert_eq!(a, b, "replay decision logs differ between runs");
+
+        for p in [trace, log_a, log_b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn serve_with_poisoned_shard_completes() {
+        let trace = tmp("poison.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 50,
+            tasks: 30,
+            degree: 4.0,
+            dims: 4,
+            seed: 13,
+            horizon: 30.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let mut opts = small_serve_opts(trace.clone(), None);
+        opts.poison_shard = Some(0);
+        run(Command::Serve(opts)).unwrap();
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn solve_fallback_none_fails_on_degraded_tier() {
+        let out = tmp("fallback_none.mbta");
+        run(Command::Gen {
+            profile: Profile::Uniform,
+            workers: 400,
+            tasks: 200,
+            degree: 8.0,
+            dims: 4,
+            seed: 7,
+            out: out.clone(),
+        })
+        .unwrap();
+
+        // A zero-ms deadline forces degradation below the exact tier;
+        // under `--fallback none` that must surface as a hard error.
+        let r = run(Command::Solve {
+            file: out.clone(),
+            algorithm: Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+            combiner: Combiner::balanced(),
+            pairs: false,
+            deadline_ms: Some(0),
+            fallback: Some(FallbackMode::None),
+        });
+        assert!(r.is_err(), "--fallback none must fail when tier < exact");
+        let msg = r.unwrap_err().to_string();
+        assert!(msg.contains("fallback none"), "unexpected error: {msg}");
+
+        // Same deadline under `--fallback chain` degrades gracefully.
+        run(Command::Solve {
+            file: out.clone(),
+            algorithm: Algorithm::ExactMB {
+                algo: PathAlgo::Dijkstra,
+            },
+            combiner: Combiner::balanced(),
+            pairs: false,
+            deadline_ms: Some(0),
+            fallback: Some(FallbackMode::Chain),
         })
         .unwrap();
         let _ = std::fs::remove_file(out);

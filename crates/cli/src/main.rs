@@ -1,11 +1,14 @@
-//! `mbta-cli` — command-line front end for the library.
+//! `mbta` — command-line front end for the library.
 //!
 //! ```text
-//! mbta-cli gen --profile freelance --workers 5000 --tasks 2500 \
-//!              --degree 8 --seed 42 --out market.mbta   # generate + persist
-//! mbta-cli stats market.mbta                    # dataset statistics
-//! mbta-cli solve market.mbta --algorithm exact --combiner harmonic
-//! mbta-cli sweep market.mbta                    # λ-sweep frontier
+//! mbta gen --profile freelance --workers 5000 --tasks 2500 \
+//!          --degree 8 --seed 42 --out market.mbta   # generate + persist
+//! mbta stats market.mbta                    # dataset statistics
+//! mbta solve market.mbta --algorithm exact --combiner harmonic
+//! mbta sweep market.mbta                    # λ-sweep frontier
+//! mbta gen-trace --workers 800 --tasks 500 --out smoke.trace
+//! mbta serve --trace smoke.trace --shards 4 # streaming dispatch service
+//! mbta replay --trace smoke.trace           # deterministic decision log
 //! ```
 //!
 //! Instances travel in the compact binary format of `mbta_graph::serial`,

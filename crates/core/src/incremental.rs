@@ -42,6 +42,13 @@ pub enum SeedRejection {
         /// Its weight.
         weight: f64,
     },
+    /// A seeded edge touches a node that is currently inactive (only
+    /// possible through [`IncrementalAssignment::reseed`], which keeps the
+    /// activity flags of the running state).
+    InactiveEndpoint {
+        /// The offending edge (raw id).
+        edge: u32,
+    },
 }
 
 impl fmt::Display for SeedRejection {
@@ -53,6 +60,9 @@ impl fmt::Display for SeedRejection {
             SeedRejection::Infeasible(ref e) => write!(f, "infeasible seed matching: {e}"),
             SeedRejection::NonFiniteWeight { edge, weight } => {
                 write!(f, "seeded edge {edge} has non-finite weight {weight}")
+            }
+            SeedRejection::InactiveEndpoint { edge } => {
+                write!(f, "seeded edge {edge} touches an inactive node")
             }
         }
     }
@@ -303,6 +313,66 @@ impl<'g> IncrementalAssignment<'g> {
         }
     }
 
+    /// Replaces the maintained matching with `m`, *keeping* the current
+    /// activity flags. This is how a batch-level re-solve is adopted by a
+    /// long-running maintainer (the dispatch service solves the active
+    /// sub-market with the robust engine, then reseeds): greedy repair
+    /// resumes from the better matching on the next churn event.
+    ///
+    /// `m` must be feasible for the graph, touch only active nodes, and
+    /// carry finite weights; otherwise the state is left unchanged and the
+    /// rejection is returned.
+    pub fn reseed(&mut self, m: &Matching) -> Result<(), SeedRejection> {
+        m.validate(self.g)?;
+        for &e in &m.edges {
+            if !self.weights[e.index()].is_finite() {
+                return Err(SeedRejection::NonFiniteWeight {
+                    edge: e.raw(),
+                    weight: self.weights[e.index()],
+                });
+            }
+            if !self.worker_active[self.g.worker_of(e).index()]
+                || !self.task_active[self.g.task_of(e).index()]
+            {
+                return Err(SeedRejection::InactiveEndpoint { edge: e.raw() });
+            }
+        }
+        let current: Vec<EdgeId> = (0..self.g.n_edges() as u32)
+            .map(EdgeId::new)
+            .filter(|e| self.in_matching[e.index()])
+            .collect();
+        for e in current {
+            self.remove(e);
+        }
+        for &e in &m.edges {
+            self.insert(e);
+        }
+        Ok(())
+    }
+
+    /// Updates the weight of one edge (a benefit update flowing through the
+    /// market event stream). If the edge is currently assigned, the running
+    /// total is adjusted; a non-finite update on an assigned edge evicts it
+    /// (while the old finite weight is still in place, so the total stays
+    /// clean) and greedily repairs both endpoints.
+    pub fn set_weight(&mut self, e: EdgeId, w: f64) {
+        let i = e.index();
+        if self.in_matching[i] {
+            if w.is_finite() {
+                let old = self.weights[i];
+                self.weights[i] = w;
+                self.total += w - old;
+            } else {
+                self.remove(e);
+                self.weights[i] = w;
+                self.repair_worker(self.g.worker_of(e));
+                self.repair_task(self.g.task_of(e));
+            }
+        } else {
+            self.weights[i] = w;
+        }
+    }
+
     /// The active-subgraph weights for re-solve comparisons: inactive
     /// endpoints get weight 0 so a from-scratch solver sees the same market
     /// state (zero-weight edges are never taken in free-cardinality mode).
@@ -532,6 +602,203 @@ mod tests {
                 inc.check_invariants();
             }
         }
+    }
+
+    #[test]
+    fn interleaved_add_remove_of_same_worker_within_one_batch() {
+        // The dispatch service batches events, and a batch routinely holds
+        // BOTH lifecycle edges of the same worker (short session entirely
+        // inside one micro-batch): on,off — or even on,off,on,off. Every
+        // interleaving must keep invariants and land in the state implied
+        // by the LAST event, independent of what happened in between.
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 30,
+                n_tasks: 20,
+                avg_degree: 5.0,
+                capacity: 2,
+                demand: 2,
+            },
+            13,
+        );
+        let weights: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+
+        // Reference: deactivate w once.
+        let w = WorkerId::new(4);
+        let mut reference = IncrementalAssignment::new(&g, weights.clone());
+        reference.deactivate_worker(w);
+
+        // Same batch with a flap in the middle: off,on,off must agree with
+        // a single off, because the intermediate on..off pair must not leak
+        // state (greedy repair is deterministic in the surrounding state).
+        let mut flappy = IncrementalAssignment::new(&g, weights.clone());
+        flappy.deactivate_worker(w);
+        flappy.activate_worker(w);
+        flappy.check_invariants();
+        flappy.deactivate_worker(w);
+        flappy.check_invariants();
+        assert!(!flappy.worker_active(w));
+        assert_eq!(
+            flappy.matching().edges,
+            reference.matching().edges,
+            "flap within a batch changed the final state"
+        );
+
+        // And an on-terminated interleaving ends active with its capacity
+        // greedily refilled.
+        let mut ending_on = IncrementalAssignment::new(&g, weights.clone());
+        for _ in 0..3 {
+            ending_on.deactivate_worker(w);
+            ending_on.activate_worker(w);
+        }
+        ending_on.check_invariants();
+        assert!(ending_on.worker_active(w));
+
+        // Same property on the task side.
+        let t = TaskId::new(7);
+        let mut task_ref = IncrementalAssignment::new(&g, weights.clone());
+        task_ref.deactivate_task(t);
+        let mut task_flappy = IncrementalAssignment::new(&g, weights);
+        task_flappy.deactivate_task(t);
+        task_flappy.activate_task(t);
+        task_flappy.deactivate_task(t);
+        task_flappy.check_invariants();
+        assert_eq!(task_flappy.matching().edges, task_ref.matching().edges);
+    }
+
+    #[test]
+    fn interleaved_same_id_churn_storm_keeps_invariants() {
+        // Hammer ONE worker and ONE task with a dense flip sequence while
+        // background churn rearranges everything around them.
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 40,
+                n_tasks: 30,
+                avg_degree: 6.0,
+                capacity: 2,
+                demand: 2,
+            },
+            29,
+        );
+        let weights: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        let mut inc = IncrementalAssignment::new(&g, weights);
+        let hot_w = WorkerId::new(0);
+        let hot_t = TaskId::new(0);
+        let mut rng = SplitMix64::new(77);
+        for step in 0..300 {
+            match rng.next_below(6) {
+                0 => {
+                    inc.deactivate_worker(hot_w);
+                }
+                1 => inc.activate_worker(hot_w),
+                2 => {
+                    inc.deactivate_task(hot_t);
+                }
+                3 => inc.activate_task(hot_t),
+                4 => {
+                    let w = rng.next_index(g.n_workers()) as u32;
+                    inc.deactivate_worker(WorkerId::new(w));
+                }
+                _ => {
+                    let w = rng.next_index(g.n_workers()) as u32;
+                    inc.activate_worker(WorkerId::new(w));
+                }
+            }
+            inc.check_invariants();
+            let _ = step;
+        }
+    }
+
+    #[test]
+    fn reseed_adopts_better_matching_and_keeps_activity() {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 50,
+                n_tasks: 40,
+                avg_degree: 6.0,
+                capacity: 2,
+                demand: 2,
+            },
+            8,
+        );
+        let weights: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        let mut inc = IncrementalAssignment::new(&g, weights.clone());
+        // Deactivate a slice of the market, then re-solve the active part
+        // exactly and adopt it.
+        for w in 0..10 {
+            inc.deactivate_worker(WorkerId::new(w));
+        }
+        for t in 0..5 {
+            inc.deactivate_task(TaskId::new(t));
+        }
+        let before = inc.total_weight();
+        let aw = inc.active_weights();
+        let (opt, _) = max_weight_bmatching(&g, &aw, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+        inc.reseed(&opt).unwrap();
+        inc.check_invariants();
+        assert!(
+            !inc.worker_active(WorkerId::new(3)),
+            "reseed flipped activity"
+        );
+        assert!(inc.total_weight() >= before - 1e-9, "reseed lost value");
+
+        // Churn keeps working after a reseed.
+        inc.deactivate_worker(WorkerId::new(20));
+        inc.activate_worker(WorkerId::new(3));
+        inc.check_invariants();
+    }
+
+    #[test]
+    fn reseed_rejects_inactive_endpoints_and_leaves_state_intact() {
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5)]);
+        let weights = vec![0.9, 0.5];
+        let mut inc = IncrementalAssignment::new(&g, weights);
+        inc.deactivate_worker(WorkerId::new(1));
+        let before = inc.matching().edges;
+        // Edge 1 touches the deactivated worker 1.
+        let bad = Matching::from_edges(vec![EdgeId::new(1)]);
+        let err = inc.reseed(&bad).unwrap_err();
+        assert!(
+            matches!(err, SeedRejection::InactiveEndpoint { edge: 1 }),
+            "{err}"
+        );
+        inc.check_invariants();
+        assert_eq!(inc.matching().edges, before, "failed reseed mutated state");
+        // Infeasible seeds are rejected through the same gate.
+        let dup = Matching::from_edges(vec![EdgeId::new(0), EdgeId::new(0)]);
+        assert!(matches!(
+            inc.reseed(&dup).unwrap_err(),
+            SeedRejection::Infeasible(_)
+        ));
+    }
+
+    #[test]
+    fn set_weight_tracks_total_and_evicts_poison() {
+        let g = from_edges(&[1], &[1, 1], &[(0, 0, 0.8, 0.8), (0, 1, 0.6, 0.6)]);
+        let weights: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let mut inc = IncrementalAssignment::new(&g, weights);
+        assert!((inc.total_weight() - 0.8).abs() < 1e-12);
+
+        // Benefit update on the assigned edge: total follows.
+        inc.set_weight(EdgeId::new(0), 0.3);
+        inc.check_invariants();
+        assert!((inc.total_weight() - 0.3).abs() < 1e-12);
+
+        // Poisoning the assigned edge evicts it; repair moves the worker to
+        // the remaining finite edge.
+        inc.set_weight(EdgeId::new(0), f64::NAN);
+        inc.check_invariants();
+        assert!((inc.total_weight() - 0.6).abs() < 1e-12);
+        assert_eq!(inc.len(), 1);
+
+        // Updates on unassigned edges just store.
+        inc.set_weight(EdgeId::new(0), 0.9);
+        inc.check_invariants();
+        // ...and the now-healthy edge is picked up at the next repair
+        // opportunity for its endpoints.
+        inc.deactivate_task(TaskId::new(1));
+        inc.check_invariants();
+        assert!((inc.total_weight() - 0.9).abs() < 1e-12);
     }
 
     #[test]

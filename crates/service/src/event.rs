@@ -1,0 +1,210 @@
+//! The service's ingress event model and adapters.
+//!
+//! [`ServiceEvent`] is the union of everything a running market can tell
+//! the dispatcher: lifecycle churn (join/leave, post/cancel/complete) and
+//! benefit drift (an edge's mutual-benefit estimate changed — ratings
+//! arrived, a price moved). Workload traces ([`mbta_workload::trace`])
+//! only carry lifecycle events, so [`Arrival::from_trace`] adapts them and
+//! [`BenefitDrift`] can weave deterministic drift events into any stream
+//! for testing and benchmarking.
+
+use mbta_graph::BipartiteGraph;
+use mbta_util::SplitMix64;
+use mbta_workload::trace::{Event as TraceEvent, TimedEvent};
+
+/// One market event, in universe (parent-graph) ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceEvent {
+    /// Worker comes online and can take assignments.
+    WorkerJoin(u32),
+    /// Worker goes offline; its assignments are dropped and repaired.
+    WorkerLeave(u32),
+    /// Task is posted and needs workers.
+    TaskPost(u32),
+    /// Task is cancelled by the requester.
+    TaskCancel(u32),
+    /// Task completed (same churn effect as cancel, tallied separately).
+    TaskComplete(u32),
+    /// The mutual-benefit estimate of an edge changed.
+    BenefitUpdate {
+        /// Universe edge id.
+        edge: u32,
+        /// New combined weight.
+        weight: f64,
+    },
+}
+
+impl ServiceEvent {
+    /// Approximate wire size of the event in bytes, used by the byte
+    /// watermark. Matches the decision-log text encoding closely enough
+    /// for admission control (exactness is not the point; monotonicity in
+    /// payload is).
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            ServiceEvent::BenefitUpdate { .. } => 24,
+            _ => 12,
+        }
+    }
+
+    /// Short keyword for logs and reports.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ServiceEvent::WorkerJoin(_) => "join",
+            ServiceEvent::WorkerLeave(_) => "leave",
+            ServiceEvent::TaskPost(_) => "post",
+            ServiceEvent::TaskCancel(_) => "cancel",
+            ServiceEvent::TaskComplete(_) => "complete",
+            ServiceEvent::BenefitUpdate { .. } => "benefit",
+        }
+    }
+}
+
+/// A service event stamped with its (virtual) arrival time.
+///
+/// Virtual time is whatever clock the producing trace uses; the service
+/// only ever compares differences against its flush watermark, so the unit
+/// is opaque (the CLI treats it as milliseconds when `--flush-ms` is
+/// given... see `BatchConfig::flush_interval`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival timestamp (strictly monotone within a normalized stream).
+    pub time: f64,
+    /// The event.
+    pub event: ServiceEvent,
+}
+
+impl Arrival {
+    /// Adapts a workload-trace event to the service's ingress model.
+    pub fn from_trace(e: TimedEvent) -> Arrival {
+        let event = match e.event {
+            TraceEvent::WorkerOn(w) => ServiceEvent::WorkerJoin(w),
+            TraceEvent::WorkerOff(w) => ServiceEvent::WorkerLeave(w),
+            TraceEvent::TaskPosted(t) => ServiceEvent::TaskPost(t),
+            TraceEvent::TaskExpired(t) => ServiceEvent::TaskCancel(t),
+        };
+        Arrival {
+            time: e.time,
+            event,
+        }
+    }
+}
+
+/// Deterministically interleaves benefit-drift events into a stream.
+///
+/// After each upstream event, with probability `rate` a random universe
+/// edge gets a fresh weight drawn uniformly from `[0, 1]` and stamped with
+/// the same timestamp (normalized streams are strictly monotone, so the
+/// drift event is nudged one ULP later to preserve the invariant).
+/// Everything is a pure function of `seed`, so replays stay byte-identical.
+pub struct BenefitDrift {
+    rng: SplitMix64,
+    rate: f64,
+    n_edges: usize,
+}
+
+impl BenefitDrift {
+    /// A drift source over `g`'s edges at the given per-event rate.
+    pub fn new(g: &BipartiteGraph, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        BenefitDrift {
+            rng: SplitMix64::new(seed ^ 0xD81F_7B1C_55E0_93A7),
+            rate,
+            n_edges: g.n_edges(),
+        }
+    }
+
+    /// Applies drift to a full stream, returning the interleaved result.
+    pub fn weave(mut self, events: impl IntoIterator<Item = Arrival>) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        for a in events {
+            out.push(a);
+            if self.n_edges > 0 && self.rng.next_bool(self.rate) {
+                let edge = self.rng.next_index(self.n_edges) as u32;
+                let weight = self.rng.next_f64();
+                out.push(Arrival {
+                    time: nudge_after(a.time),
+                    event: ServiceEvent::BenefitUpdate { edge, weight },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One-ULP nudge so woven events keep strict stream monotonicity.
+fn nudge_after(x: f64) -> f64 {
+    if !x.is_finite() {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{random_bipartite, RandomGraphSpec};
+    use mbta_workload::trace::TraceSpec;
+
+    #[test]
+    fn trace_adapter_maps_all_kinds() {
+        let cases = [
+            (TraceEvent::WorkerOn(1), ServiceEvent::WorkerJoin(1)),
+            (TraceEvent::WorkerOff(2), ServiceEvent::WorkerLeave(2)),
+            (TraceEvent::TaskPosted(3), ServiceEvent::TaskPost(3)),
+            (TraceEvent::TaskExpired(4), ServiceEvent::TaskCancel(4)),
+        ];
+        for (from, to) in cases {
+            let a = Arrival::from_trace(TimedEvent {
+                time: 1.5,
+                event: from,
+            });
+            assert_eq!(a.event, to);
+            assert_eq!(a.time, 1.5);
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_rate_bounded() {
+        let g = random_bipartite(&RandomGraphSpec::default(), 3);
+        let trace = TraceSpec {
+            horizon: 24.0,
+            mean_session: 4.0,
+            mean_task_lifetime: 6.0,
+            seed: 5,
+        }
+        .generate(100, 80);
+        let stream: Vec<Arrival> = trace.into_iter().map(Arrival::from_trace).collect();
+        let n = stream.len();
+
+        let a = BenefitDrift::new(&g, 0.3, 9).weave(stream.clone());
+        let b = BenefitDrift::new(&g, 0.3, 9).weave(stream.clone());
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.time.to_bits() == y.time.to_bits() && x.event == y.event));
+
+        let drifts = a.len() - n;
+        assert!(drifts > n / 6 && drifts < n / 2, "drifts {drifts} of {n}");
+        // Strict monotonicity preserved.
+        assert!(a.windows(2).all(|w| w[0].time < w[1].time));
+        // Drift weights healthy, edges in range.
+        for ev in &a {
+            if let ServiceEvent::BenefitUpdate { edge, weight } = ev.event {
+                assert!((edge as usize) < g.n_edges());
+                assert!((0.0..=1.0).contains(&weight));
+            }
+        }
+
+        let zero = BenefitDrift::new(&g, 0.0, 9).weave(stream);
+        assert_eq!(zero.len(), n);
+    }
+}

@@ -1,0 +1,49 @@
+//! `mbta-service`: the streaming dispatch service.
+//!
+//! Everything below this crate solves *instances*; this crate runs a
+//! *market*. A labor platform's assignment loop is event-driven — workers
+//! log in and out, tasks appear and expire, benefit estimates drift — and
+//! the paper's solvers only become a system once something turns that
+//! stream into bounded-latency, capacity-safe assignment decisions. That
+//! something is [`DispatchService`]:
+//!
+//! * [`event`] — the ingress model: [`event::ServiceEvent`], the
+//!   trace adapter, and a deterministic benefit-drift weaver.
+//! * [`batch`] — micro-batch accumulation with count, byte, and
+//!   (virtual-)time watermarks.
+//! * [`queue`] — the bounded ingress queue and its explicit overload
+//!   policy (drop-newest / drop-oldest / defer), every loss counted.
+//! * [`shard`] — node-disjoint market sharding with home-shard worker
+//!   placement; node-disjointness is what makes the cross-shard capacity
+//!   invariant hold by construction.
+//! * [`service`] — the dispatch loop: apply churn via incremental greedy
+//!   repair, re-solve each touched shard with the robust engine under the
+//!   batch's deadline budget, adopt improvements, emit deltas. Poisoned
+//!   shards degrade to the greedy floor without stalling siblings.
+//! * [`sink`] — pluggable decision output; the textual decision log is
+//!   byte-identical across replays under deterministic budgets.
+//! * [`report`] — end-of-run telemetry: throughput, batch-latency
+//!   percentiles, tier tallies, and the capacity-violation count (always
+//!   zero unless the shard invariant is broken).
+//!
+//! See DESIGN.md §"Streaming dispatch service" for the architecture
+//! discussion and the CLI's `serve` / `replay` commands for the wiring.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod event;
+pub mod queue;
+pub mod report;
+pub mod service;
+pub mod shard;
+pub mod sink;
+
+pub use batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
+pub use event::{Arrival, BenefitDrift, ServiceEvent};
+pub use queue::{BoundedQueue, DropPolicy, OfferOutcome};
+pub use report::ServiceReport;
+pub use service::{BudgetMode, DispatchService, ServiceConfig};
+pub use shard::{Routing, ShardPlan};
+pub use sink::{Action, BatchStats, CollectSink, Decision, DecisionSink, NullSink, WriteSink};

@@ -1,0 +1,229 @@
+//! Bounded ingress queue with an explicit overload policy.
+//!
+//! The dispatcher's admission boundary: producers `offer` arrivals, the
+//! pump drains them into the batcher. The queue is *bounded* — a dispatch
+//! service that buffers without limit converts overload into unbounded
+//! memory growth and unbounded staleness, the two failure modes this
+//! subsystem exists to prevent. When full, one of three documented things
+//! happens, chosen at construction:
+//!
+//! * [`DropPolicy::DropNewest`] — the offered event is discarded. Keeps
+//!   the oldest (most-overdue) work; best when events are independent and
+//!   late data is better than lost history. The default.
+//! * [`DropPolicy::DropOldest`] — the head of the queue is discarded to
+//!   admit the new event. Keeps the freshest view; best when newer events
+//!   supersede older ones (benefit updates).
+//! * [`DropPolicy::Defer`] — nothing is enqueued; the producer is told to
+//!   drain first ([`OfferOutcome::Deferred`]). True backpressure: no event
+//!   loss, at the cost of stalling the producer.
+//!
+//! Every drop and deferral is counted — overload is an operating condition
+//! to be measured, never a silent data-quality bug.
+
+use crate::event::Arrival;
+use std::collections::VecDeque;
+
+/// What to do when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Discard the offered (newest) event.
+    DropNewest,
+    /// Discard the queue head (oldest) to admit the offered event.
+    DropOldest,
+    /// Admit nothing; tell the producer to drain and retry.
+    Defer,
+}
+
+impl DropPolicy {
+    /// Stable parse keyword.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropPolicy::DropNewest => "drop-newest",
+            DropPolicy::DropOldest => "drop-oldest",
+            DropPolicy::Defer => "defer",
+        }
+    }
+
+    /// Parses a policy keyword.
+    pub fn parse(s: &str) -> Option<DropPolicy> {
+        match s {
+            "drop-newest" => Some(DropPolicy::DropNewest),
+            "drop-oldest" => Some(DropPolicy::DropOldest),
+            "defer" => Some(DropPolicy::Defer),
+            _ => None,
+        }
+    }
+}
+
+/// Result of an [`BoundedQueue::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// Enqueued; capacity remained.
+    Accepted,
+    /// Queue was full; the offered event was discarded.
+    DroppedNewest,
+    /// Queue was full; the oldest event was discarded, the offer admitted.
+    DroppedOldest,
+    /// Queue was full; nothing changed — drain and retry.
+    Deferred,
+}
+
+/// A bounded FIFO of arrivals with drop accounting.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    buf: VecDeque<Arrival>,
+    cap: usize,
+    policy: DropPolicy,
+    dropped_newest: u64,
+    dropped_oldest: u64,
+    deferrals: u64,
+    high_watermark: usize,
+}
+
+impl BoundedQueue {
+    /// A queue holding at most `cap` events (`cap >= 1`).
+    pub fn new(cap: usize, policy: DropPolicy) -> Self {
+        assert!(cap >= 1, "queue capacity must be >= 1");
+        BoundedQueue {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            policy,
+            dropped_newest: 0,
+            dropped_oldest: 0,
+            deferrals: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Offers an arrival under the queue's overload policy.
+    pub fn offer(&mut self, a: Arrival) -> OfferOutcome {
+        if self.buf.len() < self.cap {
+            self.buf.push_back(a);
+            self.high_watermark = self.high_watermark.max(self.buf.len());
+            return OfferOutcome::Accepted;
+        }
+        match self.policy {
+            DropPolicy::DropNewest => {
+                self.dropped_newest += 1;
+                OfferOutcome::DroppedNewest
+            }
+            DropPolicy::DropOldest => {
+                self.buf.pop_front();
+                self.dropped_oldest += 1;
+                self.buf.push_back(a);
+                OfferOutcome::DroppedOldest
+            }
+            DropPolicy::Defer => {
+                self.deferrals += 1;
+                OfferOutcome::Deferred
+            }
+        }
+    }
+
+    /// Dequeues the oldest arrival.
+    pub fn pop(&mut self) -> Option<Arrival> {
+        self.buf.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events discarded under [`DropPolicy::DropNewest`].
+    pub fn dropped_newest(&self) -> u64 {
+        self.dropped_newest
+    }
+
+    /// Events discarded under [`DropPolicy::DropOldest`].
+    pub fn dropped_oldest(&self) -> u64 {
+        self.dropped_oldest
+    }
+
+    /// Full-queue offers bounced under [`DropPolicy::Defer`].
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ServiceEvent;
+
+    fn ev(id: u32) -> Arrival {
+        Arrival {
+            time: id as f64,
+            event: ServiceEvent::TaskPost(id),
+        }
+    }
+
+    #[test]
+    fn drop_newest_keeps_oldest() {
+        let mut q = BoundedQueue::new(2, DropPolicy::DropNewest);
+        assert_eq!(q.offer(ev(0)), OfferOutcome::Accepted);
+        assert_eq!(q.offer(ev(1)), OfferOutcome::Accepted);
+        assert_eq!(q.offer(ev(2)), OfferOutcome::DroppedNewest);
+        assert_eq!(q.dropped_newest(), 1);
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(0));
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest() {
+        let mut q = BoundedQueue::new(2, DropPolicy::DropOldest);
+        q.offer(ev(0));
+        q.offer(ev(1));
+        assert_eq!(q.offer(ev(2)), OfferOutcome::DroppedOldest);
+        assert_eq!(q.dropped_oldest(), 1);
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(1));
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(2));
+    }
+
+    #[test]
+    fn defer_admits_nothing_and_counts() {
+        let mut q = BoundedQueue::new(1, DropPolicy::Defer);
+        assert_eq!(q.offer(ev(0)), OfferOutcome::Accepted);
+        assert_eq!(q.offer(ev(1)), OfferOutcome::Deferred);
+        assert_eq!(q.offer(ev(1)), OfferOutcome::Deferred);
+        assert_eq!(q.deferrals(), 2);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.offer(ev(1)), OfferOutcome::Accepted);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_depth() {
+        let mut q = BoundedQueue::new(8, DropPolicy::DropNewest);
+        for i in 0..5 {
+            q.offer(ev(i));
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_watermark(), 5);
+    }
+
+    #[test]
+    fn policy_keywords_round_trip() {
+        for p in [
+            DropPolicy::DropNewest,
+            DropPolicy::DropOldest,
+            DropPolicy::Defer,
+        ] {
+            assert_eq!(DropPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(DropPolicy::parse("yolo"), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! End-of-run service telemetry.
+//!
+//! [`ServiceReport`] is what `DispatchService::finish` hands back: ingress
+//! accounting (drops, deferrals, invalid events), batch/flush breakdowns,
+//! solve-quality tier tallies, batch solve-latency percentiles, throughput,
+//! and — the acceptance invariant — the capacity-violation count from the
+//! cross-shard reconciliation, which must be zero on every run.
+
+use mbta_util::table::{fnum, Table};
+
+/// Aggregated statistics for one service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Shard count the service ran with.
+    pub n_shards: usize,
+    /// Universe edges unreachable under the shard plan.
+    pub cross_edges: usize,
+    /// Fraction of universe edge weight reachable under the shard plan.
+    pub retained_weight: f64,
+
+    /// Events offered to the service (before admission control).
+    pub events_in: u64,
+    /// Events actually applied to shard states.
+    pub events_processed: u64,
+    /// Events discarded by the `DropNewest` policy.
+    pub dropped_newest: u64,
+    /// Events discarded by the `DropOldest` policy.
+    pub dropped_oldest: u64,
+    /// Full-queue offers bounced back under the `Defer` policy.
+    pub deferrals: u64,
+    /// Events rejected as malformed (unknown ids, non-finite weights).
+    pub invalid_events: u64,
+    /// Benefit updates dropped because their edge crosses shards.
+    pub cross_benefit_drops: u64,
+    /// Deepest the ingress queue ever got.
+    pub queue_high_watermark: usize,
+
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches closed by the count watermark.
+    pub flush_count: u64,
+    /// Batches closed by the byte watermark.
+    pub flush_bytes: u64,
+    /// Batches closed by the time watermark.
+    pub flush_watermark: u64,
+    /// Final partial batches flushed at end of stream.
+    pub flush_drain: u64,
+
+    /// Per-shard engine solves executed.
+    pub solves: u64,
+    /// Solves that achieved the exact tier.
+    pub tier_exact: u64,
+    /// Solves that achieved the approximate tier.
+    pub tier_approximate: u64,
+    /// Solves that degraded to the greedy floor.
+    pub tier_degraded: u64,
+    /// Degraded-solve count per shard (poisoned shards show up here).
+    pub degraded_by_shard: Vec<u64>,
+    /// Assignment deltas emitted.
+    pub decisions: u64,
+
+    /// Median per-batch solve latency (wall-clock ms).
+    pub p50_solve_ms: f64,
+    /// 99th-percentile per-batch solve latency (wall-clock ms).
+    pub p99_solve_ms: f64,
+    /// Worst per-batch solve latency (wall-clock ms).
+    pub max_solve_ms: f64,
+    /// Total run wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Processed events per wall-clock second.
+    pub events_per_sec: f64,
+
+    /// Total weight of the final reconciled assignment.
+    pub final_value: f64,
+    /// Edges in the final reconciled assignment.
+    pub final_assignments: usize,
+    /// Capacity violations found when validating the union of shard
+    /// assignments against the universe graph. **Must be zero**; a nonzero
+    /// value means the node-disjoint shard invariant was broken.
+    pub capacity_violations: usize,
+}
+
+impl ServiceReport {
+    /// Renders the operator-facing summary tables.
+    pub fn render(&self) -> String {
+        let mut ingress = Table::new(
+            "service: ingress",
+            &[
+                "events in",
+                "processed",
+                "dropped",
+                "deferred",
+                "invalid",
+                "x-shard benefit",
+                "queue peak",
+            ],
+        );
+        ingress.row(vec![
+            self.events_in.to_string(),
+            self.events_processed.to_string(),
+            (self.dropped_newest + self.dropped_oldest).to_string(),
+            self.deferrals.to_string(),
+            self.invalid_events.to_string(),
+            self.cross_benefit_drops.to_string(),
+            self.queue_high_watermark.to_string(),
+        ]);
+
+        let mut batches = Table::new(
+            "service: batches & solves",
+            &[
+                "batches",
+                "count/bytes/time/drain",
+                "solves",
+                "exact",
+                "approx",
+                "degraded",
+                "decisions",
+            ],
+        );
+        batches.row(vec![
+            self.batches.to_string(),
+            format!(
+                "{}/{}/{}/{}",
+                self.flush_count, self.flush_bytes, self.flush_watermark, self.flush_drain
+            ),
+            self.solves.to_string(),
+            self.tier_exact.to_string(),
+            self.tier_approximate.to_string(),
+            self.tier_degraded.to_string(),
+            self.decisions.to_string(),
+        ]);
+
+        let mut perf = Table::new(
+            "service: throughput & latency",
+            &[
+                "shards",
+                "retained wt",
+                "events/sec",
+                "p50 ms",
+                "p99 ms",
+                "max ms",
+                "wall ms",
+            ],
+        );
+        perf.row(vec![
+            self.n_shards.to_string(),
+            fnum(self.retained_weight, 3),
+            fnum(self.events_per_sec, 0),
+            fnum(self.p50_solve_ms, 3),
+            fnum(self.p99_solve_ms, 3),
+            fnum(self.max_solve_ms, 3),
+            fnum(self.wall_ms, 1),
+        ]);
+
+        let mut fin = Table::new(
+            "service: final state",
+            &["assignments", "total value", "capacity violations"],
+        );
+        fin.row(vec![
+            self.final_assignments.to_string(),
+            fnum(self.final_value, 4),
+            self.capacity_violations.to_string(),
+        ]);
+
+        format!(
+            "{}\n{}\n{}\n{}",
+            ingress.render(),
+            batches.render(),
+            perf.render(),
+            fin.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_mentions_the_invariants() {
+        let r = ServiceReport {
+            n_shards: 4,
+            cross_edges: 10,
+            retained_weight: 0.82,
+            events_in: 100,
+            events_processed: 95,
+            dropped_newest: 5,
+            dropped_oldest: 0,
+            deferrals: 2,
+            invalid_events: 1,
+            cross_benefit_drops: 3,
+            queue_high_watermark: 17,
+            batches: 7,
+            flush_count: 4,
+            flush_bytes: 1,
+            flush_watermark: 1,
+            flush_drain: 1,
+            solves: 12,
+            tier_exact: 9,
+            tier_approximate: 2,
+            tier_degraded: 1,
+            degraded_by_shard: vec![1, 0, 0, 0],
+            decisions: 40,
+            p50_solve_ms: 0.8,
+            p99_solve_ms: 2.5,
+            max_solve_ms: 3.0,
+            wall_ms: 120.0,
+            events_per_sec: 791.7,
+            final_value: 12.5,
+            final_assignments: 33,
+            capacity_violations: 0,
+        };
+        let s = r.render();
+        assert!(s.contains("capacity violations"));
+        assert!(s.contains("events/sec"));
+        assert!(
+            s.contains("792") || s.contains("791"),
+            "events/sec rendered: {s}"
+        );
+        assert!(s.contains("0.820"));
+    }
+}

@@ -1,0 +1,806 @@
+//! The dispatch service: event-driven, batched, sharded assignment.
+//!
+//! [`DispatchService`] is the long-running loop the ISSUE's tentpole asks
+//! for, assembled from the rest of this crate plus the robust engine:
+//!
+//! ```text
+//!  producers --offer--> BoundedQueue --pump--> Batcher --flush--> dispatch
+//!                                                                    |
+//!                       per touched shard: apply churn to the        |
+//!                       IncrementalAssignment (greedy local repair), |
+//!                       then solve_robust on the active sub-market   |
+//!                       under the batch's deadline budget, adopt     |
+//!                       improvements via reseed                      |
+//!                                                                    v
+//!                              DecisionSink (assignment deltas + stats)
+//! ```
+//!
+//! **Capacity safety.** Shards are node-disjoint ([`ShardPlan`]), so each
+//! worker's capacity is managed by exactly one `IncrementalAssignment`,
+//! whose every mutation preserves feasibility. The union of shard
+//! assignments is therefore feasible on the universe graph by
+//! construction; [`DispatchService::finish`] re-validates the union anyway
+//! and reports the violation count (the CI smoke test asserts it is zero).
+//!
+//! **Degradation isolation.** A poisoned shard ([`DispatchService::poison_shard`])
+//! gets a pre-cancelled [`CancelToken`], so its solves return the greedy
+//! floor immediately ([`QualityTier::Degraded`]) — it can never stall the
+//! batch loop or its sibling shards, and every degraded solve is counted
+//! per shard.
+//!
+//! **Determinism.** Under [`BudgetMode::Deterministic`] every solve runs
+//! unbudgeted, so the decision stream is a pure function of the input
+//! events — replaying a trace twice produces byte-identical decision logs.
+//! [`BudgetMode::Wallclock`] trades that for bounded batch latency:
+//! per-shard deadlines are the batch budget split across touched shards.
+
+use crate::batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
+use crate::event::{Arrival, ServiceEvent};
+use crate::queue::{BoundedQueue, DropPolicy, OfferOutcome};
+use crate::report::ServiceReport;
+use crate::shard::{ShardPlan, UNMAPPED};
+use crate::sink::{canonical_order, Action, BatchStats, Decision, DecisionSink};
+use mbta_core::engine::{solve_robust, EngineConfig, QualityTier};
+use mbta_core::incremental::IncrementalAssignment;
+use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
+use mbta_matching::Matching;
+use mbta_util::CancelToken;
+use std::time::Instant;
+
+/// How solve budgets are assigned per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetMode {
+    /// Each batch gets this many wall-clock milliseconds of solve budget,
+    /// split evenly across its touched shards (minimum 1 ms each). Bounded
+    /// latency, non-deterministic quality tiers.
+    Wallclock(u64),
+    /// No deadlines: every solve runs the full chain to the exact tier.
+    /// Deterministic decisions; latency bounded only by instance size.
+    Deterministic,
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Micro-batch watermarks.
+    pub batch: BatchConfig,
+    /// Ingress queue capacity.
+    pub queue_cap: usize,
+    /// Ingress overload policy.
+    pub drop_policy: DropPolicy,
+    /// Solve budget mode.
+    pub budget: BudgetMode,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch: BatchConfig::default(),
+            queue_cap: 4096,
+            drop_policy: DropPolicy::Defer,
+            budget: BudgetMode::Wallclock(50),
+        }
+    }
+}
+
+/// The event-driven dispatch service. See the module docs.
+pub struct DispatchService<'p> {
+    universe: &'p BipartiteGraph,
+    plan: &'p ShardPlan,
+    budget: BudgetMode,
+    states: Vec<IncrementalAssignment<'p>>,
+    queue: BoundedQueue,
+    batcher: Batcher,
+    poisoned: Vec<bool>,
+    /// Universe-indexed live weights (benefit updates land here too, so
+    /// decisions can report the weight in parent terms).
+    live_weights: Vec<f64>,
+
+    seq: u64,
+    events_in: u64,
+    events_processed: u64,
+    invalid_events: u64,
+    cross_benefit_drops: u64,
+    flush_tally: [u64; 4],
+    solves: u64,
+    tier_tally: [u64; 3],
+    degraded_by_shard: Vec<u64>,
+    decisions_out: u64,
+    solve_lat: mbta_util::Percentiles,
+    started: Instant,
+}
+
+/// Where a batch event landed after routing.
+enum Routed {
+    Shard(usize),
+    Invalid,
+    CrossBenefit,
+}
+
+impl<'p> DispatchService<'p> {
+    /// Builds a service over a shard plan. All nodes start *inactive* —
+    /// the market is empty until join/post events arrive.
+    pub fn new(universe: &'p BipartiteGraph, plan: &'p ShardPlan, cfg: ServiceConfig) -> Self {
+        let mut states = Vec::with_capacity(plan.n_shards());
+        let mut live_weights = vec![0.0; universe.n_edges()];
+        for slice in &plan.shards {
+            let mut st = IncrementalAssignment::from_matching(
+                &slice.sub.graph,
+                slice.weights.clone(),
+                &Matching::empty(),
+            )
+            .expect("empty seed is always feasible");
+            for w in slice.sub.graph.workers() {
+                st.deactivate_worker(w);
+            }
+            for t in slice.sub.graph.tasks() {
+                st.deactivate_task(t);
+            }
+            for (local, &parent) in slice.sub.edge_back.iter().enumerate() {
+                live_weights[parent.index()] = slice.weights[local];
+            }
+            states.push(st);
+        }
+        let n = plan.n_shards();
+        DispatchService {
+            universe,
+            plan,
+            budget: cfg.budget,
+            states,
+            queue: BoundedQueue::new(cfg.queue_cap, cfg.drop_policy),
+            batcher: Batcher::new(cfg.batch),
+            poisoned: vec![false; n],
+            live_weights,
+            seq: 0,
+            events_in: 0,
+            events_processed: 0,
+            invalid_events: 0,
+            cross_benefit_drops: 0,
+            flush_tally: [0; 4],
+            solves: 0,
+            tier_tally: [0; 3],
+            degraded_by_shard: vec![0; n],
+            decisions_out: 0,
+            solve_lat: mbta_util::Percentiles::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Marks a shard as poisoned: its solves are pre-cancelled and return
+    /// the greedy floor immediately. Sibling shards are unaffected.
+    pub fn poison_shard(&mut self, s: usize) {
+        self.poisoned[s] = true;
+    }
+
+    /// Clears a shard's poison mark.
+    pub fn heal_shard(&mut self, s: usize) {
+        self.poisoned[s] = false;
+    }
+
+    /// Offers one arrival to the ingress queue. On [`OfferOutcome::Deferred`]
+    /// the caller must [`pump`](Self::pump) and re-offer — nothing was
+    /// admitted (and the offer is not counted as an ingress event).
+    pub fn offer(&mut self, a: Arrival) -> OfferOutcome {
+        let outcome = self.queue.offer(a);
+        if outcome != OfferOutcome::Deferred {
+            self.events_in += 1;
+        }
+        outcome
+    }
+
+    /// Drains the ingress queue through the batcher, dispatching every
+    /// batch that a watermark closes.
+    pub fn pump(&mut self, sink: &mut impl DecisionSink) {
+        while let Some(a) = self.queue.pop() {
+            if let Some(closed) = self.batcher.offer(a) {
+                self.dispatch(closed, sink);
+            }
+        }
+    }
+
+    fn route(&self, ev: &ServiceEvent) -> Routed {
+        match *ev {
+            ServiceEvent::WorkerJoin(w) | ServiceEvent::WorkerLeave(w) => {
+                if (w as usize) < self.universe.n_workers() {
+                    Routed::Shard(self.plan.worker_shard[w as usize] as usize)
+                } else {
+                    Routed::Invalid
+                }
+            }
+            ServiceEvent::TaskPost(t)
+            | ServiceEvent::TaskCancel(t)
+            | ServiceEvent::TaskComplete(t) => {
+                if (t as usize) < self.universe.n_tasks() {
+                    Routed::Shard(self.plan.task_shard[t as usize] as usize)
+                } else {
+                    Routed::Invalid
+                }
+            }
+            ServiceEvent::BenefitUpdate { edge, weight } => {
+                // The engine's input contract is finite non-negative
+                // weights; a malformed update is rejected here, at the
+                // admission boundary, instead of poisoning every later
+                // solve of the shard.
+                if (edge as usize) >= self.universe.n_edges() || !weight.is_finite() || weight < 0.0
+                {
+                    Routed::Invalid
+                } else if self.plan.edge_shard[edge as usize] == UNMAPPED {
+                    Routed::CrossBenefit
+                } else {
+                    Routed::Shard(self.plan.edge_shard[edge as usize] as usize)
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, shard: usize, ev: &ServiceEvent) {
+        let st = &mut self.states[shard];
+        match *ev {
+            ServiceEvent::WorkerJoin(w) => {
+                st.activate_worker(WorkerId::new(self.plan.worker_local[w as usize]));
+            }
+            ServiceEvent::WorkerLeave(w) => {
+                st.deactivate_worker(WorkerId::new(self.plan.worker_local[w as usize]));
+            }
+            ServiceEvent::TaskPost(t) => {
+                st.activate_task(TaskId::new(self.plan.task_local[t as usize]));
+            }
+            ServiceEvent::TaskCancel(t) | ServiceEvent::TaskComplete(t) => {
+                st.deactivate_task(TaskId::new(self.plan.task_local[t as usize]));
+            }
+            ServiceEvent::BenefitUpdate { edge, weight } => {
+                let local = EdgeId::new(self.plan.edge_local[edge as usize]);
+                st.set_weight(local, weight);
+                self.live_weights[edge as usize] = weight;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, batch: ClosedBatch, sink: &mut impl DecisionSink) {
+        let reason = batch.reason;
+        self.flush_tally[match reason {
+            FlushReason::Count => 0,
+            FlushReason::Bytes => 1,
+            FlushReason::Watermark => 2,
+            FlushReason::Drain => 3,
+        }] += 1;
+
+        // Pass 1: route every event so the touched-shard set (and thus the
+        // pre-batch snapshots) is known before any state changes.
+        let mut touched: Vec<usize> = Vec::new();
+        let mut seen = vec![false; self.plan.n_shards()];
+        let mut routes = Vec::with_capacity(batch.events.len());
+        let mut invalid = 0usize;
+        for a in &batch.events {
+            let r = self.route(&a.event);
+            match r {
+                Routed::Shard(s) => {
+                    if !seen[s] {
+                        seen[s] = true;
+                        touched.push(s);
+                    }
+                }
+                Routed::Invalid => invalid += 1,
+                Routed::CrossBenefit => self.cross_benefit_drops += 1,
+            }
+            routes.push(r);
+        }
+        touched.sort_unstable();
+        self.invalid_events += invalid as u64;
+
+        let before: Vec<Matching> = touched.iter().map(|&s| self.states[s].matching()).collect();
+
+        // Pass 2: apply churn in arrival order (greedy local repair keeps
+        // every intermediate state feasible).
+        for (a, r) in batch.events.iter().zip(&routes) {
+            if let Routed::Shard(s) = *r {
+                self.apply(s, &a.event);
+                self.events_processed += 1;
+            }
+        }
+
+        // Pass 3: re-solve each touched shard's active sub-market.
+        let per_shard_ms = match self.budget {
+            BudgetMode::Wallclock(ms) => Some((ms / touched.len().max(1) as u64).max(1)),
+            BudgetMode::Deterministic => None,
+        };
+        let solve_start = Instant::now();
+        let mut degraded_shards = 0usize;
+        let mut worst_tier: Option<QualityTier> = None;
+        for &s in &touched {
+            let g = &self.plan.shards[s].sub.graph;
+            if g.n_edges() == 0 || g.n_workers() == 0 || g.n_tasks() == 0 {
+                continue;
+            }
+            let weights = self.states[s].active_weights();
+            let mut cfg = EngineConfig::new();
+            if let Some(ms) = per_shard_ms {
+                cfg = cfg.with_deadline_ms(ms);
+            }
+            if self.poisoned[s] {
+                let token = CancelToken::new();
+                token.cancel();
+                cfg = cfg.with_cancel(token);
+            }
+            match solve_robust(g, &weights, &cfg) {
+                Ok(sol) => {
+                    self.solves += 1;
+                    self.tier_tally[sol.tier as usize] += 1;
+                    if sol.tier == QualityTier::Degraded {
+                        self.degraded_by_shard[s] += 1;
+                        degraded_shards += 1;
+                    }
+                    worst_tier = Some(worst_tier.map_or(sol.tier, |t| t.min(sol.tier)));
+                    if sol.value > self.states[s].total_weight() + 1e-12 {
+                        // The engine solved the active sub-market (inactive
+                        // edges weigh 0 and are never taken), so the
+                        // matching touches only active nodes and reseed
+                        // cannot reject it.
+                        self.states[s]
+                            .reseed(&sol.matching)
+                            .expect("engine solution is feasible on the active sub-market");
+                    }
+                }
+                Err(_) => {
+                    // Input errors cannot occur here (admission rejects bad
+                    // weights, degenerate shards are skipped above); if one
+                    // does, the shard simply keeps its repaired state.
+                    debug_assert!(false, "unexpected engine input error");
+                }
+            }
+        }
+        let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+        self.solve_lat.push(solve_ms);
+
+        // Pass 4: emit assignment deltas (per-shard before/after diff).
+        let mut decisions: Vec<Decision> = Vec::new();
+        for (&s, pre) in touched.iter().zip(&before) {
+            let post = self.states[s].matching();
+            let slice = &self.plan.shards[s];
+            let mut removed = Vec::new();
+            let mut added = Vec::new();
+            diff_sorted(
+                &pre.edges,
+                &post.edges,
+                |e| removed.push(e),
+                |e| added.push(e),
+            );
+            for (local, action) in removed
+                .into_iter()
+                .map(|e| (e, Action::Unassign))
+                .chain(added.into_iter().map(|e| (e, Action::Assign)))
+            {
+                let parent = slice.sub.edge_back[local.index()];
+                decisions.push(Decision {
+                    shard: s as u32,
+                    edge: parent.raw(),
+                    action,
+                    worker: self.universe.worker_of(parent).raw(),
+                    task: self.universe.task_of(parent).raw(),
+                    weight: self.live_weights[parent.index()],
+                });
+            }
+        }
+        canonical_order(&mut decisions);
+        self.decisions_out += decisions.len() as u64;
+
+        let stats = BatchStats {
+            seq: self.seq,
+            reason,
+            events: batch.events.len(),
+            queue_depth: self.queue.len(),
+            shards_touched: touched.len(),
+            degraded_shards,
+            worst_tier,
+            solve_ms,
+            invalid_events: invalid,
+        };
+        self.seq += 1;
+        sink.on_batch(&stats, &decisions);
+    }
+
+    /// Flushes all remaining work, reconciles cross-shard state, and
+    /// returns the run report.
+    pub fn finish(mut self, sink: &mut impl DecisionSink) -> ServiceReport {
+        self.pump(sink);
+        if let Some(closed) = self.batcher.drain() {
+            self.dispatch(closed, sink);
+        }
+
+        // Cross-shard reconciliation: the union of per-shard assignments,
+        // mapped back to universe ids, must be feasible on the universe
+        // graph. Shards are node-disjoint so this holds by construction;
+        // re-validate anyway and count violations per node.
+        let union: Vec<EdgeId> = self
+            .plan
+            .shards
+            .iter()
+            .zip(&self.states)
+            .flat_map(|(slice, st)| {
+                st.matching()
+                    .edges
+                    .into_iter()
+                    .map(|e| slice.sub.edge_back[e.index()])
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut chosen = vec![false; self.universe.n_edges()];
+        let mut w_load = vec![0u32; self.universe.n_workers()];
+        let mut t_load = vec![0u32; self.universe.n_tasks()];
+        let mut violations = 0usize;
+        for &e in &union {
+            if chosen[e.index()] {
+                violations += 1;
+            }
+            chosen[e.index()] = true;
+            w_load[self.universe.worker_of(e).index()] += 1;
+            t_load[self.universe.task_of(e).index()] += 1;
+        }
+        for w in self.universe.workers() {
+            if w_load[w.index()] > self.universe.capacity(w) {
+                violations += 1;
+            }
+        }
+        for t in self.universe.tasks() {
+            if t_load[t.index()] > self.universe.demand(t) {
+                violations += 1;
+            }
+        }
+
+        let final_value: f64 = self.states.iter().map(|s| s.total_weight()).sum();
+        let final_assignments: usize = self.states.iter().map(|s| s.len()).sum();
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let mut lat = self.solve_lat;
+        ServiceReport {
+            n_shards: self.plan.n_shards(),
+            cross_edges: self.plan.cross_edges,
+            retained_weight: self.plan.retained_weight,
+            events_in: self.events_in,
+            events_processed: self.events_processed,
+            dropped_newest: self.queue.dropped_newest(),
+            dropped_oldest: self.queue.dropped_oldest(),
+            deferrals: self.queue.deferrals(),
+            invalid_events: self.invalid_events,
+            cross_benefit_drops: self.cross_benefit_drops,
+            queue_high_watermark: self.queue.high_watermark(),
+            batches: self.seq,
+            flush_count: self.flush_tally[0],
+            flush_bytes: self.flush_tally[1],
+            flush_watermark: self.flush_tally[2],
+            flush_drain: self.flush_tally[3],
+            solves: self.solves,
+            tier_exact: self.tier_tally[QualityTier::Exact as usize],
+            tier_approximate: self.tier_tally[QualityTier::Approximate as usize],
+            tier_degraded: self.tier_tally[QualityTier::Degraded as usize],
+            degraded_by_shard: self.degraded_by_shard,
+            decisions: self.decisions_out,
+            p50_solve_ms: lat.quantile(0.5).unwrap_or(0.0),
+            p99_solve_ms: lat.quantile(0.99).unwrap_or(0.0),
+            max_solve_ms: lat.quantile(1.0).unwrap_or(0.0),
+            wall_ms,
+            events_per_sec: if wall_ms > 0.0 {
+                self.events_processed as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            final_value,
+            final_assignments,
+            capacity_violations: violations,
+        }
+    }
+}
+
+/// Two-pointer diff of sorted edge lists: `removed` for entries only in
+/// `before`, `added` for entries only in `after`.
+fn diff_sorted(
+    before: &[EdgeId],
+    after: &[EdgeId],
+    mut removed: impl FnMut(EdgeId),
+    mut added: impl FnMut(EdgeId),
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < before.len() && j < after.len() {
+        match before[i].cmp(&after[j]) {
+            std::cmp::Ordering::Less => {
+                removed(before[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added(after[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < before.len() {
+        removed(before[i]);
+        i += 1;
+    }
+    while j < after.len() {
+        added(after[j]);
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BenefitDrift;
+    use crate::queue::DropPolicy;
+    use crate::shard::Routing;
+    use crate::sink::{CollectSink, WriteSink};
+    use mbta_graph::random::{random_bipartite, RandomGraphSpec};
+    use mbta_workload::trace::TraceSpec;
+
+    fn universe() -> (BipartiteGraph, Vec<f64>) {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 80,
+                n_tasks: 60,
+                avg_degree: 5.0,
+                capacity: 2,
+                demand: 2,
+            },
+            21,
+        );
+        let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        (g, w)
+    }
+
+    fn stream(g: &BipartiteGraph, seed: u64) -> Vec<Arrival> {
+        let trace = TraceSpec {
+            horizon: 50.0,
+            mean_session: 10.0,
+            mean_task_lifetime: 15.0,
+            seed,
+        }
+        .generate(g.n_workers(), g.n_tasks());
+        let base = trace.into_iter().map(Arrival::from_trace);
+        BenefitDrift::new(g, 0.2, seed).weave(base)
+    }
+
+    fn deterministic_cfg() -> ServiceConfig {
+        ServiceConfig {
+            batch: BatchConfig {
+                max_events: 32,
+                max_bytes: 1 << 20,
+                flush_interval: 4.0,
+            },
+            queue_cap: 4096,
+            drop_policy: DropPolicy::Defer,
+            budget: BudgetMode::Deterministic,
+        }
+    }
+
+    fn run_to_log(
+        g: &BipartiteGraph,
+        plan: &ShardPlan,
+        events: &[Arrival],
+        poison: Option<usize>,
+    ) -> (Vec<u8>, ServiceReport) {
+        let mut svc = DispatchService::new(g, plan, deterministic_cfg());
+        if let Some(s) = poison {
+            svc.poison_shard(s);
+        }
+        let mut sink = WriteSink::new(Vec::new());
+        for &a in events {
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(&mut sink);
+            }
+            svc.pump(&mut sink);
+        }
+        let report = svc.finish(&mut sink);
+        assert!(sink.error.is_none());
+        (sink.into_inner(), report)
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 7);
+        let (log_a, rep_a) = run_to_log(&g, &plan, &events, None);
+        let (log_b, rep_b) = run_to_log(&g, &plan, &events, None);
+        assert!(!log_a.is_empty(), "replay produced no decisions");
+        assert_eq!(log_a, log_b, "decision logs diverged across replays");
+        assert_eq!(rep_a.decisions, rep_b.decisions);
+        assert_eq!(rep_a.batches, rep_b.batches);
+        assert_eq!(rep_a.final_assignments, rep_b.final_assignments);
+    }
+
+    #[test]
+    fn capacity_invariant_holds_and_decisions_reconcile() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 13);
+        let mut svc = DispatchService::new(&g, &plan, deterministic_cfg());
+        let mut sink = CollectSink::default();
+        for &a in &events {
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(&mut sink);
+            }
+            svc.pump(&mut sink);
+        }
+        for st in &svc.states {
+            st.check_invariants();
+        }
+        let report = svc.finish(&mut sink);
+        assert_eq!(report.capacity_violations, 0);
+        assert!(report.events_processed > 0);
+        assert!(report.batches > 0);
+        // Net assignment deltas must equal the final assignment.
+        let net: i64 = sink
+            .decisions
+            .iter()
+            .map(|d| match d.action {
+                Action::Assign => 1i64,
+                Action::Unassign => -1i64,
+            })
+            .sum();
+        assert_eq!(net, report.final_assignments as i64);
+        // Ingress accounting closes.
+        assert_eq!(
+            report.events_in,
+            report.events_processed
+                + report.invalid_events
+                + report.cross_benefit_drops
+                + report.dropped_newest
+                + report.dropped_oldest
+        );
+    }
+
+    #[test]
+    fn poisoned_shard_degrades_alone() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 31);
+        let (_, report) = run_to_log(&g, &plan, &events, Some(0));
+        assert_eq!(
+            report.capacity_violations, 0,
+            "poison must not break feasibility"
+        );
+        assert!(
+            report.degraded_by_shard[0] > 0,
+            "poisoned shard never solved: {:?}",
+            report.degraded_by_shard
+        );
+        for s in 1..4 {
+            assert_eq!(
+                report.degraded_by_shard[s], 0,
+                "sibling shard {s} degraded: {:?}",
+                report.degraded_by_shard
+            );
+        }
+        assert_eq!(
+            report.tier_degraded as usize,
+            report.degraded_by_shard[0] as usize
+        );
+        assert!(report.tier_exact > 0, "siblings should still reach exact");
+    }
+
+    #[test]
+    fn drop_newest_overload_is_counted_not_fatal() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 2, Routing::Range);
+        let events = stream(&g, 5);
+        let mut cfg = deterministic_cfg();
+        cfg.queue_cap = 8;
+        cfg.drop_policy = DropPolicy::DropNewest;
+        let mut svc = DispatchService::new(&g, &plan, cfg);
+        let mut sink = CollectSink::default();
+        // Burst everything in without pumping: the queue must overflow.
+        for &a in &events {
+            svc.offer(a);
+        }
+        let report = svc.finish(&mut sink);
+        assert!(
+            report.dropped_newest > 0,
+            "burst did not overflow the queue"
+        );
+        assert_eq!(report.queue_high_watermark, 8);
+        assert_eq!(report.capacity_violations, 0);
+        assert_eq!(
+            report.events_in,
+            report.events_processed
+                + report.invalid_events
+                + report.cross_benefit_drops
+                + report.dropped_newest
+        );
+    }
+
+    #[test]
+    fn defer_backpressure_loses_nothing() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 2, Routing::HashId);
+        let events = stream(&g, 5);
+        let mut cfg = deterministic_cfg();
+        cfg.queue_cap = 4;
+        let mut svc = DispatchService::new(&g, &plan, cfg);
+        let mut sink = CollectSink::default();
+        // Only pump when told to: deferrals must occur, no event lost.
+        for &a in &events {
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(&mut sink);
+            }
+        }
+        let report = svc.finish(&mut sink);
+        assert!(report.deferrals > 0, "cap-4 queue never deferred");
+        assert_eq!(report.dropped_newest + report.dropped_oldest, 0);
+        assert_eq!(report.events_in, events.len() as u64);
+        assert_eq!(
+            report.events_processed + report.invalid_events + report.cross_benefit_drops,
+            report.events_in
+        );
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_at_admission() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 2, Routing::HashId);
+        let bad = [
+            Arrival {
+                time: 0.1,
+                event: ServiceEvent::WorkerJoin(9_999),
+            },
+            Arrival {
+                time: 0.2,
+                event: ServiceEvent::TaskPost(9_999),
+            },
+            Arrival {
+                time: 0.3,
+                event: ServiceEvent::BenefitUpdate {
+                    edge: 0,
+                    weight: f64::NAN,
+                },
+            },
+            Arrival {
+                time: 0.4,
+                event: ServiceEvent::BenefitUpdate {
+                    edge: 0,
+                    weight: -1.0,
+                },
+            },
+            Arrival {
+                time: 0.5,
+                event: ServiceEvent::BenefitUpdate {
+                    edge: 1 << 30,
+                    weight: 0.5,
+                },
+            },
+        ];
+        let mut svc = DispatchService::new(&g, &plan, deterministic_cfg());
+        let mut sink = CollectSink::default();
+        for a in bad {
+            svc.offer(a);
+        }
+        let report = svc.finish(&mut sink);
+        assert_eq!(report.invalid_events, 5);
+        assert_eq!(report.events_processed, 0);
+        assert_eq!(report.capacity_violations, 0);
+    }
+
+    #[test]
+    fn wallclock_budget_mode_completes_with_bounded_batches() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 17);
+        let mut cfg = deterministic_cfg();
+        cfg.budget = BudgetMode::Wallclock(20);
+        let mut svc = DispatchService::new(&g, &plan, cfg);
+        let mut sink = CollectSink::default();
+        for &a in &events {
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(&mut sink);
+            }
+            svc.pump(&mut sink);
+        }
+        let report = svc.finish(&mut sink);
+        assert_eq!(report.capacity_violations, 0);
+        assert!(report.solves > 0);
+        // Every batch respected the count watermark.
+        assert!(sink.batches.iter().all(|b| b.events <= 32));
+    }
+}

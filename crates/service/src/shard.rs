@@ -1,0 +1,301 @@
+//! Market sharding: routing keys and the induced per-shard subgraphs.
+//!
+//! The dispatcher never solves the whole market at once — it routes each
+//! micro-batch to a *shard*, a node-disjoint slice of the universe keyed by
+//! task routing key (skill/region in a real deployment; deterministic
+//! hash- or range-of-id here, since the synthetic universe carries no
+//! region labels). Workers are placed on their **home shard**, the shard
+//! holding the plurality of their eligible tasks — the same
+//! locality-maximizing heuristic gig platforms use when they pin a courier
+//! to a zone.
+//!
+//! Node-disjoint sharding is what makes cross-shard capacity reconciliation
+//! tractable: a worker's capacity lives on exactly one shard, so the union
+//! of per-shard assignments is feasible on the universe graph *by
+//! construction*, and the service's reconciler only has to verify the
+//! invariant (catching bugs) rather than arbitrate grants between shards.
+//! The price is the **cross-shard edges**: an eligibility edge whose worker
+//! homed elsewhere is never assignable. [`ShardPlan`] counts those edges
+//! and reports the retained-weight fraction so the operator can see what
+//! the shard count costs in matching quality (the bench harness sweeps
+//! exactly this trade-off).
+
+use mbta_graph::subgraph::{induce, Subgraph, SubgraphSpec};
+use mbta_graph::{BipartiteGraph, TaskId, WorkerId};
+use mbta_util::fxhash::hash_u64;
+
+/// How tasks are mapped to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// `fxhash(task id) % shards` — spreads hot id ranges uniformly.
+    HashId,
+    /// Contiguous id ranges — preserves locality when ids encode
+    /// region/skill adjacency (as the synthetic generators do).
+    Range,
+}
+
+impl Routing {
+    /// Shard of a task under this routing.
+    pub fn task_shard(&self, t: u32, n_tasks: usize, shards: usize) -> usize {
+        match self {
+            Routing::HashId => (hash_u64(t as u64) % shards as u64) as usize,
+            Routing::Range => {
+                debug_assert!((t as usize) < n_tasks);
+                ((t as usize) * shards / n_tasks.max(1)).min(shards - 1)
+            }
+        }
+    }
+
+    /// Stable parse keyword.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Routing::HashId => "hash",
+            Routing::Range => "range",
+        }
+    }
+}
+
+/// One shard's slice of the universe.
+pub struct ShardSlice {
+    /// The induced subgraph plus back-maps to universe ids.
+    pub sub: Subgraph,
+    /// Universe weights projected onto the subgraph's edges.
+    pub weights: Vec<f64>,
+}
+
+/// Sentinel for "not mapped to any shard" in the forward maps.
+pub const UNMAPPED: u32 = u32::MAX;
+
+/// The full sharding of a market universe: per-shard slices plus forward
+/// maps from universe ids to `(shard, local id)`.
+pub struct ShardPlan {
+    /// Per-shard slices, indexed by shard.
+    pub shards: Vec<ShardSlice>,
+    /// Universe worker id → shard (every worker is homed somewhere).
+    pub worker_shard: Vec<u32>,
+    /// Universe worker id → local id within its shard.
+    pub worker_local: Vec<u32>,
+    /// Universe task id → shard.
+    pub task_shard: Vec<u32>,
+    /// Universe task id → local id within its shard.
+    pub task_local: Vec<u32>,
+    /// Universe edge id → shard, or [`UNMAPPED`] for cross-shard edges.
+    pub edge_shard: Vec<u32>,
+    /// Universe edge id → local edge id (valid only when mapped).
+    pub edge_local: Vec<u32>,
+    /// Number of universe edges not assignable under this plan.
+    pub cross_edges: usize,
+    /// Fraction of total universe edge weight retained by intra-shard
+    /// edges (1.0 for a single shard).
+    pub retained_weight: f64,
+}
+
+impl ShardPlan {
+    /// Builds the plan: tasks routed by `routing`, workers homed on the
+    /// shard holding the plurality of their eligible tasks (ties to the
+    /// lowest shard index — fully deterministic).
+    pub fn build(
+        g: &BipartiteGraph,
+        weights: &[f64],
+        n_shards: usize,
+        routing: Routing,
+    ) -> ShardPlan {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+
+        let task_shard: Vec<u32> = (0..g.n_tasks() as u32)
+            .map(|t| routing.task_shard(t, g.n_tasks(), n_shards) as u32)
+            .collect();
+
+        // Home each worker: plurality vote of its eligible tasks' shards.
+        let mut worker_shard = vec![0u32; g.n_workers()];
+        let mut votes = vec![0u32; n_shards];
+        for w in g.workers() {
+            votes.iter_mut().for_each(|v| *v = 0);
+            for e in g.worker_edges(w) {
+                votes[task_shard[g.task_of(e).index()] as usize] += 1;
+            }
+            let best = votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            worker_shard[w.index()] = best as u32;
+        }
+
+        // Induce one subgraph per shard. The edge filter keeps an edge iff
+        // its worker homed on the task's shard; worker-side membership is
+        // already enforced by the worker selection.
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut worker_local = vec![UNMAPPED; g.n_workers()];
+        let mut task_local = vec![UNMAPPED; g.n_tasks()];
+        let mut edge_shard = vec![UNMAPPED; g.n_edges()];
+        let mut edge_local = vec![UNMAPPED; g.n_edges()];
+        for s in 0..n_shards {
+            let sel_workers: Vec<(WorkerId, u32)> = g
+                .workers()
+                .filter(|w| worker_shard[w.index()] == s as u32)
+                .map(|w| (w, g.capacity(w)))
+                .collect();
+            let sel_tasks: Vec<(TaskId, u32)> = g
+                .tasks()
+                .filter(|t| task_shard[t.index()] == s as u32)
+                .map(|t| (t, g.demand(t)))
+                .collect();
+            let sub = induce(
+                g,
+                &SubgraphSpec {
+                    workers: &sel_workers,
+                    tasks: &sel_tasks,
+                },
+                |_| true,
+            );
+            for (local, &parent) in sub.worker_back.iter().enumerate() {
+                worker_local[parent.index()] = local as u32;
+            }
+            for (local, &parent) in sub.task_back.iter().enumerate() {
+                task_local[parent.index()] = local as u32;
+            }
+            for (local, &parent) in sub.edge_back.iter().enumerate() {
+                edge_shard[parent.index()] = s as u32;
+                edge_local[parent.index()] = local as u32;
+            }
+            let sub_weights = sub.project_weights(weights);
+            shards.push(ShardSlice {
+                sub,
+                weights: sub_weights,
+            });
+        }
+
+        let cross_edges = edge_shard.iter().filter(|&&s| s == UNMAPPED).count();
+        let total_w: f64 = weights.iter().sum();
+        let retained: f64 = g
+            .edges()
+            .filter(|e| edge_shard[e.index()] != UNMAPPED)
+            .map(|e| weights[e.index()])
+            .sum();
+        ShardPlan {
+            shards,
+            worker_shard,
+            worker_local,
+            task_shard,
+            task_local,
+            edge_shard,
+            edge_local,
+            cross_edges,
+            retained_weight: if total_w > 0.0 {
+                retained / total_w
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{random_bipartite, RandomGraphSpec};
+
+    fn universe() -> (BipartiteGraph, Vec<f64>) {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 120,
+                n_tasks: 90,
+                avg_degree: 6.0,
+                capacity: 2,
+                demand: 2,
+            },
+            11,
+        );
+        let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        (g, w)
+    }
+
+    #[test]
+    fn single_shard_keeps_everything() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 1, Routing::HashId);
+        assert_eq!(plan.n_shards(), 1);
+        assert_eq!(plan.cross_edges, 0);
+        assert!((plan.retained_weight - 1.0).abs() < 1e-12);
+        assert_eq!(plan.shards[0].sub.graph.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn shards_partition_nodes_and_maps_are_consistent() {
+        let (g, w) = universe();
+        for routing in [Routing::HashId, Routing::Range] {
+            let plan = ShardPlan::build(&g, &w, 4, routing);
+            // Every node mapped exactly once; shard sizes sum to universe.
+            let tot_w: usize = plan.shards.iter().map(|s| s.sub.graph.n_workers()).sum();
+            let tot_t: usize = plan.shards.iter().map(|s| s.sub.graph.n_tasks()).sum();
+            assert_eq!(tot_w, g.n_workers());
+            assert_eq!(tot_t, g.n_tasks());
+            // Forward and back maps invert each other.
+            for wid in g.workers() {
+                let s = plan.worker_shard[wid.index()] as usize;
+                let l = plan.worker_local[wid.index()] as usize;
+                assert_eq!(plan.shards[s].sub.worker_back[l], wid);
+                // Capacity preserved.
+                assert_eq!(
+                    plan.shards[s].sub.graph.capacity(WorkerId::new(l as u32)),
+                    g.capacity(wid)
+                );
+            }
+            for tid in g.tasks() {
+                let s = plan.task_shard[tid.index()] as usize;
+                let l = plan.task_local[tid.index()] as usize;
+                assert_eq!(plan.shards[s].sub.task_back[l], tid);
+            }
+            // Edge maps: intra-shard edges round-trip; cross edges counted.
+            let mut mapped = 0usize;
+            for e in g.edges() {
+                let s = plan.edge_shard[e.index()];
+                if s == UNMAPPED {
+                    continue;
+                }
+                mapped += 1;
+                let l = plan.edge_local[e.index()] as usize;
+                let slice = &plan.shards[s as usize];
+                assert_eq!(slice.sub.edge_back[l], e);
+                assert_eq!(slice.weights[l], w[e.index()]);
+            }
+            assert_eq!(mapped + plan.cross_edges, g.n_edges());
+            assert!(
+                plan.retained_weight > 0.3,
+                "{routing:?} retained too little"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let (g, w) = universe();
+        let a = ShardPlan::build(&g, &w, 8, Routing::HashId);
+        let b = ShardPlan::build(&g, &w, 8, Routing::HashId);
+        assert_eq!(a.worker_shard, b.worker_shard);
+        assert_eq!(a.task_shard, b.task_shard);
+        assert_eq!(a.cross_edges, b.cross_edges);
+    }
+
+    #[test]
+    fn home_sharding_beats_random_on_retained_weight() {
+        // Plurality homing must retain at least as much weight as the
+        // worst-case 1/shards a random assignment would keep in
+        // expectation... by a visible margin on a structured universe.
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        assert!(
+            plan.retained_weight > 1.0 / 4.0 + 0.05,
+            "retained {} — homing is not buying locality",
+            plan.retained_weight
+        );
+    }
+}

@@ -38,3 +38,4 @@ pub mod trace;
 
 pub use faults::{adversarial_instance, FaultKind, FaultyInstance};
 pub use spec::{Profile, WorkloadSpec};
+pub use trace::{normalize_trace, TimedEvent, TraceFile, TraceSpec};

@@ -42,5 +42,6 @@ pub use mbta_core as core;
 pub use mbta_graph as graph;
 pub use mbta_market as market;
 pub use mbta_matching as matching;
+pub use mbta_service as service;
 pub use mbta_util as util;
 pub use mbta_workload as workload;
