@@ -3,9 +3,12 @@
 //! Generates one synthetic market universe plus a lifecycle/drift event
 //! trace, then replays it through [`DispatchService`] at shard counts
 //! {1, 4, 8} under the production `serve` configuration (count/byte/time
-//! watermarks, wall-clock solve budgets). Prints a JSON report to stdout
-//! or `--out <path>` — the committed `BENCH_service.json` baseline is a
-//! direct capture of this output:
+//! watermarks, wall-clock solve budgets), then re-runs the 4-shard
+//! configuration with telemetry recording on vs off (runtime
+//! kill-switch) to measure instrumentation overhead against its <3%
+//! throughput target. Prints a JSON report to stdout or `--out <path>` —
+//! the committed `BENCH_service.json` baseline is a direct capture of
+//! this output:
 //!
 //! ```text
 //! cargo run -p mbta-bench --release --bin service_bench -- --out BENCH_service.json
@@ -161,6 +164,40 @@ fn main() -> ExitCode {
         entries.push(json_entry(shards, &r));
     }
 
+    // Instrumentation overhead guard: the same workload at 4 shards with
+    // recording on vs off via the runtime kill-switch, after the sweep
+    // above has warmed everything. Target: under 3% throughput cost.
+    mbta_telemetry::set_enabled(true);
+    let on = run_one(&g, &weights, &events, 4);
+    mbta_telemetry::set_enabled(false);
+    let off = run_one(&g, &weights, &events, 4);
+    mbta_telemetry::set_enabled(true);
+    violations += on.capacity_violations + off.capacity_violations;
+    let overhead_pct = if off.events_per_sec > 0.0 {
+        (off.events_per_sec - on.events_per_sec) / off.events_per_sec * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "telemetry overhead at 4 shards: {:.0} events/sec on vs {:.0} off ({overhead_pct:.2}%)",
+        on.events_per_sec, off.events_per_sec
+    );
+    if overhead_pct > 3.0 {
+        eprintln!("WARN: telemetry overhead {overhead_pct:.2}% exceeds the 3% target");
+    }
+    let overhead = format!(
+        concat!(
+            "  \"telemetry_overhead\": {{\n",
+            "    \"shards\": 4,\n",
+            "    \"events_per_sec_enabled\": {:.0},\n",
+            "    \"events_per_sec_disabled\": {:.0},\n",
+            "    \"overhead_pct\": {:.2},\n",
+            "    \"target_pct\": 3.0\n",
+            "  }},\n"
+        ),
+        on.events_per_sec, off.events_per_sec, overhead_pct
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -176,6 +213,7 @@ fn main() -> ExitCode {
             "    \"queue_cap\": 4096, \"drop_policy\": \"defer\", \"budget_ms\": 50,\n",
             "    \"routing\": \"hash\"\n",
             "  }},\n",
+            "{}",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -187,6 +225,7 @@ fn main() -> ExitCode {
         HORIZON,
         REPEATS,
         DRIFT,
+        overhead,
         entries.join(",\n")
     );
 

@@ -18,7 +18,7 @@ usage:
   mbta gen --profile <uniform|zipfian|microtask|freelance>
            [--workers N] [--tasks N] [--degree F] [--dims N] [--seed N]
            --out FILE
-  mbta stats FILE
+  mbta stats FILE   (graph instance, or Prometheus metrics snapshot)
   mbta solve FILE [--algorithm <exact|greedy|local|quality|worker|random|cardinality|stable>]
                   [--combiner <balanced|harmonic|min|linear:L>] [--pairs]
                   [--deadline-ms N] [--fallback <none|chain>]
@@ -30,6 +30,7 @@ usage:
               [--drop-policy <drop-newest|drop-oldest|defer>]
               [--routing <hash|range>] [--budget-ms N] [--drift F]
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
+              [--metrics-out FILE] [--metrics-every N]
   mbta replay --trace FILE [serve flags; deterministic budgets]
   mbta sweep FILE [--steps N]
   mbta maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
@@ -82,6 +83,12 @@ pub struct ServeOpts {
     pub max_wall_ms: Option<u64>,
     /// Write the decision log here.
     pub decisions: Option<PathBuf>,
+    /// Write a telemetry snapshot here when the run finishes (Prometheus
+    /// text exposition, or JSON when the path ends in `.json`).
+    pub metrics_out: Option<PathBuf>,
+    /// With `--metrics-out`: overwrite the snapshot file with an interval
+    /// delta every N batches (a scrape target, not a log).
+    pub metrics_every: Option<u64>,
 }
 
 /// A parsed command.
@@ -348,6 +355,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     let mut poison_shard = None;
     let mut max_wall_ms = None;
     let mut decisions = None;
+    let mut metrics_out = None;
+    let mut metrics_every = None;
     while let Some(flag) = cur.next() {
         match flag {
             "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
@@ -405,6 +414,14 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
             "--poison-shard" => poison_shard = Some(parse_num(flag, cur.value_for(flag)?)?),
             "--max-wall-ms" => max_wall_ms = Some(parse_num(flag, cur.value_for(flag)?)?),
             "--decisions" => decisions = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--metrics-every" => {
+                let n: u64 = parse_num(flag, cur.value_for(flag)?)?;
+                if n == 0 {
+                    return err("--metrics-every must be >= 1");
+                }
+                metrics_every = Some(n);
+            }
             _ => return err(format!("unknown flag for {cmd}: '{flag}'")),
         }
     }
@@ -415,6 +432,9 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         if s >= shards {
             return err(format!("--poison-shard {s} out of range (shards {shards})"));
         }
+    }
+    if metrics_every.is_some() && metrics_out.is_none() {
+        return err("--metrics-every needs --metrics-out");
     }
     Ok(ServeOpts {
         trace,
@@ -430,6 +450,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         poison_shard,
         max_wall_ms,
         decisions,
+        metrics_out,
+        metrics_every,
     })
 }
 
@@ -944,6 +966,10 @@ mod tests {
             "2",
             "--decisions",
             "out.log",
+            "--metrics-out",
+            "m.prom",
+            "--metrics-every",
+            "50",
         ]))
         .unwrap()
         {
@@ -957,6 +983,8 @@ mod tests {
                 assert_eq!(o.drift, 0.2);
                 assert_eq!(o.poison_shard, Some(2));
                 assert_eq!(o.decisions, Some(PathBuf::from("out.log")));
+                assert_eq!(o.metrics_out, Some(PathBuf::from("m.prom")));
+                assert_eq!(o.metrics_every, Some(50));
             }
             _ => panic!("wrong command"),
         }
@@ -968,6 +996,8 @@ mod tests {
                 assert_eq!(o.drop_policy, DropPolicy::Defer);
                 assert_eq!(o.routing, Routing::HashId);
                 assert_eq!(o.drift, 0.0);
+                assert_eq!(o.metrics_out, None);
+                assert_eq!(o.metrics_every, None);
             }
             _ => panic!("wrong command"),
         }
@@ -984,6 +1014,18 @@ mod tests {
             "2",
             "--poison-shard",
             "2"
+        ]))
+        .is_err());
+        // Interval scraping needs a file to scrape into, and a period >= 1.
+        assert!(parse(&sv(&["serve", "--trace", "t", "--metrics-every", "5"])).is_err());
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--metrics-out",
+            "m.prom",
+            "--metrics-every",
+            "0"
         ]))
         .is_err());
     }

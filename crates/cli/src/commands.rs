@@ -16,9 +16,10 @@ use mbta_market::benefit::edge_weights;
 use mbta_market::{BenefitParams, Combiner};
 use mbta_matching::kbest::k_best_bmatchings;
 use mbta_service::{
-    Arrival, BatchConfig, BenefitDrift, BudgetMode, DecisionSink, DispatchService, NullSink,
-    OfferOutcome, ServiceConfig, ServiceReport, ShardPlan, WriteSink,
+    Arrival, BatchConfig, BatchStats, BenefitDrift, BudgetMode, Decision, DecisionSink,
+    DispatchService, NullSink, OfferOutcome, ServiceConfig, ServiceReport, ShardPlan, WriteSink,
 };
+use mbta_telemetry::{MetricValue, RegistryDiff, Snapshot};
 use mbta_util::table::{fnum, Table};
 use mbta_workload::faults::adversarial_instance;
 use mbta_workload::trace::TraceSpec;
@@ -68,7 +69,20 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             Ok(())
         }
         Command::Stats { file } => {
-            let g = load(&file)?;
+            // A telemetry snapshot (as written by `serve --metrics-out`) is
+            // Prometheus text with `# TYPE` headers; anything else is a
+            // persisted graph instance.
+            let bytes = fs::read(&file)?;
+            if let Ok(text) = std::str::from_utf8(&bytes) {
+                if text.contains("# TYPE ") {
+                    let snap = Snapshot::parse_prometheus(text).map_err(|e| {
+                        format!("cannot parse metrics snapshot {}: {e}", file.display())
+                    })?;
+                    print!("{}", render_metrics(&file, &snap));
+                    return Ok(());
+                }
+            }
+            let g = read_graph(&bytes[..])?;
             let s = GraphStats::compute(&g);
             let mut t = Table::new(format!("stats: {}", file.display()), &["metric", "value"]);
             let rows: Vec<(&str, String)> = vec![
@@ -397,6 +411,106 @@ fn engine_error_class(e: &EngineError) -> &'static str {
     }
 }
 
+/// Pretty-prints a parsed telemetry snapshot: one table per metric kind,
+/// with histogram quantiles derived from the shared bucket layout.
+fn render_metrics(path: &Path, snap: &Snapshot) -> String {
+    let mut counters = Table::new(
+        format!("metrics: counters ({})", path.display()),
+        &["name", "total"],
+    );
+    let mut gauges = Table::new(
+        "metrics: gauges",
+        &["name", "last", "mean", "min", "max", "sets"],
+    );
+    let mut hists = Table::new(
+        "metrics: histograms",
+        &["name", "count", "p50", "p99", "max", "mean"],
+    );
+    let (mut nc, mut ng, mut nh) = (0usize, 0usize, 0usize);
+    for m in &snap.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                nc += 1;
+                counters.row(vec![m.name.clone(), v.to_string()]);
+            }
+            MetricValue::Gauge {
+                last,
+                count,
+                mean,
+                min,
+                max,
+            } => {
+                ng += 1;
+                gauges.row(vec![
+                    m.name.clone(),
+                    fnum(*last, 3),
+                    fnum(*mean, 3),
+                    fnum(*min, 3),
+                    fnum(*max, 3),
+                    count.to_string(),
+                ]);
+            }
+            MetricValue::Histogram(h) => {
+                nh += 1;
+                hists.row(vec![
+                    m.name.clone(),
+                    h.count.to_string(),
+                    fnum(h.quantile(0.5), 3),
+                    fnum(h.quantile(0.99), 3),
+                    fnum(h.max, 3),
+                    fnum(h.mean(), 3),
+                ]);
+            }
+        }
+    }
+    let mut out = String::new();
+    for (n, t) in [(nc, counters), (ng, gauges), (nh, hists)] {
+        if n > 0 {
+            out.push_str(&t.render());
+        }
+    }
+    if out.is_empty() {
+        out.push_str("metrics snapshot is empty\n");
+    }
+    out
+}
+
+/// Renders a snapshot for `--metrics-out`: JSON when the path ends in
+/// `.json`, Prometheus text exposition otherwise.
+fn render_snapshot_file(snap: &Snapshot, path: &Path) -> String {
+    if path.extension().is_some_and(|e| e == "json") {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    }
+}
+
+/// Tees interval telemetry deltas out of the batch stream: every `every`
+/// batches, the registry delta since the previous write overwrites
+/// `path` (the file is a scrape target, not a log). The final cumulative
+/// snapshot lands after the run via `run_service`.
+struct MetricsTee<'a, S> {
+    inner: &'a mut S,
+    path: &'a Path,
+    every: u64,
+    seen: u64,
+    diff: RegistryDiff,
+    error: Option<io::Error>,
+}
+
+impl<S: DecisionSink> DecisionSink for MetricsTee<'_, S> {
+    fn on_batch(&mut self, stats: &BatchStats, decisions: &[Decision]) {
+        self.inner.on_batch(stats, decisions);
+        self.seen += 1;
+        if self.error.is_none() && self.seen.is_multiple_of(self.every) {
+            let delta = self.diff.advance(mbta_telemetry::global().snapshot());
+            if let Err(e) = fs::write(self.path, render_snapshot_file(&delta, self.path)) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
 /// Streams every arrival through the service, pumping between offers so
 /// watermark flushes happen promptly and `Defer` backpressure makes
 /// progress instead of spinning.
@@ -412,6 +526,34 @@ fn drive<'p, S: DecisionSink>(
         svc.pump(sink);
     }
     svc.finish(sink)
+}
+
+/// [`drive`], wrapped in a [`MetricsTee`] when interval scraping was
+/// requested via `--metrics-out` + `--metrics-every`.
+fn drive_metered<S: DecisionSink>(
+    svc: DispatchService<'_>,
+    events: &[Arrival],
+    sink: &mut S,
+    opts: &ServeOpts,
+) -> Result<ServiceReport, Box<dyn Error>> {
+    match (&opts.metrics_out, opts.metrics_every) {
+        (Some(path), Some(every)) => {
+            let mut tee = MetricsTee {
+                inner: sink,
+                path,
+                every,
+                seen: 0,
+                diff: RegistryDiff::new(),
+                error: None,
+            };
+            let report = drive(svc, events, &mut tee);
+            if let Some(e) = tee.error {
+                return Err(format!("cannot write metrics to {}: {e}", path.display()).into());
+            }
+            Ok(report)
+        }
+        _ => Ok(drive(svc, events, sink)),
+    }
 }
 
 /// Shared implementation of `serve` (wall-clock solve budgets) and
@@ -456,15 +598,25 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         Some(path) => {
             let file = fs::File::create(path)?;
             let mut sink = WriteSink::new(io::BufWriter::new(file));
-            let report = drive(svc, &events, &mut sink);
+            let report = drive_metered(svc, &events, &mut sink, opts)?;
             if let Some(e) = sink.error.take() {
                 return Err(Box::new(e));
             }
             sink.into_inner().flush()?;
             report
         }
-        None => drive(svc, &events, &mut NullSink),
+        None => drive_metered(svc, &events, &mut NullSink, opts)?,
     };
+
+    // The final write is the cumulative run snapshot (replacing the last
+    // interval delta, if any) — what the CI smoke test greps and what
+    // `mbta stats` pretty-prints.
+    if let Some(path) = &opts.metrics_out {
+        let snap = mbta_telemetry::global().snapshot();
+        fs::write(path, render_snapshot_file(&snap, path))
+            .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?;
+        println!("metrics snapshot: {}", path.display());
+    }
 
     print!("{}", report.render());
     println!(
@@ -604,6 +756,56 @@ mod tests {
             poison_shard: None,
             max_wall_ms: None,
             decisions,
+            metrics_out: None,
+            metrics_every: None,
+        }
+    }
+
+    #[test]
+    fn serve_writes_parseable_metrics_snapshot() {
+        let trace = tmp("metrics.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 50,
+            tasks: 30,
+            degree: 4.0,
+            dims: 4,
+            seed: 19,
+            horizon: 30.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let mpath = tmp("metrics.prom");
+        let mut opts = small_serve_opts(trace.clone(), None);
+        opts.metrics_out = Some(mpath.clone());
+        opts.metrics_every = Some(2);
+        run(Command::Serve(opts)).unwrap();
+
+        let text = std::fs::read_to_string(&mpath).unwrap();
+        let snap = Snapshot::parse_prometheus(&text).unwrap();
+        let batches = snap.metrics.iter().find_map(|m| match (&m.name, &m.value) {
+            (n, MetricValue::Counter(v)) if n == "mbta_service_batches_total" => Some(*v),
+            _ => None,
+        });
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(
+                batches.unwrap_or(0) > 0,
+                "mbta_service_batches_total missing or zero in snapshot:\n{text}"
+            );
+            // `mbta stats` sniffs the snapshot and pretty-prints it.
+            run(Command::Stats {
+                file: mpath.clone(),
+            })
+            .unwrap();
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = batches;
+
+        for p in [trace, mpath] {
+            let _ = std::fs::remove_file(p);
         }
     }
 

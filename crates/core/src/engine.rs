@@ -282,7 +282,14 @@ pub fn solve_robust(
     config: &EngineConfig,
 ) -> Result<EngineSolution, EngineError> {
     let start = Instant::now();
-    validate_inputs(g, weights)?;
+    let solve_span = mbta_telemetry::span!("mbta_core_engine_solve");
+    {
+        let _validate = mbta_telemetry::span!("mbta_core_engine_validate");
+        if let Err(e) = validate_inputs(g, weights) {
+            mbta_telemetry::counter_add("mbta_core_engine_rejects_total", 1);
+            return Err(e);
+        }
+    }
 
     let mut ctl = SolveCtl::unlimited();
     if let Some(ms) = config.deadline_ms {
@@ -298,7 +305,19 @@ pub fn solve_robust(
         solve_chain(g, weights, config, &ctl, start)
     };
     debug_assert!(solution.matching.validate(g).is_ok());
+    solve_span.attr("edges", g.n_edges() as u64);
+    mbta_telemetry::counter_add(tier_counter(solution.tier), 1);
     Ok(solution)
+}
+
+/// Static counter name for each quality tier (static so the per-solve hot
+/// path allocates nothing).
+fn tier_counter(tier: QualityTier) -> &'static str {
+    match tier {
+        QualityTier::Degraded => "mbta_core_engine_tier_total{tier=\"degraded\"}",
+        QualityTier::Approximate => "mbta_core_engine_tier_total{tier=\"approximate\"}",
+        QualityTier::Exact => "mbta_core_engine_tier_total{tier=\"exact\"}",
+    }
 }
 
 /// Exact solver only; an interrupted solve returns its feasible partial
@@ -310,6 +329,7 @@ fn solve_exact_only(
     ctl: &SolveCtl,
     start: Instant,
 ) -> EngineSolution {
+    let _exact = mbta_telemetry::span!("mbta_core_engine_exact");
     let (m, _, completed) =
         max_weight_bmatching_ctl(g, weights, FlowMode::FreeCardinality, config.algo, ctl);
     EngineSolution {
@@ -336,7 +356,10 @@ fn solve_chain(
 ) -> EngineSolution {
     // Stage 1: greedy floor. Not interruptible, but O(m log m) — on any
     // instance where the exact solve could time out, greedy is noise.
-    let mut best = greedy_bmatching(g, weights, 0.0);
+    let mut best = {
+        let _greedy = mbta_telemetry::span!("mbta_core_engine_greedy");
+        greedy_bmatching(g, weights, 0.0)
+    };
     let mut tier = QualityTier::Degraded;
     let mut ls_completed = false;
     let mut exact_completed = false;
@@ -344,6 +367,7 @@ fn solve_chain(
     // Stage 2: local search from the greedy floor. Monotone: the result is
     // never lighter than `best`, even when interrupted mid-pass.
     if !ctl.stop_requested() {
+        let _ls = mbta_telemetry::span!("mbta_core_engine_local_search");
         let (improved, _, completed) = local_search_ctl(g, weights, best, config.max_passes, ctl);
         best = improved;
         ls_completed = completed;
@@ -356,6 +380,7 @@ fn solve_chain(
     // if it actually beats the incumbent — the prefix of an exact solve can
     // be far worse than converged local search.
     if !ctl.stop_requested() {
+        let _exact = mbta_telemetry::span!("mbta_core_engine_exact");
         let (exact, _, completed) =
             max_weight_bmatching_ctl(g, weights, FlowMode::FreeCardinality, config.algo, ctl);
         if completed {
@@ -554,6 +579,34 @@ mod tests {
             elapsed < Duration::from_secs(2),
             "engine ignored its deadline: {elapsed:?}"
         );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_records_tiers_phases_and_rejects() {
+        let tier_exact =
+            mbta_telemetry::global().counter("mbta_core_engine_tier_total{tier=\"exact\"}");
+        let rejects = mbta_telemetry::global().counter("mbta_core_engine_rejects_total");
+        let solve_ms = mbta_telemetry::global().histogram("mbta_core_engine_solve_ms");
+        let exact_ms = mbta_telemetry::global().histogram("mbta_core_engine_exact_ms");
+        let (t0, r0, s0, e0) = (
+            tier_exact.get(),
+            rejects.get(),
+            solve_ms.count(),
+            exact_ms.count(),
+        );
+
+        let (g, w) = instance(11);
+        solve_robust(&g, &w, &EngineConfig::new()).unwrap();
+        solve_robust(&g, &[0.5], &EngineConfig::new()).unwrap_err();
+
+        // `>=`: other tests in this binary solve concurrently and bump the
+        // same process-wide counters.
+        assert!(tier_exact.get() > t0);
+        assert!(rejects.get() > r0);
+        // Two solve spans opened; the rejected one still times the attempt.
+        assert!(solve_ms.count() >= s0 + 2);
+        assert!(exact_ms.count() > e0);
     }
 
     #[test]

@@ -84,12 +84,14 @@ pub fn auction_max_weight_ctl(
     let eps = 1i64;
     let mut completed = true;
     {
+        let mut bids = mbta_telemetry::DeferredCount::new("mbta_matching_auction_bids_total");
         let mut queue: Vec<u32> = (0..n_w as u32).collect();
         while let Some(wi) = queue.pop() {
             if ctl.should_stop() {
                 completed = false;
                 break;
             }
+            bids.add(1);
             if assigned_obj[wi as usize] != NONE {
                 continue; // stale queue entry
             }

@@ -95,11 +95,15 @@ impl FlowNetwork {
         let mut iter = vec![NONE; n];
         let mut queue: Vec<u32> = Vec::with_capacity(n);
         let mut total = 0u64;
+        // Drop-guard so phases run before an early ctl-stop return still
+        // land in the counter.
+        let mut phases = mbta_telemetry::DeferredCount::new("mbta_matching_dinic_phases_total");
 
         loop {
             if ctl.stop_requested() {
                 return (total, false);
             }
+            phases.add(1);
             // BFS level graph.
             level.iter_mut().for_each(|l| *l = NONE);
             level[source] = 0;

@@ -262,6 +262,10 @@ pub fn local_search_ctl(
         }
     }
 
+    mbta_telemetry::counter_add(
+        "mbta_matching_local_search_moves_total",
+        stats.adds + stats.swaps + stats.splits,
+    );
     let edges = (0..m as u32)
         .map(EdgeId::new)
         .filter(|e| in_matching[e.index()])

@@ -72,6 +72,9 @@ pub struct FlowResult {
     pub cost: i64,
     /// Number of augmenting-path iterations.
     pub iterations: u64,
+    /// Number of nonzero Johnson-potential adjustments performed across
+    /// all iterations (0 for SPFA, which runs without potentials).
+    pub potential_updates: u64,
 }
 
 impl CostFlow {
@@ -311,6 +314,7 @@ impl CostFlow {
                 flow: total_flow,
                 cost: total_cost,
                 iterations,
+                potential_updates: 0,
             },
             completed,
         )
@@ -322,8 +326,22 @@ impl CostFlow {
 pub struct SolveStats {
     /// Augmenting-path iterations performed.
     pub iterations: u64,
+    /// Nonzero Johnson-potential adjustments (0 under [`PathAlgo::Spfa`]).
+    pub potential_updates: u64,
     /// Total integer profit of the returned matching (fixed-point scale).
     pub profit: i64,
+}
+
+/// Publishes a solve's intrinsic counters to the global telemetry registry.
+fn record_solve(result: &FlowResult) {
+    mbta_telemetry::counter_add(
+        "mbta_matching_mcmf_augmenting_paths_total",
+        result.iterations,
+    );
+    mbta_telemetry::counter_add(
+        "mbta_matching_mcmf_potential_updates_total",
+        result.potential_updates,
+    );
 }
 
 /// Exact maximum-weight b-matching via min-cost flow.
@@ -383,6 +401,7 @@ pub fn max_weight_bmatching(
         net.add_arc(1 + n_w + t.index(), sink, g.demand(t), 0);
     }
     let result = net.run(source, sink, mode, algo);
+    record_solve(&result);
     let edges = g
         .edges()
         .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
@@ -391,6 +410,7 @@ pub fn max_weight_bmatching(
         Matching::from_edges(edges),
         SolveStats {
             iterations: result.iterations,
+            potential_updates: result.potential_updates,
             profit: -result.cost,
         },
     )
@@ -411,6 +431,7 @@ pub fn max_weight_bmatching_ctl(
     assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
     let (mut net, edge_arcs, source, sink) = build_network(g, weights);
     let (result, completed) = net.run_with_ctl(source, sink, mode, algo, ctl);
+    record_solve(&result);
     let edges = g
         .edges()
         .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
@@ -419,6 +440,7 @@ pub fn max_weight_bmatching_ctl(
         Matching::from_edges(edges),
         SolveStats {
             iterations: result.iterations,
+            potential_updates: result.potential_updates,
             profit: -result.cost,
         },
         completed,
@@ -456,6 +478,7 @@ pub fn max_weight_bmatching_certified(
         FlowMode::FreeCardinality,
         &SolveCtl::unlimited(),
     );
+    record_solve(&result);
     let edges = g
         .edges()
         .filter(|e| net.flow(edge_arcs[e.index()]) > 0)
@@ -464,6 +487,7 @@ pub fn max_weight_bmatching_certified(
         Matching::from_edges(edges),
         SolveStats {
             iterations: result.iterations,
+            potential_updates: result.potential_updates,
             profit: -result.cost,
         },
         Certificate { potentials: pi },
@@ -618,6 +642,7 @@ impl CostFlow {
         let mut total_flow = 0u64;
         let mut total_cost = 0i64;
         let mut iterations = 0u64;
+        let mut potential_updates = 0u64;
         while completed {
             // An interrupted Dijkstra pass leaves partial labels that would
             // corrupt the potential update; discard it and keep the feasible
@@ -650,7 +675,9 @@ impl CostFlow {
             total_cost += i64::from(pushed) * path_cost;
             let dt = dist[sink];
             for v in 0..n {
-                pi[v] += dist[v].min(dt);
+                let adj = dist[v].min(dt);
+                pi[v] += adj;
+                potential_updates += u64::from(adj != 0);
             }
         }
         (
@@ -658,6 +685,7 @@ impl CostFlow {
                 flow: total_flow,
                 cost: total_cost,
                 iterations,
+                potential_updates,
             },
             pi,
             completed,

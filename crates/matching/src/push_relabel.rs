@@ -84,6 +84,12 @@ impl PushRelabelNetwork {
         let mut label = vec![0u32; n];
         let mut excess = vec![0u64; n];
         let mut cur_arc: Vec<u32> = self.first.clone();
+        // Drop-guards: both early-return sites (ctl stop) and the normal
+        // exits flush through Drop.
+        let mut n_relabels =
+            mbta_telemetry::DeferredCount::new("mbta_matching_push_relabel_relabels_total");
+        let mut n_discharges =
+            mbta_telemetry::DeferredCount::new("mbta_matching_push_relabel_discharges_total");
         // label-indexed buckets of active nodes (excess > 0, not s/t).
         let max_label = 2 * n;
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_label + 1];
@@ -135,6 +141,7 @@ impl PushRelabelNetwork {
             }
 
             // Discharge v.
+            n_discharges.add(1);
             let mut relabeled = false;
             while excess[v] > 0 {
                 let a = cur_arc[v];
@@ -176,6 +183,7 @@ impl PushRelabelNetwork {
                         }
                     }
                     relabeled = true;
+                    n_relabels.add(1);
                     if (label[v] as usize) > max_label {
                         // Out of play: drop from buckets entirely.
                         buckets[highest].pop();

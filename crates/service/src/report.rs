@@ -1,10 +1,13 @@
 //! End-of-run service telemetry.
 //!
 //! [`ServiceReport`] is what `DispatchService::finish` hands back: ingress
-//! accounting (drops, deferrals, invalid events), batch/flush breakdowns,
-//! solve-quality tier tallies, batch solve-latency percentiles, throughput,
-//! and — the acceptance invariant — the capacity-violation count from the
-//! cross-shard reconciliation, which must be zero on every run.
+//! accounting (drops, deferrals and their retry successes, invalid
+//! events), batch/flush breakdowns, solve-quality tier tallies, batch
+//! solve-latency percentiles (derived from the shared
+//! `mbta_telemetry::Histogram` bucket layout, not a private sample
+//! buffer), throughput, and — the acceptance invariant — the
+//! capacity-violation count from the cross-shard reconciliation, which
+//! must be zero on every run.
 
 use mbta_util::table::{fnum, Table};
 
@@ -28,6 +31,9 @@ pub struct ServiceReport {
     pub dropped_oldest: u64,
     /// Full-queue offers bounced back under the `Defer` policy.
     pub deferrals: u64,
+    /// Offers admitted on the retry immediately after a deferral — the
+    /// backpressure loop's success count (previously uncounted).
+    pub defer_retry_ok: u64,
     /// Events rejected as malformed (unknown ids, non-finite weights).
     pub invalid_events: u64,
     /// Benefit updates dropped because their edge crosses shards.
@@ -56,6 +62,8 @@ pub struct ServiceReport {
     pub tier_degraded: u64,
     /// Degraded-solve count per shard (poisoned shards show up here).
     pub degraded_by_shard: Vec<u64>,
+    /// Solves whose improvement was adopted via incremental reseed.
+    pub reseeds: u64,
     /// Assignment deltas emitted.
     pub decisions: u64,
 
@@ -90,6 +98,7 @@ impl ServiceReport {
                 "processed",
                 "dropped",
                 "deferred",
+                "retry ok",
                 "invalid",
                 "x-shard benefit",
                 "queue peak",
@@ -100,6 +109,7 @@ impl ServiceReport {
             self.events_processed.to_string(),
             (self.dropped_newest + self.dropped_oldest).to_string(),
             self.deferrals.to_string(),
+            self.defer_retry_ok.to_string(),
             self.invalid_events.to_string(),
             self.cross_benefit_drops.to_string(),
             self.queue_high_watermark.to_string(),
@@ -114,6 +124,7 @@ impl ServiceReport {
                 "exact",
                 "approx",
                 "degraded",
+                "reseeds",
                 "decisions",
             ],
         );
@@ -127,6 +138,7 @@ impl ServiceReport {
             self.tier_exact.to_string(),
             self.tier_approximate.to_string(),
             self.tier_degraded.to_string(),
+            self.reseeds.to_string(),
             self.decisions.to_string(),
         ]);
 
@@ -187,6 +199,7 @@ mod tests {
             dropped_newest: 5,
             dropped_oldest: 0,
             deferrals: 2,
+            defer_retry_ok: 2,
             invalid_events: 1,
             cross_benefit_drops: 3,
             queue_high_watermark: 17,
@@ -200,6 +213,7 @@ mod tests {
             tier_approximate: 2,
             tier_degraded: 1,
             degraded_by_shard: vec![1, 0, 0, 0],
+            reseeds: 6,
             decisions: 40,
             p50_solve_ms: 0.8,
             p99_solve_ms: 2.5,

@@ -106,7 +106,15 @@ pub struct DispatchService<'p> {
     tier_tally: [u64; 3],
     degraded_by_shard: Vec<u64>,
     decisions_out: u64,
-    solve_lat: mbta_util::Percentiles,
+    /// Set by a `Deferred` offer, cleared by the next admitted one: the
+    /// admitted offer is then a defer-retry success, which used to go
+    /// uncounted.
+    defer_pending: bool,
+    defer_retry_ok: u64,
+    reseeds: u64,
+    /// Per-instance batch solve-latency histogram; the report's p50/p99
+    /// derive from its buckets instead of a private sample buffer.
+    solve_lat: mbta_telemetry::Histogram,
     started: Instant,
 }
 
@@ -161,7 +169,10 @@ impl<'p> DispatchService<'p> {
             tier_tally: [0; 3],
             degraded_by_shard: vec![0; n],
             decisions_out: 0,
-            solve_lat: mbta_util::Percentiles::new(),
+            defer_pending: false,
+            defer_retry_ok: 0,
+            reseeds: 0,
+            solve_lat: mbta_telemetry::Histogram::new(),
             started: Instant::now(),
         }
     }
@@ -169,11 +180,17 @@ impl<'p> DispatchService<'p> {
     /// Marks a shard as poisoned: its solves are pre-cancelled and return
     /// the greedy floor immediately. Sibling shards are unaffected.
     pub fn poison_shard(&mut self, s: usize) {
+        if !self.poisoned[s] {
+            mbta_telemetry::counter_add("mbta_service_shard_poisoned_total", 1);
+        }
         self.poisoned[s] = true;
     }
 
     /// Clears a shard's poison mark.
     pub fn heal_shard(&mut self, s: usize) {
+        if self.poisoned[s] {
+            mbta_telemetry::counter_add("mbta_service_shard_healed_total", 1);
+        }
         self.poisoned[s] = false;
     }
 
@@ -182,8 +199,31 @@ impl<'p> DispatchService<'p> {
     /// admitted (and the offer is not counted as an ingress event).
     pub fn offer(&mut self, a: Arrival) -> OfferOutcome {
         let outcome = self.queue.offer(a);
-        if outcome != OfferOutcome::Deferred {
-            self.events_in += 1;
+        match outcome {
+            OfferOutcome::Deferred => {
+                self.defer_pending = true;
+                mbta_telemetry::counter_add("mbta_service_deferrals_total", 1);
+            }
+            admitted => {
+                self.events_in += 1;
+                mbta_telemetry::counter_add("mbta_service_events_total", 1);
+                if self.defer_pending {
+                    self.defer_pending = false;
+                    self.defer_retry_ok += 1;
+                    mbta_telemetry::counter_add("mbta_service_defer_retry_ok_total", 1);
+                }
+                match admitted {
+                    OfferOutcome::DroppedNewest => mbta_telemetry::counter_add(
+                        "mbta_service_queue_dropped_total{policy=\"newest\"}",
+                        1,
+                    ),
+                    OfferOutcome::DroppedOldest => mbta_telemetry::counter_add(
+                        "mbta_service_queue_dropped_total{policy=\"oldest\"}",
+                        1,
+                    ),
+                    _ => {}
+                }
+            }
         }
         outcome
     }
@@ -257,6 +297,11 @@ impl<'p> DispatchService<'p> {
     }
 
     fn dispatch(&mut self, batch: ClosedBatch, sink: &mut impl DecisionSink) {
+        let batch_span = mbta_telemetry::span!("mbta_service_batch");
+        batch_span.attr("events", batch.events.len() as u64);
+        mbta_telemetry::counter_add("mbta_service_batches_total", 1);
+        mbta_telemetry::observe("mbta_service_batch_events", batch.events.len() as f64);
+        mbta_telemetry::gauge_set("mbta_service_queue_depth", self.queue.len() as f64);
         let reason = batch.reason;
         self.flush_tally[match reason {
             FlushReason::Count => 0,
@@ -287,6 +332,7 @@ impl<'p> DispatchService<'p> {
         }
         touched.sort_unstable();
         self.invalid_events += invalid as u64;
+        mbta_telemetry::counter_add("mbta_service_invalid_events_total", invalid as u64);
 
         let before: Vec<Matching> = touched.iter().map(|&s| self.states[s].matching()).collect();
 
@@ -322,6 +368,7 @@ impl<'p> DispatchService<'p> {
                 token.cancel();
                 cfg = cfg.with_cancel(token);
             }
+            let shard_start = Instant::now();
             match solve_robust(g, &weights, &cfg) {
                 Ok(sol) => {
                     self.solves += 1;
@@ -339,6 +386,8 @@ impl<'p> DispatchService<'p> {
                         self.states[s]
                             .reseed(&sol.matching)
                             .expect("engine solution is feasible on the active sub-market");
+                        self.reseeds += 1;
+                        mbta_telemetry::counter_add("mbta_service_reseeds_total", 1);
                     }
                 }
                 Err(_) => {
@@ -348,9 +397,17 @@ impl<'p> DispatchService<'p> {
                     debug_assert!(false, "unexpected engine input error");
                 }
             }
+            // The labeled name allocates, so gate on the runtime switch.
+            if mbta_telemetry::enabled() {
+                mbta_telemetry::observe(
+                    &format!("mbta_service_shard_solve_ms{{shard=\"{s}\"}}"),
+                    shard_start.elapsed().as_secs_f64() * 1e3,
+                );
+            }
         }
         let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
-        self.solve_lat.push(solve_ms);
+        self.solve_lat.observe(solve_ms);
+        mbta_telemetry::observe("mbta_service_batch_solve_ms", solve_ms);
 
         // Pass 4: emit assignment deltas (per-shard before/after diff).
         let mut decisions: Vec<Decision> = Vec::new();
@@ -383,6 +440,7 @@ impl<'p> DispatchService<'p> {
         }
         canonical_order(&mut decisions);
         self.decisions_out += decisions.len() as u64;
+        mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
 
         let stats = BatchStats {
             seq: self.seq,
@@ -450,7 +508,7 @@ impl<'p> DispatchService<'p> {
         let final_value: f64 = self.states.iter().map(|s| s.total_weight()).sum();
         let final_assignments: usize = self.states.iter().map(|s| s.len()).sum();
         let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
-        let mut lat = self.solve_lat;
+        let lat = self.solve_lat;
         ServiceReport {
             n_shards: self.plan.n_shards(),
             cross_edges: self.plan.cross_edges,
@@ -460,6 +518,7 @@ impl<'p> DispatchService<'p> {
             dropped_newest: self.queue.dropped_newest(),
             dropped_oldest: self.queue.dropped_oldest(),
             deferrals: self.queue.deferrals(),
+            defer_retry_ok: self.defer_retry_ok,
             invalid_events: self.invalid_events,
             cross_benefit_drops: self.cross_benefit_drops,
             queue_high_watermark: self.queue.high_watermark(),
@@ -473,10 +532,11 @@ impl<'p> DispatchService<'p> {
             tier_approximate: self.tier_tally[QualityTier::Approximate as usize],
             tier_degraded: self.tier_tally[QualityTier::Degraded as usize],
             degraded_by_shard: self.degraded_by_shard,
+            reseeds: self.reseeds,
             decisions: self.decisions_out,
-            p50_solve_ms: lat.quantile(0.5).unwrap_or(0.0),
-            p99_solve_ms: lat.quantile(0.99).unwrap_or(0.0),
-            max_solve_ms: lat.quantile(1.0).unwrap_or(0.0),
+            p50_solve_ms: lat.quantile(0.5),
+            p99_solve_ms: lat.quantile(0.99),
+            max_solve_ms: lat.max(),
             wall_ms,
             events_per_sec: if wall_ms > 0.0 {
                 self.events_processed as f64 / (wall_ms / 1e3)
@@ -608,7 +668,27 @@ mod tests {
         assert_eq!(log_a, log_b, "decision logs diverged across replays");
         assert_eq!(rep_a.decisions, rep_b.decisions);
         assert_eq!(rep_a.batches, rep_b.batches);
+        assert_eq!(rep_a.reseeds, rep_b.reseeds);
         assert_eq!(rep_a.final_assignments, rep_b.final_assignments);
+    }
+
+    /// Global service metrics advance by at least this run's report totals
+    /// (`>=`: sibling tests share the process-wide registry).
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_batches_events_and_latency() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 2, Routing::HashId);
+        let events = stream(&g, 3);
+        let batches = mbta_telemetry::global().counter("mbta_service_batches_total");
+        let ev = mbta_telemetry::global().counter("mbta_service_events_total");
+        let lat = mbta_telemetry::global().histogram("mbta_service_batch_solve_ms");
+        let (b0, e0, l0) = (batches.get(), ev.get(), lat.count());
+        let (_, report) = run_to_log(&g, &plan, &events, None);
+        assert!(report.batches > 0);
+        assert!(batches.get() >= b0 + report.batches);
+        assert!(ev.get() >= e0 + report.events_in);
+        assert!(lat.count() >= l0 + report.batches);
     }
 
     #[test]
@@ -631,6 +711,8 @@ mod tests {
         assert_eq!(report.capacity_violations, 0);
         assert!(report.events_processed > 0);
         assert!(report.batches > 0);
+        assert!(report.reseeds > 0, "no solve improvement was ever adopted");
+        assert!(report.reseeds <= report.solves);
         // Net assignment deltas must equal the final assignment.
         let net: i64 = sink
             .decisions
@@ -728,6 +810,10 @@ mod tests {
         }
         let report = svc.finish(&mut sink);
         assert!(report.deferrals > 0, "cap-4 queue never deferred");
+        // Every deferral was pumped and re-offered, so each deferred burst
+        // ends in exactly one admitted retry.
+        assert!(report.defer_retry_ok > 0, "retry successes went uncounted");
+        assert!(report.defer_retry_ok <= report.deferrals);
         assert_eq!(report.dropped_newest + report.dropped_oldest, 0);
         assert_eq!(report.events_in, events.len() as u64);
         assert_eq!(

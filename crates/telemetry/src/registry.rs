@@ -1,0 +1,180 @@
+//! Sharded name → metric registry.
+//!
+//! Sixteen mutex-guarded shards keyed by FxHash of the metric name keep
+//! registration cheap and contention-free; the returned `Arc` handles are
+//! what hot paths hold on to, so the shard lock is only taken on first
+//! lookup (or when a caller is too lazy to cache — still just one short
+//! critical section per call).
+//!
+//! Metric names follow the workspace convention `mbta_<crate>_<name>`,
+//! with optional labels encoded in the name itself in canonical form:
+//! `mbta_service_shard_solve_ms{shard="3"}`. Keeping labels in the key
+//! string keeps the registry dependency-free; the Prometheus exporter
+//! splits them back out.
+
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge};
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mbta_util::fxhash::FxBuildHasher;
+use mbta_util::FxHashMap;
+
+const SHARDS: usize = 16;
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricEntry {
+    /// Monotone counter.
+    Counter(Arc<Counter>),
+    /// Last-value gauge with running stats.
+    Gauge(Arc<Gauge>),
+    /// Log-scale histogram.
+    Histogram(Arc<Histogram>),
+}
+
+impl MetricEntry {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricEntry::Counter(_) => "counter",
+            MetricEntry::Gauge(_) => "gauge",
+            MetricEntry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A sharded collection of named metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [Mutex<FxHashMap<String, MetricEntry>>; SHARDS],
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<FxHashMap<String, MetricEntry>> {
+        let mut h = FxBuildHasher::default().build_hasher();
+        h.write(name.as_bytes());
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut shard = self.shard(name).lock().expect("registry shard lock");
+        let entry = shard
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricEntry::Counter(Arc::new(Counter::new())));
+        match entry {
+            MetricEntry::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut shard = self.shard(name).lock().expect("registry shard lock");
+        let entry = shard
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricEntry::Gauge(Arc::new(Gauge::new())));
+        match entry {
+            MetricEntry::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut shard = self.shard(name).lock().expect("registry shard lock");
+        let entry = shard
+            .entry(name.to_owned())
+            .or_insert_with(|| MetricEntry::Histogram(Arc::new(Histogram::new())));
+        match entry {
+            MetricEntry::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// All registered metrics, sorted by name.
+    pub fn entries(&self) -> Vec<(String, MetricEntry)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard lock");
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// The process-wide registry used by the `counter_add` / `gauge_set` /
+/// `observe` helpers and the span API.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Runtime kill-switch consulted by the global helpers. Compile-time
+/// stubbing (feature `enabled` off) takes precedence — see [`enabled`].
+static RUNTIME_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns global-helper recording on or off at runtime. Used by benches to
+/// measure instrumentation overhead within a single binary; no-op when the
+/// crate was built without the `enabled` feature.
+pub fn set_enabled(on: bool) {
+    RUNTIME_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the global helpers record. Const `false` when the `enabled`
+/// feature is off, so instrumented call sites fold to nothing.
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(feature = "enabled") {
+        RUNTIME_ENABLED.load(Ordering::Relaxed)
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_instance() {
+        let r = Registry::new();
+        r.counter("a_total").add(3);
+        r.counter("a_total").add(4);
+        assert_eq!(r.counter("a_total").get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let r = Registry::new();
+        r.histogram("z_ms");
+        r.counter("a_total");
+        r.gauge("m_depth");
+        let names: Vec<_> = r.entries().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a_total", "m_depth", "z_ms"]);
+    }
+}

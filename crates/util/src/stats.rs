@@ -5,13 +5,21 @@
 //! for benefit-distribution reporting in the tables).
 
 /// Streaming mean / variance / min / max accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    // A derived Default would zero min/max, so the first push through a
+    // default-constructed accumulator could never raise min above 0.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -33,8 +41,16 @@ impl OnlineStats {
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
         self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
+        if self.n == 1 {
+            // Seed explicitly rather than folding into the sentinel bounds:
+            // guards accumulators that reached n == 0 with non-sentinel
+            // min/max (e.g. via struct update or a future reset).
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
     }
 
     /// Number of observations.
@@ -234,6 +250,30 @@ mod tests {
         e.merge(&a);
         assert_eq!(e.count(), 2);
         assert_eq!(e.mean(), before_mean);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let mut d = OnlineStats::default();
+        d.push(5.0);
+        assert_eq!(d.min(), 5.0, "derived Default would report 0.0 here");
+        assert_eq!(d.max(), 5.0);
+    }
+
+    #[test]
+    fn single_observation_survives_merge_with_empty() {
+        let mut a = OnlineStats::default();
+        a.merge(&OnlineStats::default());
+        a.push(2.5);
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 2.5);
+        assert_eq!(a.max(), 2.5);
+
+        let mut b = OnlineStats::new();
+        b.merge(&a);
+        assert_eq!(b.min(), 2.5);
+        assert_eq!(b.max(), 2.5);
     }
 
     #[test]

@@ -202,15 +202,19 @@ pub fn normalize_trace(events: &mut Vec<TimedEvent>) {
             .then_with(|| a.event.cmp(&b.event))
     });
     events.dedup_by(|a, b| a.time.to_bits() == b.time.to_bits() && a.event == b.event);
+    let mut time_bumps = 0u64;
     let mut prev: Option<f64> = None;
     for e in events.iter_mut() {
         if let Some(p) = prev {
             if e.time <= p {
                 e.time = strictly_after(p);
+                time_bumps += 1;
             }
         }
         prev = Some(e.time);
     }
+    mbta_telemetry::counter_add("mbta_workload_trace_events_total", events.len() as u64);
+    mbta_telemetry::counter_add("mbta_workload_trace_time_bumps_total", time_bumps);
 }
 
 /// Error from [`TraceFile::parse`], with the offending line number.
