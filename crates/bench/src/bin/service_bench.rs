@@ -3,7 +3,11 @@
 //! Generates one synthetic market universe plus a lifecycle/drift event
 //! trace, then replays it through [`DispatchService`] at shard counts
 //! {1, 4, 8} under the production `serve` configuration (count/byte/time
-//! watermarks, wall-clock solve budgets), then re-runs the 4-shard
+//! watermarks, wall-clock solve budgets, single-threaded solves so the
+//! shard sweep isolates sharding), then sweeps the solver-pool width
+//! {1, 2, 4, 8} at 8 shards (the thread-scaling section; speedups are
+//! relative to 1 thread and bounded by the host's available parallelism,
+//! recorded as `host_parallelism`), then re-runs the 4-shard
 //! configuration with telemetry recording on vs off (runtime
 //! kill-switch) to measure instrumentation overhead against its <3%
 //! throughput target. Prints a JSON report to stdout or `--out <path>` —
@@ -32,8 +36,12 @@ const HORIZON: f64 = 60.0;
 const REPEATS: u32 = 4;
 const DRIFT: f64 = 0.2;
 const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Shard count for the thread-scaling sweep: enough independent jobs per
+/// batch that every pool width up to 8 can find work.
+const SCALING_SHARDS: usize = 8;
 
-fn serve_config() -> ServiceConfig {
+fn serve_config(threads: usize) -> ServiceConfig {
     ServiceConfig {
         batch: BatchConfig {
             max_events: 256,
@@ -43,6 +51,7 @@ fn serve_config() -> ServiceConfig {
         queue_cap: 4096,
         drop_policy: mbta_service::DropPolicy::Defer,
         budget: BudgetMode::Wallclock(50),
+        threads,
     }
 }
 
@@ -51,9 +60,10 @@ fn run_one(
     weights: &[f64],
     events: &[Arrival],
     shards: usize,
+    threads: usize,
 ) -> ServiceReport {
     let plan = ShardPlan::build(g, weights, shards, Routing::HashId);
-    let mut svc = DispatchService::new(g, &plan, serve_config());
+    let mut svc = DispatchService::new(g, &plan, serve_config(threads));
     let mut sink = NullSink;
     for &a in events {
         while let OfferOutcome::Deferred = svc.offer(a) {
@@ -155,7 +165,7 @@ fn main() -> ExitCode {
     let mut entries = Vec::new();
     let mut violations = 0usize;
     for &shards in &SHARD_COUNTS {
-        let r = run_one(&g, &weights, &events, shards);
+        let r = run_one(&g, &weights, &events, shards, 1);
         eprintln!(
             "shards {shards}: {:.0} events/sec, p99 {:.2} ms, {} violations",
             r.events_per_sec, r.p99_solve_ms, r.capacity_violations
@@ -164,13 +174,74 @@ fn main() -> ExitCode {
         entries.push(json_entry(shards, &r));
     }
 
+    // Thread-scaling sweep: same workload pinned at SCALING_SHARDS shards,
+    // solver-pool width varied. Speedup is relative to 1 thread; the
+    // host's available parallelism bounds what any width can deliver, so
+    // it is recorded alongside the numbers (on a 1-core container the
+    // curve is honestly flat).
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut scaling = Vec::new();
+    let mut base_eps = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let r = run_one(&g, &weights, &events, SCALING_SHARDS, threads);
+        if threads == 1 {
+            base_eps = r.events_per_sec;
+        }
+        let speedup = if base_eps > 0.0 {
+            r.events_per_sec / base_eps
+        } else {
+            0.0
+        };
+        eprintln!(
+            "threads {threads} @ {SCALING_SHARDS} shards: {:.0} events/sec ({speedup:.2}x), {} steals, {} violations",
+            r.events_per_sec, r.steals, r.capacity_violations
+        );
+        violations += r.capacity_violations;
+        scaling.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"threads\": {},\n",
+                "      \"events_per_sec\": {:.0},\n",
+                "      \"speedup_vs_1_thread\": {:.2},\n",
+                "      \"steals\": {},\n",
+                "      \"p99_batch_solve_ms\": {:.3},\n",
+                "      \"wall_ms\": {:.1},\n",
+                "      \"capacity_violations\": {}\n",
+                "    }}"
+            ),
+            threads,
+            r.events_per_sec,
+            speedup,
+            r.steals,
+            r.p99_solve_ms,
+            r.wall_ms,
+            r.capacity_violations
+        ));
+    }
+    let thread_scaling = format!(
+        concat!(
+            "  \"thread_scaling\": {{\n",
+            "    \"shards\": {},\n",
+            "    \"host_parallelism\": {},\n",
+            "    \"note\": \"speedup is bounded by host_parallelism; ",
+            "expect near-linear scaling up to min(threads, shards, cores)\",\n",
+            "    \"results\": [\n{}\n    ]\n",
+            "  }},\n"
+        ),
+        SCALING_SHARDS,
+        host_parallelism,
+        scaling.join(",\n")
+    );
+
     // Instrumentation overhead guard: the same workload at 4 shards with
     // recording on vs off via the runtime kill-switch, after the sweep
     // above has warmed everything. Target: under 3% throughput cost.
     mbta_telemetry::set_enabled(true);
-    let on = run_one(&g, &weights, &events, 4);
+    let on = run_one(&g, &weights, &events, 4, 1);
     mbta_telemetry::set_enabled(false);
-    let off = run_one(&g, &weights, &events, 4);
+    let off = run_one(&g, &weights, &events, 4, 1);
     mbta_telemetry::set_enabled(true);
     violations += on.capacity_violations + off.capacity_violations;
     let overhead_pct = if off.events_per_sec > 0.0 {
@@ -214,6 +285,7 @@ fn main() -> ExitCode {
             "    \"routing\": \"hash\"\n",
             "  }},\n",
             "{}",
+            "{}",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -225,6 +297,7 @@ fn main() -> ExitCode {
         HORIZON,
         REPEATS,
         DRIFT,
+        thread_scaling,
         overhead,
         entries.join(",\n")
     );

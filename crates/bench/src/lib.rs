@@ -11,6 +11,18 @@
 //! cargo run -p mbta-bench --release --bin experiments -- --quick # small sizes
 //! ```
 //!
+//! The `service_bench` binary is the streaming-service companion: it
+//! replays a synthetic lifecycle/drift trace through the dispatch
+//! service across shard counts, sweeps the solver-pool width
+//! (`--threads` scaling, with the host's parallelism recorded next to
+//! the speedups), and measures the telemetry on/off overhead. Its JSON
+//! output is committed as the repo-root `BENCH_service.json` baseline
+//! (EXPERIMENTS.md §S1 reads it):
+//!
+//! ```text
+//! cargo run -p mbta-bench --release --bin service_bench -- --out BENCH_service.json
+//! ```
+//!
 //! Criterion microbenches (one group per timing-centric figure) live in
 //! `benches/`.
 

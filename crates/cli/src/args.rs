@@ -25,8 +25,8 @@ usage:
   mbta solve --inject-faults [--instances N] [--deadline-ms N] [--seed N]
   mbta gen-trace --out FILE [--profile P] [--workers N] [--tasks N]
                  [--degree F] [--dims N] [--seed N] [--horizon F] [--repeats N]
-  mbta serve  --trace FILE [--shards N] [--batch-max N] [--batch-bytes N]
-              [--flush-ms F] [--queue-cap N]
+  mbta serve  --trace FILE [--shards N] [--threads N] [--batch-max N]
+              [--batch-bytes N] [--flush-ms F] [--queue-cap N]
               [--drop-policy <drop-newest|drop-oldest|defer>]
               [--routing <hash|range>] [--budget-ms N] [--drift F]
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
@@ -58,6 +58,9 @@ pub struct ServeOpts {
     pub trace: PathBuf,
     /// Shard count.
     pub shards: usize,
+    /// Solver-pool width for touched-shard solves (`0` = one worker per
+    /// available hardware thread; `1` = the exact sequential path).
+    pub threads: usize,
     /// Batch count watermark.
     pub batch_max: usize,
     /// Batch byte watermark.
@@ -344,6 +347,7 @@ fn parse_routing(s: &str) -> Result<Routing, ParseError> {
 fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseError> {
     let mut trace = None;
     let mut shards = 4usize;
+    let mut threads = 0usize;
     let mut batch_max = 256usize;
     let mut batch_bytes = 64 * 1024usize;
     let mut flush_ms = 10.0f64;
@@ -366,6 +370,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
                     return err("--shards must be >= 1");
                 }
             }
+            // 0 is allowed: "use the host's available parallelism".
+            "--threads" => threads = parse_num(flag, cur.value_for(flag)?)?,
             "--batch-max" => {
                 batch_max = parse_num(flag, cur.value_for(flag)?)?;
                 if batch_max == 0 {
@@ -439,6 +445,7 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     Ok(ServeOpts {
         trace,
         shards,
+        threads,
         batch_max,
         batch_bytes,
         flush_ms,
@@ -956,6 +963,8 @@ mod tests {
             "10",
             "--shards",
             "4",
+            "--threads",
+            "2",
             "--drop-policy",
             "drop-oldest",
             "--routing",
@@ -978,6 +987,7 @@ mod tests {
                 assert_eq!(o.batch_max, 256);
                 assert_eq!(o.flush_ms, 10.0);
                 assert_eq!(o.shards, 4);
+                assert_eq!(o.threads, 2);
                 assert_eq!(o.drop_policy, DropPolicy::DropOldest);
                 assert_eq!(o.routing, Routing::Range);
                 assert_eq!(o.drift, 0.2);
@@ -992,6 +1002,7 @@ mod tests {
             Command::Replay(o) => {
                 // Defaults.
                 assert_eq!(o.shards, 4);
+                assert_eq!(o.threads, 0, "--threads defaults to host parallelism");
                 assert_eq!(o.batch_max, 256);
                 assert_eq!(o.drop_policy, DropPolicy::Defer);
                 assert_eq!(o.routing, Routing::HashId);

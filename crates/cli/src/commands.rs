@@ -581,6 +581,7 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         } else {
             BudgetMode::Wallclock(opts.budget_ms)
         },
+        threads: opts.threads,
     };
     let mut svc = DispatchService::new(&g, &plan, cfg);
     if let Some(s) = opts.poison_shard {
@@ -745,6 +746,7 @@ mod tests {
         ServeOpts {
             trace,
             shards: 4,
+            threads: 2,
             batch_max: 64,
             batch_bytes: 1 << 20,
             flush_ms: 5.0,

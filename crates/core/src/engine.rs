@@ -147,11 +147,37 @@ impl fmt::Display for QualityTier {
 }
 
 /// Engine configuration: budgets plus fallback-chain knobs.
+///
+/// Built fluently; the default is the full degradation chain with no
+/// budget. A relative budget (`with_deadline_ms`) is the common case;
+/// an absolute one (`with_deadline_at`) is how several solves share one
+/// batch budget:
+///
+/// ```
+/// use mbta_core::engine::EngineConfig;
+/// use mbta_util::Deadline;
+///
+/// let batch_deadline = Deadline::after_ms(50);
+/// let cfg = EngineConfig::new()
+///     .with_deadline_ms(10)                // ignored in favor of...
+///     .with_deadline_at(batch_deadline);   // ...the shared absolute deadline
+/// assert!(cfg.deadline_at.is_some());
+/// assert!(!cfg.exact_only);
+/// ```
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Wall-clock budget in milliseconds (measured from the start of
-    /// [`solve_robust`]). `None` = unbounded.
+    /// [`solve_robust`]). `None` = unbounded. Ignored when [`deadline_at`]
+    /// is set.
+    ///
+    /// [`deadline_at`]: EngineConfig::deadline_at
     pub deadline_ms: Option<u64>,
+    /// Absolute wall-clock deadline, taking precedence over `deadline_ms`.
+    /// This is how a batch dispatcher shares one budget across several
+    /// solves (sequentially or concurrently): every shard races the same
+    /// clock instant, so budget a fast shard leaves unused is automatically
+    /// available to the shards still running.
+    pub deadline_at: Option<Deadline>,
     /// External cancellation (e.g. the caller's request was dropped).
     pub cancel: Option<CancelToken>,
     /// When `false`, skip the heuristic floor and run the exact solver
@@ -176,6 +202,7 @@ impl EngineConfig {
     pub fn new() -> Self {
         EngineConfig {
             deadline_ms: None,
+            deadline_at: None,
             cancel: None,
             exact_only: false,
             max_passes: 8,
@@ -186,6 +213,13 @@ impl EngineConfig {
     /// Sets a wall-clock budget in milliseconds.
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline (shared-budget solves; takes
+    /// precedence over [`with_deadline_ms`](Self::with_deadline_ms)).
+    pub fn with_deadline_at(mut self, deadline: Deadline) -> Self {
+        self.deadline_at = Some(deadline);
         self
     }
 
@@ -292,7 +326,9 @@ pub fn solve_robust(
     }
 
     let mut ctl = SolveCtl::unlimited();
-    if let Some(ms) = config.deadline_ms {
+    if let Some(at) = config.deadline_at {
+        ctl = ctl.with_deadline(at);
+    } else if let Some(ms) = config.deadline_ms {
         ctl = ctl.with_deadline(Deadline::after_ms(ms));
     }
     if let Some(token) = &config.cancel {
@@ -402,6 +438,19 @@ fn solve_chain(
     }
 }
 
+// Thread-safety contract, checked at compile time: the service's solve
+// pool moves configs and solutions across worker threads, so these types
+// must stay `Send` (and the config `Sync`, since one immutable config can
+// be shared by several concurrent solves).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<EngineConfig>();
+    assert_sync::<EngineConfig>();
+    assert_send::<EngineSolution>();
+    assert_send::<EngineError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +556,27 @@ mod tests {
             assert!(QualityTier::Degraded < QualityTier::Approximate);
             assert!(QualityTier::Approximate < QualityTier::Exact);
         }
+    }
+
+    #[test]
+    fn absolute_deadline_takes_precedence_and_shares_budget() {
+        let (g, w) = instance(9);
+        // An already-expired absolute deadline wins over a generous
+        // relative one: the solve degrades instead of running for 10 s.
+        let past = Deadline::after_ms(0);
+        std::thread::sleep(Duration::from_millis(1));
+        let cfg = EngineConfig::new()
+            .with_deadline_ms(10_000)
+            .with_deadline_at(past);
+        let sol = solve_robust(&g, &w, &cfg).unwrap();
+        assert!(sol.tier <= QualityTier::Approximate, "tier {}", sol.tier);
+        assert!(!sol.exact_completed);
+        sol.matching.validate(&g).unwrap();
+
+        // A far-future absolute deadline is as good as unbounded here.
+        let cfg = EngineConfig::new().with_deadline_at(Deadline::after_ms(3_600_000));
+        let sol = solve_robust(&g, &w, &cfg).unwrap();
+        assert_eq!(sol.tier, QualityTier::Exact);
     }
 
     #[test]

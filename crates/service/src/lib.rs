@@ -16,10 +16,15 @@
 //! * [`shard`] — node-disjoint market sharding with home-shard worker
 //!   placement; node-disjointness is what makes the cross-shard capacity
 //!   invariant hold by construction.
+//! * [`pool`] — the worker pool that solves a batch's touched shards
+//!   concurrently: work-stealing largest-first scheduling over vendored
+//!   crossbeam scoped threads + channels, with a deterministic
+//!   shard-index merge so threaded replay stays byte-identical.
 //! * [`service`] — the dispatch loop: apply churn via incremental greedy
 //!   repair, re-solve each touched shard with the robust engine under the
-//!   batch's deadline budget, adopt improvements, emit deltas. Poisoned
-//!   shards degrade to the greedy floor without stalling siblings.
+//!   batch's shared deadline budget (via the pool), adopt improvements,
+//!   emit deltas. Poisoned shards degrade to the greedy floor without
+//!   stalling siblings.
 //! * [`sink`] — pluggable decision output; the textual decision log is
 //!   byte-identical across replays under deterministic budgets.
 //! * [`report`] — end-of-run telemetry: throughput, batch-latency
@@ -34,6 +39,7 @@
 
 pub mod batch;
 pub mod event;
+pub mod pool;
 pub mod queue;
 pub mod report;
 pub mod service;
@@ -42,6 +48,7 @@ pub mod sink;
 
 pub use batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
 pub use event::{Arrival, BenefitDrift, ServiceEvent};
+pub use pool::{BatchSolve, ShardJob, ShardOutcome, SolvePool};
 pub use queue::{BoundedQueue, DropPolicy, OfferOutcome};
 pub use report::ServiceReport;
 pub use service::{BudgetMode, DispatchService, ServiceConfig};

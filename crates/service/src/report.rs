@@ -86,6 +86,13 @@ pub struct ServiceReport {
     /// assignments against the universe graph. **Must be zero**; a nonzero
     /// value means the node-disjoint shard invariant was broken.
     pub capacity_violations: usize,
+
+    /// Solver-pool width the run used (resolved: `--threads 0` reports the
+    /// host's available parallelism, not 0).
+    pub pool_threads: usize,
+    /// Shard jobs a pool worker took from a sibling's deque; always zero
+    /// with one thread, and a load-imbalance signal otherwise.
+    pub steals: u64,
 }
 
 impl ServiceReport {
@@ -146,6 +153,8 @@ impl ServiceReport {
             "service: throughput & latency",
             &[
                 "shards",
+                "threads",
+                "steals",
                 "retained wt",
                 "events/sec",
                 "p50 ms",
@@ -156,6 +165,8 @@ impl ServiceReport {
         );
         perf.row(vec![
             self.n_shards.to_string(),
+            self.pool_threads.to_string(),
+            self.steals.to_string(),
             fnum(self.retained_weight, 3),
             fnum(self.events_per_sec, 0),
             fnum(self.p50_solve_ms, 3),
@@ -223,10 +234,14 @@ mod tests {
             final_value: 12.5,
             final_assignments: 33,
             capacity_violations: 0,
+            pool_threads: 4,
+            steals: 3,
         };
         let s = r.render();
         assert!(s.contains("capacity violations"));
         assert!(s.contains("events/sec"));
+        assert!(s.contains("threads"));
+        assert!(s.contains("steals"));
         assert!(
             s.contains("792") || s.contains("791"),
             "events/sec rendered: {s}"

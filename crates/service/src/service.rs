@@ -1,16 +1,17 @@
 //! The dispatch service: event-driven, batched, sharded assignment.
 //!
-//! [`DispatchService`] is the long-running loop the ISSUE's tentpole asks
-//! for, assembled from the rest of this crate plus the robust engine:
+//! [`DispatchService`] is the long-running loop this crate exists for,
+//! assembled from the rest of the crate plus the robust engine:
 //!
 //! ```text
 //!  producers --offer--> BoundedQueue --pump--> Batcher --flush--> dispatch
 //!                                                                    |
 //!                       per touched shard: apply churn to the        |
 //!                       IncrementalAssignment (greedy local repair), |
-//!                       then solve_robust on the active sub-market   |
-//!                       under the batch's deadline budget, adopt     |
-//!                       improvements via reseed                      |
+//!                       then solve_robust on the active sub-market — |
+//!                       all touched shards concurrently via the      |
+//!                       SolvePool, racing the batch's shared         |
+//!                       deadline — and adopt improvements via reseed |
 //!                                                                    v
 //!                              DecisionSink (assignment deltas + stats)
 //! ```
@@ -29,30 +30,53 @@
 //! per shard.
 //!
 //! **Determinism.** Under [`BudgetMode::Deterministic`] every solve runs
-//! unbudgeted, so the decision stream is a pure function of the input
-//! events — replaying a trace twice produces byte-identical decision logs.
-//! [`BudgetMode::Wallclock`] trades that for bounded batch latency:
-//! per-shard deadlines are the batch budget split across touched shards.
+//! unbudgeted, so each shard's result is a pure function of the input
+//! events; the [`SolvePool`] merges results in shard-index order, so the
+//! decision stream is too — replaying a trace twice produces
+//! byte-identical decision logs **at any thread count**.
+//! [`BudgetMode::Wallclock`] trades that for bounded batch latency.
+//!
+//! **Budget policy.** A wall-clock batch budget is *never split* across
+//! the touched shards. Every shard solve gets the same absolute deadline
+//! (batch dispatch start + budget) via
+//! [`EngineConfig::with_deadline_at`]:
+//!
+//! * sequentially (`threads = 1`), a shard that finishes early leaves its
+//!   unused budget to the shards after it — the old `ms / touched.len()`
+//!   split burned that slack, starving late shards even in mostly-idle
+//!   batches;
+//! * concurrently (`threads > 1`), all shards race the same instant, so
+//!   batch latency is bounded by the budget while each shard may use up
+//!   to *all* of it.
+//!
+//! The cost is ordering sensitivity in sequential wall-clock mode: a slow
+//! early shard can eat the budget that previously was reserved for its
+//! successors, degrading them to the greedy floor. That is the intended
+//! trade — budget flows to whoever can still use it, and the quality-tier
+//! tallies make the effect observable.
 
 use crate::batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
 use crate::event::{Arrival, ServiceEvent};
+use crate::pool::{ShardJob, SolvePool};
 use crate::queue::{BoundedQueue, DropPolicy, OfferOutcome};
 use crate::report::ServiceReport;
 use crate::shard::{ShardPlan, UNMAPPED};
 use crate::sink::{canonical_order, Action, BatchStats, Decision, DecisionSink};
-use mbta_core::engine::{solve_robust, EngineConfig, QualityTier};
+use mbta_core::engine::{EngineConfig, QualityTier};
 use mbta_core::incremental::IncrementalAssignment;
 use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
 use mbta_matching::Matching;
-use mbta_util::CancelToken;
+use mbta_util::{CancelToken, Deadline};
 use std::time::Instant;
 
 /// How solve budgets are assigned per batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BudgetMode {
     /// Each batch gets this many wall-clock milliseconds of solve budget,
-    /// split evenly across its touched shards (minimum 1 ms each). Bounded
-    /// latency, non-deterministic quality tiers.
+    /// shared by its touched shards as one absolute deadline: unused
+    /// budget carries forward sequentially, and concurrent shards race the
+    /// same instant (see the module docs' budget policy). Bounded latency,
+    /// non-deterministic quality tiers.
     Wallclock(u64),
     /// No deadlines: every solve runs the full chain to the exact tier.
     /// Deterministic decisions; latency bounded only by instance size.
@@ -70,6 +94,9 @@ pub struct ServiceConfig {
     pub drop_policy: DropPolicy,
     /// Solve budget mode.
     pub budget: BudgetMode,
+    /// Solver threads for touched-shard solves; `0` = available
+    /// parallelism, `1` = the exact sequential dispatch path.
+    pub threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -79,15 +106,48 @@ impl Default for ServiceConfig {
             queue_cap: 4096,
             drop_policy: DropPolicy::Defer,
             budget: BudgetMode::Wallclock(50),
+            threads: 0,
         }
     }
 }
 
 /// The event-driven dispatch service. See the module docs.
+///
+/// The driving loop is `offer` → `pump` → `finish`; under the `Defer`
+/// overload policy, a deferred offer means "pump batches, then retry":
+///
+/// ```
+/// use mbta_graph::random::from_edges;
+/// use mbta_service::{
+///     Arrival, DispatchService, NullSink, OfferOutcome, Routing, ServiceConfig, ServiceEvent,
+///     ShardPlan,
+/// };
+///
+/// let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5)]);
+/// let weights = vec![0.9, 0.5];
+/// let plan = ShardPlan::build(&g, &weights, 2, Routing::HashId);
+/// let mut svc = DispatchService::new(&g, &plan, ServiceConfig::default());
+/// let mut sink = NullSink;
+///
+/// for (time, event) in [
+///     (0.0, ServiceEvent::WorkerJoin(0)),
+///     (0.5, ServiceEvent::TaskPost(0)),
+/// ] {
+///     let arrival = Arrival { time, event };
+///     while let OfferOutcome::Deferred = svc.offer(arrival) {
+///         svc.pump(&mut sink);
+///     }
+///     svc.pump(&mut sink);
+/// }
+/// let report = svc.finish(&mut sink);
+/// assert_eq!(report.capacity_violations, 0);
+/// assert_eq!(report.events_processed, 2);
+/// ```
 pub struct DispatchService<'p> {
     universe: &'p BipartiteGraph,
     plan: &'p ShardPlan,
     budget: BudgetMode,
+    pool: SolvePool,
     states: Vec<IncrementalAssignment<'p>>,
     queue: BoundedQueue,
     batcher: Batcher,
@@ -106,6 +166,7 @@ pub struct DispatchService<'p> {
     tier_tally: [u64; 3],
     degraded_by_shard: Vec<u64>,
     decisions_out: u64,
+    steals: u64,
     /// Set by a `Deferred` offer, cleared by the next admitted one: the
     /// admitted offer is then a defer-retry success, which used to go
     /// uncounted.
@@ -154,6 +215,7 @@ impl<'p> DispatchService<'p> {
             universe,
             plan,
             budget: cfg.budget,
+            pool: SolvePool::new(cfg.threads),
             states,
             queue: BoundedQueue::new(cfg.queue_cap, cfg.drop_policy),
             batcher: Batcher::new(cfg.batch),
@@ -169,6 +231,7 @@ impl<'p> DispatchService<'p> {
             tier_tally: [0; 3],
             degraded_by_shard: vec![0; n],
             decisions_out: 0,
+            steals: 0,
             defer_pending: false,
             defer_retry_ok: 0,
             reseeds: 0,
@@ -345,31 +408,54 @@ impl<'p> DispatchService<'p> {
             }
         }
 
-        // Pass 3: re-solve each touched shard's active sub-market.
-        let per_shard_ms = match self.budget {
-            BudgetMode::Wallclock(ms) => Some((ms / touched.len().max(1) as u64).max(1)),
+        // Pass 3: re-solve each touched shard's active sub-market via the
+        // worker pool. The batch budget is *shared*: one absolute deadline
+        // for every shard solve (see the module docs' budget policy), so
+        // sequential runs carry unused budget forward and concurrent runs
+        // race the same instant.
+        let batch_deadline = match self.budget {
+            BudgetMode::Wallclock(ms) => Some(Deadline::after_ms(ms)),
             BudgetMode::Deterministic => None,
         };
         let solve_start = Instant::now();
-        let mut degraded_shards = 0usize;
-        let mut worst_tier: Option<QualityTier> = None;
+        // Jobs are built in ascending shard order; with `threads = 1` the
+        // pool runs them inline in exactly this order (the sequential
+        // dispatch path), otherwise it reorders largest-first internally
+        // but still merges results back in shard order.
+        let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(touched.len());
         for &s in &touched {
             let g = &self.plan.shards[s].sub.graph;
             if g.n_edges() == 0 || g.n_workers() == 0 || g.n_tasks() == 0 {
                 continue;
             }
-            let weights = self.states[s].active_weights();
             let mut cfg = EngineConfig::new();
-            if let Some(ms) = per_shard_ms {
-                cfg = cfg.with_deadline_ms(ms);
+            if let Some(d) = batch_deadline {
+                cfg = cfg.with_deadline_at(d);
             }
             if self.poisoned[s] {
                 let token = CancelToken::new();
                 token.cancel();
                 cfg = cfg.with_cancel(token);
             }
-            let shard_start = Instant::now();
-            match solve_robust(g, &weights, &cfg) {
+            jobs.push(ShardJob {
+                shard: s,
+                graph: g,
+                weights: self.states[s].active_weights(),
+                config: cfg,
+                est_size: g.n_edges(),
+            });
+        }
+        let solved = self.pool.solve(jobs);
+        self.steals += solved.steals;
+
+        // Merge: outcomes arrive sorted by shard index, so adoption order
+        // (and therefore the decision stream) is independent of which
+        // worker thread finished first.
+        let mut degraded_shards = 0usize;
+        let mut worst_tier: Option<QualityTier> = None;
+        for outcome in solved.outcomes {
+            let s = outcome.shard;
+            match outcome.result {
                 Ok(sol) => {
                     self.solves += 1;
                     self.tier_tally[sol.tier as usize] += 1;
@@ -401,7 +487,7 @@ impl<'p> DispatchService<'p> {
             if mbta_telemetry::enabled() {
                 mbta_telemetry::observe(
                     &format!("mbta_service_shard_solve_ms{{shard=\"{s}\"}}"),
-                    shard_start.elapsed().as_secs_f64() * 1e3,
+                    outcome.solve_ms,
                 );
             }
         }
@@ -546,6 +632,8 @@ impl<'p> DispatchService<'p> {
             final_value,
             final_assignments,
             capacity_violations: violations,
+            pool_threads: self.pool.threads(),
+            steals: self.steals,
         }
     }
 }
@@ -632,6 +720,7 @@ mod tests {
             queue_cap: 4096,
             drop_policy: DropPolicy::Defer,
             budget: BudgetMode::Deterministic,
+            threads: 1,
         }
     }
 
@@ -670,6 +759,40 @@ mod tests {
         assert_eq!(rep_a.batches, rep_b.batches);
         assert_eq!(rep_a.reseeds, rep_b.reseeds);
         assert_eq!(rep_a.final_assignments, rep_b.final_assignments);
+    }
+
+    /// The pool's determinism contract at the service level: a 4-thread
+    /// replay produces the same decision bytes as the sequential path.
+    #[test]
+    fn threaded_replay_matches_sequential() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 17);
+        let run_with = |threads: usize| {
+            let mut cfg = deterministic_cfg();
+            cfg.threads = threads;
+            let mut svc = DispatchService::new(&g, &plan, cfg);
+            let mut sink = WriteSink::new(Vec::new());
+            for &a in &events {
+                while let OfferOutcome::Deferred = svc.offer(a) {
+                    svc.pump(&mut sink);
+                }
+                svc.pump(&mut sink);
+            }
+            let report = svc.finish(&mut sink);
+            (sink.into_inner(), report)
+        };
+        let (log_1, rep_1) = run_with(1);
+        let (log_4, rep_4) = run_with(4);
+        assert!(!log_1.is_empty());
+        assert_eq!(log_1, log_4, "threaded replay diverged from sequential");
+        assert_eq!(rep_1.final_value, rep_4.final_value);
+        assert_eq!(rep_1.reseeds, rep_4.reseeds);
+        assert_eq!(rep_1.capacity_violations, 0);
+        assert_eq!(rep_4.capacity_violations, 0);
+        assert_eq!(rep_1.pool_threads, 1);
+        assert_eq!(rep_4.pool_threads, 4);
+        assert_eq!(rep_1.steals, 0, "sequential path cannot steal");
     }
 
     /// Global service metrics advance by at least this run's report totals

@@ -45,6 +45,23 @@ impl MetricEntry {
 }
 
 /// A sharded collection of named metrics.
+///
+/// Instruments register on first use and hand back cacheable `Arc`
+/// handles; a snapshot is an immutable point-in-time copy that the
+/// exporters render:
+///
+/// ```
+/// use mbta_telemetry::Registry;
+///
+/// let r = Registry::new();
+/// r.counter("mbta_doc_requests_total").add(3);
+/// r.histogram("mbta_doc_latency_ms").observe(1.25);
+///
+/// let snap = r.snapshot();
+/// let text = snap.to_prometheus();
+/// assert!(text.contains("mbta_doc_requests_total 3"));
+/// assert!(text.contains("mbta_doc_latency_ms_count 1"));
+/// ```
 #[derive(Debug, Default)]
 pub struct Registry {
     shards: [Mutex<FxHashMap<String, MetricEntry>>; SHARDS],

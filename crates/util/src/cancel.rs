@@ -165,6 +165,22 @@ impl SolveCtl {
     }
 }
 
+// Thread-safety contract, checked at compile time: budget primitives cross
+// thread boundaries in the service's solve pool. `CancelToken` and
+// `Deadline` are shared between the dispatcher and worker threads
+// (`Send + Sync`); `SolveCtl` amortizes its checks through a non-atomic
+// `Cell`, so a control block is owned by exactly one solving thread
+// (`Send`, deliberately not `Sync`).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<CancelToken>();
+    assert_sync::<CancelToken>();
+    assert_send::<Deadline>();
+    assert_sync::<Deadline>();
+    assert_send::<SolveCtl>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,9 +1,14 @@
-//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads.
+//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads and
+//! MPMC channels.
 //!
 //! The build environment has no access to crates.io; since Rust 1.63,
 //! `std::thread::scope` provides the same structured-concurrency guarantee
 //! crossbeam pioneered, so this shim adapts crossbeam's `scope(|s|
-//! s.spawn(|_| ...))` call shape onto the std primitive.
+//! s.spawn(|_| ...))` call shape onto the std primitive. The [`channel`]
+//! module mirrors `crossbeam::channel::unbounded` (cloneable senders *and*
+//! receivers, disconnect detection) over a mutex-protected deque — correct
+//! and adequate for coarse-grained work distribution, without the
+//! lock-free internals of the real crate.
 //!
 //! Behavioral difference: if a spawned thread panics, `std::thread::scope`
 //! re-raises the panic when the scope unwinds instead of returning `Err`;
@@ -46,6 +51,167 @@ pub mod thread {
 
 pub use thread::scope;
 
+/// Multi-producer multi-consumer channels (mirrors `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half of an unbounded channel. Cloneable; the channel
+    /// disconnects for receivers once every sender is dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable (MPMC): each
+    /// message is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued (senders still connected).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, waking one blocked receiver. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over messages; ends when the channel
+        /// disconnects and drains.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake every blocked receiver so they observe disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap().receivers -= 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -62,5 +228,56 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total.into_inner(), 18);
+    }
+
+    #[test]
+    fn channel_fans_out_each_message_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let delivered = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let delivered = &delivered;
+                s.spawn(move |_| {
+                    while rx.recv().is_ok() {
+                        delivered.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+        })
+        .unwrap();
+        assert_eq!(delivered.into_inner(), 100);
+    }
+
+    #[test]
+    fn channel_disconnect_is_observable() {
+        use super::channel::{unbounded, RecvError, TryRecvError};
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn channel_iter_drains_until_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 }
