@@ -7,7 +7,7 @@ use mbta_core::online::ArrivalOrder;
 use mbta_market::Combiner;
 use mbta_matching::mcmf::PathAlgo;
 use mbta_matching::online::OnlinePolicy;
-use mbta_service::{DropPolicy, Routing};
+use mbta_service::{DropPolicy, FsyncPolicy, Routing};
 use mbta_workload::Profile;
 use std::fmt;
 use std::path::PathBuf;
@@ -31,7 +31,10 @@ usage:
               [--routing <hash|range>] [--budget-ms N] [--drift F]
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
               [--metrics-out FILE] [--metrics-every N]
+              [--wal-dir DIR] [--snapshot-every N]
+              [--fsync <always|batch|never>]
   mbta replay --trace FILE [serve flags; deterministic budgets]
+  mbta recover --trace FILE --wal-dir DIR
   mbta sweep FILE [--steps N]
   mbta maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
   mbta budget FILE --limit B [--combiner C] [--iters N]
@@ -92,6 +95,14 @@ pub struct ServeOpts {
     /// With `--metrics-out`: overwrite the snapshot file with an interval
     /// delta every N batches (a scrape target, not a log).
     pub metrics_every: Option<u64>,
+    /// Journal every batch to a write-ahead log in this directory (must
+    /// be empty or nonexistent; `mbta recover` reads it back).
+    pub wal_dir: Option<PathBuf>,
+    /// With `--wal-dir`: write a full-state snapshot every N batches
+    /// (`0` = only the final seal).
+    pub snapshot_every: u64,
+    /// With `--wal-dir`: fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
 }
 
 /// A parsed command.
@@ -221,6 +232,15 @@ pub enum Command {
     /// Deterministically replay a trace (unbudgeted solves, byte-identical
     /// decision logs across runs).
     Replay(ServeOpts),
+    /// Rebuild assignment state from a WAL directory (latest snapshot +
+    /// log-tail replay) and verify it against the trace's universe.
+    Recover {
+        /// Trace the crashed run was serving (rebuilds the universe the
+        /// recovered state is validated against).
+        trace: PathBuf,
+        /// WAL directory of the crashed run.
+        wal_dir: PathBuf,
+    },
     /// Enumerate the k best assignments (Murty).
     TopK {
         /// Instance path.
@@ -361,6 +381,11 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     let mut decisions = None;
     let mut metrics_out = None;
     let mut metrics_every = None;
+    let mut wal_dir = None;
+    let mut snapshot_every = 64u64;
+    let mut snapshot_every_set = false;
+    let mut fsync = FsyncPolicy::Batch;
+    let mut fsync_set = false;
     while let Some(flag) = cur.next() {
         match flag {
             "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
@@ -428,6 +453,20 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
                 }
                 metrics_every = Some(n);
             }
+            "--wal-dir" => wal_dir = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--snapshot-every" => {
+                snapshot_every = parse_num(flag, cur.value_for(flag)?)?;
+                snapshot_every_set = true;
+            }
+            "--fsync" => {
+                let v = cur.value_for(flag)?;
+                fsync = FsyncPolicy::parse(v).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown fsync policy '{v}' (try always|batch|never)"
+                    ))
+                })?;
+                fsync_set = true;
+            }
             _ => return err(format!("unknown flag for {cmd}: '{flag}'")),
         }
     }
@@ -441,6 +480,9 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     }
     if metrics_every.is_some() && metrics_out.is_none() {
         return err("--metrics-every needs --metrics-out");
+    }
+    if wal_dir.is_none() && (snapshot_every_set || fsync_set) {
+        return err("--snapshot-every / --fsync need --wal-dir");
     }
     Ok(ServeOpts {
         trace,
@@ -459,6 +501,9 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         decisions,
         metrics_out,
         metrics_every,
+        wal_dir,
+        snapshot_every,
+        fsync,
     })
 }
 
@@ -634,6 +679,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "serve" => Ok(Command::Serve(parse_serve_opts(&mut cur, "serve")?)),
         "replay" => Ok(Command::Replay(parse_serve_opts(&mut cur, "replay")?)),
+        "recover" => {
+            let mut trace = None;
+            let mut wal_dir = None;
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
+                    "--wal-dir" => wal_dir = Some(PathBuf::from(cur.value_for(flag)?)),
+                    _ => return err(format!("unknown flag for recover: '{flag}'")),
+                }
+            }
+            let Some(trace) = trace else {
+                return err("recover requires --trace");
+            };
+            let Some(wal_dir) = wal_dir else {
+                return err("recover requires --wal-dir");
+            };
+            Ok(Command::Recover { trace, wal_dir })
+        }
         "sweep" => {
             let Some(file) = cur.next() else {
                 return err("sweep requires a file");
@@ -1037,6 +1100,83 @@ mod tests {
             "m.prom",
             "--metrics-every",
             "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        match parse(&sv(&[
+            "serve",
+            "--trace",
+            "t.trace",
+            "--wal-dir",
+            "/tmp/wal",
+            "--snapshot-every",
+            "16",
+            "--fsync",
+            "always",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert_eq!(o.wal_dir, Some(PathBuf::from("/tmp/wal")));
+                assert_eq!(o.snapshot_every, 16);
+                assert_eq!(o.fsync, FsyncPolicy::Always);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: no WAL, batch fsync, snapshot every 64 batches.
+        match parse(&sv(&["serve", "--trace", "t.trace"])).unwrap() {
+            Command::Serve(o) => {
+                assert_eq!(o.wal_dir, None);
+                assert_eq!(o.snapshot_every, 64);
+                assert_eq!(o.fsync, FsyncPolicy::Batch);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Durability tuning knobs require the WAL itself.
+        assert!(parse(&sv(&["serve", "--trace", "t", "--fsync", "never"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--snapshot-every", "8"])).is_err());
+        // And the fsync policy must be a known one.
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--wal-dir",
+            "/tmp/w",
+            "--fsync",
+            "sometimes"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_recover() {
+        match parse(&sv(&[
+            "recover",
+            "--trace",
+            "t.trace",
+            "--wal-dir",
+            "/tmp/wal",
+        ]))
+        .unwrap()
+        {
+            Command::Recover { trace, wal_dir } => {
+                assert_eq!(trace, PathBuf::from("t.trace"));
+                assert_eq!(wal_dir, PathBuf::from("/tmp/wal"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["recover", "--trace", "t"])).is_err());
+        assert!(parse(&sv(&["recover", "--wal-dir", "/tmp/wal"])).is_err());
+        assert!(parse(&sv(&[
+            "recover",
+            "--trace",
+            "t",
+            "--wal-dir",
+            "w",
+            "--bogus"
         ]))
         .is_err());
     }

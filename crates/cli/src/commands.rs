@@ -16,8 +16,9 @@ use mbta_market::benefit::edge_weights;
 use mbta_market::{BenefitParams, Combiner};
 use mbta_matching::kbest::k_best_bmatchings;
 use mbta_service::{
-    Arrival, BatchConfig, BatchStats, BenefitDrift, BudgetMode, Decision, DecisionSink,
-    DispatchService, NullSink, OfferOutcome, ServiceConfig, ServiceReport, ShardPlan, WriteSink,
+    recover, Arrival, BatchConfig, BatchStats, BenefitDrift, BudgetMode, Decision, DecisionSink,
+    DispatchService, DurableStore, NullSink, OfferOutcome, RecoveredState, ServiceConfig,
+    ServiceReport, ShardPlan, StoreConfig, WriteSink,
 };
 use mbta_telemetry::{MetricValue, RegistryDiff, Snapshot};
 use mbta_util::table::{fnum, Table};
@@ -368,6 +369,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         }
         Command::Serve(opts) => run_service(&opts, false),
         Command::Replay(opts) => run_service(&opts, true),
+        Command::Recover { trace, wal_dir } => run_recover(&trace, &wal_dir),
         Command::Sweep { file, steps } => {
             let g = load(&file)?;
             let lambdas: Vec<f64> = (0..steps).map(|i| i as f64 / (steps - 1) as f64).collect();
@@ -587,6 +589,27 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
     if let Some(s) = opts.poison_shard {
         svc.poison_shard(s);
     }
+    if let Some(dir) = &opts.wal_dir {
+        let store_cfg = StoreConfig {
+            fsync: opts.fsync,
+            snapshot_every: opts.snapshot_every,
+            ..StoreConfig::default()
+        };
+        let (store, recovered) = DurableStore::open(dir, store_cfg)
+            .map_err(|e| format!("cannot open WAL dir {}: {e}", dir.display()))?;
+        if recovered.watermark != 0 {
+            // Resuming a half-served trace would double-apply its prefix;
+            // the journal is for post-mortem recovery, not continuation.
+            return Err(format!(
+                "WAL dir {} already holds {} committed batches; \
+                 inspect it with `mbta recover` or point --wal-dir at a fresh directory",
+                dir.display(),
+                recovered.watermark
+            )
+            .into());
+        }
+        svc.attach_store(store);
+    }
 
     let base = tf.events.iter().copied().map(Arrival::from_trace);
     let events: Vec<Arrival> = if opts.drift > 0.0 {
@@ -645,6 +668,100 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         }
     }
     Ok(())
+}
+
+/// `mbta recover`: rebuild assignment state from a WAL directory (latest
+/// valid snapshot + log-tail replay) and validate it against the trace's
+/// universe graph. Exits non-zero on any capacity violation — the durable
+/// state must be safe to act on, not merely parseable.
+fn run_recover(trace: &Path, wal_dir: &Path) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(trace)
+        .map_err(|e| format!("cannot read trace {}: {e}", trace.display()))?;
+    let tf = TraceFile::parse(&text)?;
+    let g = tf.spec.generate().realize(&BenefitParams::default())?;
+
+    let start = Instant::now();
+    let state =
+        recover(wal_dir).map_err(|e| format!("cannot recover from {}: {e}", wal_dir.display()))?;
+    let elapsed = start.elapsed();
+    let violations = recovered_capacity_violations(&g, &state);
+
+    let mut t = Table::new(
+        format!("recover: {}", wal_dir.display()),
+        &["metric", "value"],
+    );
+    let rows: Vec<(&str, String)> = vec![
+        ("batch watermark", state.watermark.to_string()),
+        (
+            "snapshot base",
+            state
+                .snapshot_watermark
+                .map_or_else(|| "none (pure WAL replay)".into(), |w| w.to_string()),
+        ),
+        ("wal records replayed", state.records_replayed.to_string()),
+        ("torn bytes dropped", state.truncated_bytes.to_string()),
+        ("shards", state.shards.len().to_string()),
+        ("assignments", state.assignments().to_string()),
+        ("total weight", fnum(state.total_weight(), 4)),
+        ("capacity violations", violations.to_string()),
+        ("recovery time", format!("{elapsed:.2?}")),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    print!("{}", t.render());
+    // Stable one-line summary (the CI crash-recovery smoke greps it).
+    println!(
+        "recover: watermark {}, {} assignments, total weight {}, \
+         {} capacity violations, {} bytes truncated",
+        state.watermark,
+        state.assignments(),
+        fnum(state.total_weight(), 4),
+        violations,
+        state.truncated_bytes
+    );
+    if violations > 0 {
+        return Err(format!(
+            "recovered state violates {violations} capacities against {}",
+            trace.display()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Counts capacity violations of a recovered state against the universe
+/// graph: out-of-range edges, edges assigned in two shards, workers over
+/// capacity, tasks over demand.
+fn recovered_capacity_violations(g: &BipartiteGraph, state: &RecoveredState) -> usize {
+    let mut seen = vec![false; g.n_edges()];
+    let mut w_load = vec![0u32; g.n_workers()];
+    let mut t_load = vec![0u32; g.n_tasks()];
+    let mut violations = 0usize;
+    for shard in &state.shards {
+        for &e in shard {
+            let Some(slot) = seen.get_mut(e as usize) else {
+                violations += 1; // edge outside the trace's universe
+                continue;
+            };
+            if std::mem::replace(slot, true) {
+                violations += 1; // same edge assigned in two shards
+                continue;
+            }
+            let edge = mbta_graph::EdgeId::new(e);
+            w_load[g.worker_of(edge).index()] += 1;
+            t_load[g.task_of(edge).index()] += 1;
+        }
+    }
+    violations += g
+        .workers()
+        .filter(|&w| w_load[w.index()] > g.capacity(w))
+        .count();
+    violations += g
+        .tasks()
+        .filter(|&t| t_load[t.index()] > g.demand(t))
+        .count();
+    violations
 }
 
 fn load(path: &Path) -> Result<BipartiteGraph, Box<dyn Error>> {
@@ -760,7 +877,75 @@ mod tests {
             decisions,
             metrics_out: None,
             metrics_every: None,
+            wal_dir: None,
+            snapshot_every: 64,
+            fsync: mbta_service::FsyncPolicy::Batch,
         }
+    }
+
+    #[test]
+    fn serve_with_wal_then_recover_matches() {
+        let trace = tmp("walserve.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 50,
+            tasks: 30,
+            degree: 4.0,
+            dims: 4,
+            seed: 29,
+            horizon: 30.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let dir = tmp("walserve.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = small_serve_opts(trace.clone(), None);
+        opts.wal_dir = Some(dir.clone());
+        opts.snapshot_every = 8;
+        opts.fsync = mbta_service::FsyncPolicy::Never;
+        run(Command::Replay(opts.clone())).unwrap();
+
+        // The sealed run recovers cleanly and validates against the trace.
+        run(Command::Recover {
+            trace: trace.clone(),
+            wal_dir: dir.clone(),
+        })
+        .unwrap();
+
+        // Re-serving into the same (non-empty) WAL dir must refuse — the
+        // journal is post-mortem state, not a resume point.
+        let r = run(Command::Replay(opts));
+        assert!(r.is_err(), "non-empty WAL dir must be rejected");
+        let msg = r.unwrap_err().to_string();
+        assert!(msg.contains("already holds"), "unexpected error: {msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn recover_without_wal_dir_errors() {
+        let trace = tmp("norecover.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 20,
+            tasks: 10,
+            degree: 3.0,
+            dims: 2,
+            seed: 5,
+            horizon: 10.0,
+            repeats: 1,
+            out: trace.clone(),
+        })
+        .unwrap();
+        let r = run(Command::Recover {
+            trace: trace.clone(),
+            wal_dir: PathBuf::from("/nonexistent/mbta-wal-dir"),
+        });
+        assert!(r.is_err());
+        let _ = std::fs::remove_file(trace);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! mbta gen-trace --workers 800 --tasks 500 --out smoke.trace
 //! mbta serve --trace smoke.trace --shards 4 # streaming dispatch service
 //! mbta replay --trace smoke.trace           # deterministic decision log
+//! mbta serve --trace smoke.trace --wal-dir wal/   # journal every batch
+//! mbta recover --trace smoke.trace --wal-dir wal/ # rebuild after a crash
 //! ```
 //!
 //! Instances travel in the compact binary format of `mbta_graph::serial`,

@@ -30,6 +30,11 @@
 //! * [`report`] — end-of-run telemetry: throughput, batch-latency
 //!   percentiles, tier tallies, and the capacity-violation count (always
 //!   zero unless the shard invariant is broken).
+//! * durability — attach an `mbta-store` [`DurableStore`] via
+//!   [`service::DispatchService::attach_store`] and every batch is
+//!   journaled (WAL) before its decisions reach the sink, with periodic
+//!   full-state snapshots; `mbta_store::recover` rebuilds the state after
+//!   a crash. See DESIGN.md §11.
 //!
 //! See DESIGN.md §"Streaming dispatch service" for the architecture
 //! discussion and the CLI's `serve` / `replay` commands for the wiring.
@@ -54,3 +59,8 @@ pub use report::ServiceReport;
 pub use service::{BudgetMode, DispatchService, ServiceConfig};
 pub use shard::{Routing, ShardPlan};
 pub use sink::{Action, BatchStats, CollectSink, Decision, DecisionSink, NullSink, WriteSink};
+
+// Durability wiring surface, re-exported so callers that attach a store
+// need not name `mbta-store` directly.
+pub use mbta_store::store::{recover, DurableStore, RecoveredState, StoreConfig};
+pub use mbta_store::wal::FsyncPolicy;

@@ -204,6 +204,46 @@ mod tests {
     }
 
     #[test]
+    fn defer_with_zero_retry_budget_loses_nothing() {
+        // Policy edge: a producer with no retry budget gives up after the
+        // first Deferred instead of pumping. However many times that
+        // happens, Defer must stay lossless — the queued events are
+        // untouched and every bounce is counted, so the report can show
+        // overload even when the producer walked away.
+        let mut q = BoundedQueue::new(2, DropPolicy::Defer);
+        assert_eq!(q.offer(ev(0)), OfferOutcome::Accepted);
+        assert_eq!(q.offer(ev(1)), OfferOutcome::Accepted);
+        for i in 2..7 {
+            assert_eq!(q.offer(ev(i)), OfferOutcome::Deferred);
+        }
+        assert_eq!(q.deferrals(), 5);
+        assert_eq!(q.dropped_newest() + q.dropped_oldest(), 0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_watermark(), 2);
+        // The original admissions are intact and in FIFO order.
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(0));
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drop_oldest_when_oldest_is_the_only_entry() {
+        // Policy edge: cap 1, so "the oldest" and "the only" entry are the
+        // same event. The offer must still be admitted (never deferred or
+        // bounced), each displacement counted, and the survivor is always
+        // the newest offer.
+        let mut q = BoundedQueue::new(1, DropPolicy::DropOldest);
+        assert_eq!(q.offer(ev(0)), OfferOutcome::Accepted);
+        assert_eq!(q.offer(ev(1)), OfferOutcome::DroppedOldest);
+        assert_eq!(q.offer(ev(2)), OfferOutcome::DroppedOldest);
+        assert_eq!(q.dropped_oldest(), 2);
+        assert_eq!(q.len(), 1, "displacement must not change the depth");
+        assert_eq!(q.high_watermark(), 1);
+        assert_eq!(q.pop().unwrap().event, ServiceEvent::TaskPost(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn high_watermark_tracks_peak_depth() {
         let mut q = BoundedQueue::new(8, DropPolicy::DropNewest);
         for i in 0..5 {

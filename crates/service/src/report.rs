@@ -93,6 +93,17 @@ pub struct ServiceReport {
     /// Shard jobs a pool worker took from a sibling's deque; always zero
     /// with one thread, and a load-imbalance signal otherwise.
     pub steals: u64,
+
+    /// Batch records journaled to the WAL (0 when no store is attached).
+    pub wal_records: u64,
+    /// Frame bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Snapshots written (periodic + the final seal).
+    pub snapshots: u64,
+    /// First store I/O error, if journaling failed mid-run. The durable
+    /// prefix on disk is still valid; everything after the error exists
+    /// only in this process's memory.
+    pub store_error: Option<String>,
 }
 
 impl ServiceReport {
@@ -185,13 +196,29 @@ impl ServiceReport {
             self.capacity_violations.to_string(),
         ]);
 
-        format!(
+        let mut out = format!(
             "{}\n{}\n{}\n{}",
             ingress.render(),
             batches.render(),
             perf.render(),
             fin.render()
-        )
+        );
+
+        if self.wal_records > 0 || self.snapshots > 0 || self.store_error.is_some() {
+            let mut dur = Table::new(
+                "service: durability",
+                &["wal records", "wal bytes", "snapshots", "store error"],
+            );
+            dur.row(vec![
+                self.wal_records.to_string(),
+                self.wal_bytes.to_string(),
+                self.snapshots.to_string(),
+                self.store_error.clone().unwrap_or_else(|| "none".into()),
+            ]);
+            out.push('\n');
+            out.push_str(&dur.render());
+        }
+        out
     }
 }
 
@@ -236,9 +263,15 @@ mod tests {
             capacity_violations: 0,
             pool_threads: 4,
             steals: 3,
+            wal_records: 7,
+            wal_bytes: 1024,
+            snapshots: 2,
+            store_error: None,
         };
         let s = r.render();
         assert!(s.contains("capacity violations"));
+        assert!(s.contains("wal records"));
+        assert!(s.contains("snapshots"));
         assert!(s.contains("events/sec"));
         assert!(s.contains("threads"));
         assert!(s.contains("steals"));

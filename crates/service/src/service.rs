@@ -66,6 +66,9 @@ use mbta_core::engine::{EngineConfig, QualityTier};
 use mbta_core::incremental::IncrementalAssignment;
 use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
 use mbta_matching::Matching;
+use mbta_store::record::{BatchRecord, DecisionRecord, WeightDelta};
+use mbta_store::snapshot::SnapshotState;
+use mbta_store::store::DurableStore;
 use mbta_util::{CancelToken, Deadline};
 use std::time::Instant;
 
@@ -155,6 +158,14 @@ pub struct DispatchService<'p> {
     /// Universe-indexed live weights (benefit updates land here too, so
     /// decisions can report the weight in parent terms).
     live_weights: Vec<f64>,
+    /// Optional durability: when attached, every batch is journaled to
+    /// the WAL *before* its decisions reach the sink, and full-state
+    /// snapshots are written on the store's cadence.
+    store: Option<DurableStore>,
+    /// First store I/O error, if any. Journaling stops at the first
+    /// failure (the durable prefix stays valid); the service keeps
+    /// dispatching and the report carries the error.
+    store_error: Option<std::io::Error>,
 
     seq: u64,
     events_in: u64,
@@ -221,6 +232,8 @@ impl<'p> DispatchService<'p> {
             batcher: Batcher::new(cfg.batch),
             poisoned: vec![false; n],
             live_weights,
+            store: None,
+            store_error: None,
             seq: 0,
             events_in: 0,
             events_processed: 0,
@@ -238,6 +251,71 @@ impl<'p> DispatchService<'p> {
             solve_lat: mbta_telemetry::Histogram::new(),
             started: Instant::now(),
         }
+    }
+
+    /// Attaches a durability store: from the next batch on, every commit
+    /// is journaled to the WAL before its decisions reach the sink, and
+    /// snapshots are written on the store's cadence. The store must be
+    /// fresh (nothing committed): this service starts from an empty
+    /// market, so attaching a store that already holds state would make
+    /// the journal lie about what the decisions were applied to. Use
+    /// `mbta_store::recover` to inspect an existing directory instead.
+    pub fn attach_store(&mut self, store: DurableStore) {
+        assert_eq!(
+            store.stats().watermark,
+            0,
+            "cannot attach a store with existing journaled state to a fresh service"
+        );
+        self.store = Some(store);
+    }
+
+    /// Captures the full dispatch state as a snapshot payload: per shard,
+    /// the sorted universe edge ids currently assigned, plus the live
+    /// weight vector.
+    fn snapshot_state(&self, watermark: u64) -> SnapshotState {
+        let shards = self
+            .plan
+            .shards
+            .iter()
+            .zip(&self.states)
+            .map(|(slice, st)| {
+                let mut edges: Vec<u32> = st
+                    .matching()
+                    .edges
+                    .into_iter()
+                    .map(|e| slice.sub.edge_back[e.index()].raw())
+                    .collect();
+                edges.sort_unstable();
+                edges
+            })
+            .collect();
+        SnapshotState {
+            watermark,
+            shards,
+            weights: self.live_weights.clone(),
+        }
+    }
+
+    /// Journals one committed batch (and a snapshot, when due) through
+    /// the attached store. On the first I/O error journaling stops for
+    /// good — the durable prefix on disk stays valid — and the error is
+    /// surfaced in the run report.
+    fn journal(&mut self, rec: BatchRecord) {
+        let Some(mut store) = self.store.take() else {
+            return;
+        };
+        if self.store_error.is_none() {
+            let mut res = store.commit(&rec);
+            if res.is_ok() && store.snapshot_due() {
+                let snap = self.snapshot_state(rec.seq + 1);
+                res = store.snapshot(&snap);
+            }
+            if let Err(e) = res {
+                mbta_telemetry::counter_add("mbta_store_errors_total", 1);
+                self.store_error = Some(e);
+            }
+        }
+        self.store = Some(store);
     }
 
     /// Marks a shard as poisoned: its solves are pre-cancelled and return
@@ -400,9 +478,17 @@ impl<'p> DispatchService<'p> {
         let before: Vec<Matching> = touched.iter().map(|&s| self.states[s].matching()).collect();
 
         // Pass 2: apply churn in arrival order (greedy local repair keeps
-        // every intermediate state feasible).
+        // every intermediate state feasible). With a store attached, the
+        // applied weight updates are collected for the batch's WAL record.
+        let journaling = self.store.is_some();
+        let mut deltas: Vec<WeightDelta> = Vec::new();
         for (a, r) in batch.events.iter().zip(&routes) {
             if let Routed::Shard(s) = *r {
+                if journaling {
+                    if let ServiceEvent::BenefitUpdate { edge, weight } = a.event {
+                        deltas.push(WeightDelta { edge, weight });
+                    }
+                }
                 self.apply(s, &a.event);
                 self.events_processed += 1;
             }
@@ -540,6 +626,29 @@ impl<'p> DispatchService<'p> {
             invalid_events: invalid,
         };
         self.seq += 1;
+        // Write-ahead ordering: the batch is durable before any decision
+        // is released to the outside world.
+        if journaling {
+            let rec = BatchRecord {
+                seq: stats.seq,
+                first_time: batch.events.first().map_or(0.0, |a| a.time),
+                last_time: batch.events.last().map_or(0.0, |a| a.time),
+                events: batch.events.len() as u32,
+                deltas,
+                decisions: decisions
+                    .iter()
+                    .map(|d| DecisionRecord {
+                        shard: d.shard,
+                        edge: d.edge,
+                        assign: matches!(d.action, Action::Assign),
+                        worker: d.worker,
+                        task: d.task,
+                        weight: d.weight,
+                    })
+                    .collect(),
+            };
+            self.journal(rec);
+        }
         sink.on_batch(&stats, &decisions);
     }
 
@@ -549,6 +658,20 @@ impl<'p> DispatchService<'p> {
         self.pump(sink);
         if let Some(closed) = self.batcher.drain() {
             self.dispatch(closed, sink);
+        }
+
+        // Clean shutdown of the durability store: fsync the WAL and write
+        // a final snapshot so recovery replays nothing.
+        let mut store_stats = mbta_store::store::StoreStats::default();
+        if let Some(mut store) = self.store.take() {
+            if self.store_error.is_none() {
+                let snap = self.snapshot_state(self.seq);
+                if let Err(e) = store.seal(&snap) {
+                    mbta_telemetry::counter_add("mbta_store_errors_total", 1);
+                    self.store_error = Some(e);
+                }
+            }
+            store_stats = store.stats();
         }
 
         // Cross-shard reconciliation: the union of per-shard assignments,
@@ -634,6 +757,10 @@ impl<'p> DispatchService<'p> {
             capacity_violations: violations,
             pool_threads: self.pool.threads(),
             steals: self.steals,
+            wal_records: store_stats.wal_records,
+            wal_bytes: store_stats.wal_bytes,
+            snapshots: store_stats.snapshots,
+            store_error: self.store_error.map(|e| e.to_string()),
         }
     }
 }

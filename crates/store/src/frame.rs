@@ -1,0 +1,169 @@
+//! CRC-framed, length-prefixed records: the byte layout both the WAL and
+//! snapshot files are built from.
+//!
+//! ```text
+//! +----------------+----------------+=================+
+//! | len: u32 LE    | crc32: u32 LE  | payload (len B) |
+//! +----------------+----------------+=================+
+//! ```
+//!
+//! `crc32` covers the payload only. A reader walks frames sequentially;
+//! the first frame that fails any check — header cut short, declared
+//! length running past the buffer, length above [`MAX_FRAME`], or CRC
+//! mismatch — marks the **durable end** of the stream. Everything before
+//! it is intact (CRC-verified); everything from it on is a torn or corrupt
+//! tail that recovery truncates. This is what makes a `kill -9` mid-write
+//! lose at most the one record that was in flight.
+
+use crate::crc::crc32;
+
+/// Bytes of frame header (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame's payload. Nothing legitimate comes
+/// close (a batch record is a few KiB, a snapshot a few MiB); a declared
+/// length above this is corruption, not data, and must not drive an
+/// allocation.
+pub const MAX_FRAME: usize = 1 << 28; // 256 MiB
+
+/// Appends one framed payload to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Outcome of reading one frame at `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameRead<'a> {
+    /// A whole, CRC-verified frame; the next frame starts at `next`.
+    Frame {
+        /// The verified payload.
+        payload: &'a [u8],
+        /// Byte offset of the following frame.
+        next: usize,
+    },
+    /// `offset` is exactly the end of the buffer: a clean end of stream.
+    End,
+    /// The bytes at `offset` are not a whole valid frame (torn header,
+    /// truncated payload, oversize length, or CRC mismatch). The stream's
+    /// durable contents end here.
+    Bad {
+        /// Why the frame was rejected.
+        kind: BadFrame,
+    },
+}
+
+/// Why a frame failed to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadFrame {
+    /// Fewer than [`FRAME_HEADER`] bytes remain, or the declared payload
+    /// runs past the end of the buffer — an interrupted append.
+    Torn,
+    /// The declared length exceeds [`MAX_FRAME`], or the CRC does not
+    /// match — bytes were damaged, not merely cut short.
+    Corrupt,
+}
+
+/// Reads the frame starting at `offset` in `buf`.
+pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead<'_> {
+    if offset == buf.len() {
+        return FrameRead::End;
+    }
+    if buf.len() - offset < FRAME_HEADER {
+        return FrameRead::Bad {
+            kind: BadFrame::Torn,
+        };
+    }
+    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return FrameRead::Bad {
+            kind: BadFrame::Corrupt,
+        };
+    }
+    let start = offset + FRAME_HEADER;
+    if buf.len() - start < len {
+        return FrameRead::Bad {
+            kind: BadFrame::Torn,
+        };
+    }
+    let payload = &buf[start..start + len];
+    if crc32(payload) != crc {
+        return FrameRead::Bad {
+            kind: BadFrame::Corrupt,
+        };
+    }
+    FrameRead::Frame {
+        payload,
+        next: start + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_two_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha");
+        write_frame(&mut buf, b"");
+        let FrameRead::Frame { payload, next } = read_frame(&buf, 0) else {
+            panic!("first frame unreadable");
+        };
+        assert_eq!(payload, b"alpha");
+        let FrameRead::Frame { payload, next } = read_frame(&buf, next) else {
+            panic!("empty frame unreadable");
+        };
+        assert_eq!(payload, b"");
+        assert_eq!(read_frame(&buf, next), FrameRead::End);
+    }
+
+    #[test]
+    fn torn_tail_at_every_cut_point() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        let good = buf.len();
+        write_frame(&mut buf, b"second record payload");
+        // Chopping anywhere inside the second frame leaves the first frame
+        // readable and reports the tail as bad, never panicking.
+        for cut in good..buf.len() {
+            let chopped = &buf[..cut];
+            let FrameRead::Frame { next, .. } = read_frame(chopped, 0) else {
+                panic!("prefix frame lost at cut {cut}");
+            };
+            if cut == good {
+                assert_eq!(read_frame(chopped, next), FrameRead::End);
+            } else {
+                assert!(
+                    matches!(read_frame(chopped, next), FrameRead::Bad { .. }),
+                    "cut {cut} not flagged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_and_oversize_len_are_flagged() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload");
+        buf[FRAME_HEADER] ^= 0x40; // flip a payload bit
+        assert_eq!(
+            read_frame(&buf, 0),
+            FrameRead::Bad {
+                kind: BadFrame::Corrupt
+            }
+        );
+
+        let mut huge = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; 12]);
+        assert_eq!(
+            read_frame(&huge, 0),
+            FrameRead::Bad {
+                kind: BadFrame::Corrupt
+            }
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! `mbta-store`: durable dispatch state for the streaming service.
+//!
+//! The dispatch service's state — sharded incremental assignments, live
+//! edge weights, the batch watermark — lives in memory; this crate makes
+//! it survive process death. Assignments already announced to workers and
+//! requesters are *commitments* (the win-win/no-rejection setting of the
+//! source paper), so recovery must restore exactly the matching that was
+//! emitted, not re-decide it. The design is the classic checkpoint +
+//! journal pair, with zero external dependencies:
+//!
+//! * [`wal`] — an append-only **write-ahead log** of CRC32-framed,
+//!   length-prefixed records, one [`record::BatchRecord`] per committed
+//!   batch (event range, applied weight deltas, emitted decisions).
+//!   Segmented files, configurable [`wal::FsyncPolicy`]
+//!   (`always`/`batch`/`never`).
+//! * [`snapshot`] — periodic **snapshots** of the full sharded assignment
+//!   state ([`snapshot::SnapshotState`]), written atomically
+//!   (tmp + rename) so a crash mid-snapshot can never shadow a good one.
+//! * [`store`] — [`store::DurableStore`] glues them together: journal a
+//!   batch *before* its decisions reach the sink, snapshot every N
+//!   batches, compact WAL segments older than the newest snapshot.
+//! * **Recovery** ([`store::recover`]) = load the latest *valid* snapshot,
+//!   then replay the WAL tail. Torn or corrupt tail frames are tolerated by
+//!   truncating at the first bad frame — only the incomplete suffix is
+//!   lost, never a committed prefix.
+//!
+//! Everything on disk is little-endian and versioned; [`frame`] holds the
+//! shared `[len | crc32 | payload]` framing and [`record`]/[`snapshot`]
+//! the payload codecs. See DESIGN.md §11 for format diagrams, recovery
+//! invariants, and the fsync trade-off table.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod codec;
+pub mod crc;
+pub mod frame;
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crc::crc32;
+pub use frame::{read_frame, write_frame, FrameRead};
+pub use record::{BatchRecord, DecisionRecord, DecodeError, WeightDelta};
+pub use snapshot::SnapshotState;
+pub use store::{recover, DurableStore, RecoveredState, StoreConfig, StoreStats};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalReplay};

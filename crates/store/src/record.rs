@@ -1,0 +1,239 @@
+//! The WAL payload: one [`BatchRecord`] per committed dispatch batch.
+//!
+//! A record is everything needed to roll the sharded assignment state
+//! forward by one batch, starting from any state that reflects the
+//! batches before it: the weight updates the batch applied and the
+//! assignment deltas it emitted. Event-range metadata (`first_time` /
+//! `last_time` / `events`) ties the record back to the input trace for
+//! auditing; it is not needed to replay state.
+//!
+//! Payload layout (all little-endian, `f64` as raw bits):
+//!
+//! ```text
+//! u8  kind (1 = batch record)
+//! u64 seq                    — 0-based batch sequence number
+//! f64 first_time, f64 last_time
+//! u32 events                 — events in the batch (incl. invalid ones)
+//! u32 n_deltas,    n × { u32 edge, f64 weight }
+//! u32 n_decisions, n × { u32 shard, u32 edge, u8 assign,
+//!                        u32 worker, u32 task, f64 weight }
+//! ```
+
+use crate::codec::{put_f64, put_u32, put_u64, put_u8, Reader};
+use std::fmt;
+
+/// Payload kind tag for a batch record.
+pub const KIND_BATCH: u8 = 1;
+
+/// A benefit-weight update applied during the batch, in universe edge ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightDelta {
+    /// Universe edge id.
+    pub edge: u32,
+    /// The new live weight.
+    pub weight: f64,
+}
+
+/// One emitted assignment delta, mirroring the service's decision struct
+/// (this crate sits below the service, so it carries its own copy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// Shard that made the change.
+    pub shard: u32,
+    /// Universe edge id.
+    pub edge: u32,
+    /// `true` = the edge entered the assignment, `false` = it left.
+    pub assign: bool,
+    /// Universe worker id.
+    pub worker: u32,
+    /// Universe task id.
+    pub task: u32,
+    /// Edge weight at decision time.
+    pub weight: f64,
+}
+
+/// Everything journaled for one committed batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// 0-based batch sequence number; WAL records are strictly ascending.
+    pub seq: u64,
+    /// Arrival time of the batch's first event (0 when empty).
+    pub first_time: f64,
+    /// Arrival time of the batch's last event (0 when empty).
+    pub last_time: f64,
+    /// Events the batch contained.
+    pub events: u32,
+    /// Weight updates applied, in application order.
+    pub deltas: Vec<WeightDelta>,
+    /// Assignment deltas emitted, in canonical log order.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the format said it would.
+    Truncated,
+    /// The payload's kind tag is not one this version understands.
+    BadKind(u8),
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::BadKind(k) => write!(f, "unknown payload kind {k}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl BatchRecord {
+    /// Encodes the record into its WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(37 + 12 * self.deltas.len() + 25 * self.decisions.len());
+        put_u8(&mut out, KIND_BATCH);
+        put_u64(&mut out, self.seq);
+        put_f64(&mut out, self.first_time);
+        put_f64(&mut out, self.last_time);
+        put_u32(&mut out, self.events);
+        put_u32(&mut out, self.deltas.len() as u32);
+        for d in &self.deltas {
+            put_u32(&mut out, d.edge);
+            put_f64(&mut out, d.weight);
+        }
+        put_u32(&mut out, self.decisions.len() as u32);
+        for d in &self.decisions {
+            put_u32(&mut out, d.shard);
+            put_u32(&mut out, d.edge);
+            put_u8(&mut out, d.assign as u8);
+            put_u32(&mut out, d.worker);
+            put_u32(&mut out, d.task);
+            put_f64(&mut out, d.weight);
+        }
+        out
+    }
+
+    /// Decodes a WAL payload. `f64` fields round-trip bit-for-bit.
+    pub fn decode(payload: &[u8]) -> Result<BatchRecord, DecodeError> {
+        let mut r = Reader::new(payload);
+        let kind = r.u8()?;
+        if kind != KIND_BATCH {
+            return Err(DecodeError::BadKind(kind));
+        }
+        let seq = r.u64()?;
+        let first_time = r.f64()?;
+        let last_time = r.f64()?;
+        let events = r.u32()?;
+        let n_deltas = r.len_prefix(12)?;
+        let mut deltas = Vec::with_capacity(n_deltas);
+        for _ in 0..n_deltas {
+            deltas.push(WeightDelta {
+                edge: r.u32()?,
+                weight: r.f64()?,
+            });
+        }
+        let n_decisions = r.len_prefix(25)?;
+        let mut decisions = Vec::with_capacity(n_decisions);
+        for _ in 0..n_decisions {
+            decisions.push(DecisionRecord {
+                shard: r.u32()?,
+                edge: r.u32()?,
+                assign: r.u8()? != 0,
+                worker: r.u32()?,
+                task: r.u32()?,
+                weight: r.f64()?,
+            });
+        }
+        r.finish()?;
+        Ok(BatchRecord {
+            seq,
+            first_time,
+            last_time,
+            events,
+            deltas,
+            decisions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(seq: u64) -> BatchRecord {
+        BatchRecord {
+            seq,
+            first_time: 0.25 * seq as f64,
+            last_time: 0.25 * seq as f64 + 0.1,
+            events: 3,
+            deltas: vec![
+                WeightDelta {
+                    edge: 7,
+                    weight: 0.5,
+                },
+                WeightDelta {
+                    edge: 11,
+                    weight: f64::MIN_POSITIVE,
+                },
+            ],
+            decisions: vec![DecisionRecord {
+                shard: 1,
+                edge: 7,
+                assign: true,
+                worker: 3,
+                task: 9,
+                weight: 0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_identity() {
+        let rec = sample(42);
+        let back = BatchRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let rec = BatchRecord {
+            seq: 0,
+            first_time: 0.0,
+            last_time: 0.0,
+            events: 0,
+            deltas: vec![],
+            decisions: vec![],
+        };
+        assert_eq!(BatchRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let good = sample(1).encode();
+        // Every strict prefix is Truncated (or TrailingBytes never — the
+        // cut always shortens).
+        for cut in 0..good.len() {
+            assert!(
+                BatchRecord::decode(&good[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        // Trailing garbage.
+        let mut extra = good.clone();
+        extra.push(0);
+        assert_eq!(BatchRecord::decode(&extra), Err(DecodeError::TrailingBytes));
+        // Wrong kind tag.
+        let mut bad = good.clone();
+        bad[0] = 0xEE;
+        assert_eq!(BatchRecord::decode(&bad), Err(DecodeError::BadKind(0xEE)));
+        // A corrupt delta count must not allocate or panic.
+        let mut huge = good;
+        huge[29..33].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(BatchRecord::decode(&huge), Err(DecodeError::Truncated));
+    }
+}

@@ -1,0 +1,514 @@
+//! [`DurableStore`]: the snapshot + WAL pair behind the dispatch service,
+//! and [`recover`], the read-only path that rebuilds state from disk.
+//!
+//! The contract with the service is write-ahead: a batch is journaled
+//! with [`DurableStore::commit`] *before* its decisions reach the
+//! decision sink, so any decision the outside world has seen is
+//! reconstructible. Every [`StoreConfig::snapshot_every`] batches the
+//! service hands over a full [`SnapshotState`]; the store writes it
+//! atomically, prunes older snapshots, and compacts WAL segments the new
+//! snapshot covers.
+//!
+//! Recovery invariants (checked by the crash-injection and property
+//! tests):
+//!
+//! 1. **Prefix durability** — recovered state always equals the clean
+//!    run's state at some batch watermark `<=` the crash point; a torn or
+//!    corrupt tail only shortens the prefix, never corrupts it.
+//! 2. **No invention** — every recovered assignment was journaled; the
+//!    recovered matching can therefore never violate capacities that the
+//!    live run respected.
+//! 3. **Totality** — recovery never panics on damaged input: any byte
+//!    suffix of a valid store directory recovers to some valid prefix
+//!    state.
+
+use crate::record::BatchRecord;
+use crate::snapshot::{self, SnapshotState};
+use crate::wal::{self, FsyncPolicy, Wal, WalConfig};
+use std::collections::BTreeSet;
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Tuning knobs for [`DurableStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Snapshot every N committed batches; `0` = only the final snapshot
+    /// written by [`DurableStore::seal`].
+    pub snapshot_every: u64,
+    /// WAL segment roll threshold in bytes.
+    pub segment_bytes: u64,
+    /// Fsync cadence under [`FsyncPolicy::Batch`].
+    pub batch_fsync_every: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::Batch,
+            snapshot_every: 64,
+            segment_bytes: 8 << 20,
+            batch_fsync_every: 16,
+        }
+    }
+}
+
+/// Counters a [`DurableStore`] accumulated over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Batch records appended to the WAL.
+    pub wal_records: u64,
+    /// Frame bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Snapshots written (periodic + final).
+    pub snapshots: u64,
+    /// Batches committed (the current watermark).
+    pub watermark: u64,
+}
+
+/// State rebuilt from a store directory: the durable prefix of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredState {
+    /// Batches folded in — the next expected sequence number.
+    pub watermark: u64,
+    /// Watermark of the snapshot recovery started from, if any.
+    pub snapshot_watermark: Option<u64>,
+    /// WAL records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Bytes of torn/corrupt WAL tail that were ignored.
+    pub truncated_bytes: u64,
+    /// Per shard, the sorted universe edge ids assigned.
+    pub shards: Vec<Vec<u32>>,
+    /// Live edge weights by universe edge id (only indices touched by a
+    /// snapshot, weight delta, or decision are meaningful).
+    pub weights: Vec<f64>,
+}
+
+impl RecoveredState {
+    fn empty() -> RecoveredState {
+        RecoveredState {
+            watermark: 0,
+            snapshot_watermark: None,
+            records_replayed: 0,
+            truncated_bytes: 0,
+            shards: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Number of assigned edges across all shards.
+    pub fn assignments(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Total retained weight: the sum of live weights over assigned
+    /// edges. Every assigned edge's weight is exact — the journal records
+    /// it with the decision and again on every update.
+    pub fn total_weight(&self) -> f64 {
+        let mut total = 0.0;
+        for shard in &self.shards {
+            for &e in shard {
+                total += self.weights.get(e as usize).copied().unwrap_or(0.0);
+            }
+        }
+        total
+    }
+
+    /// The recovered state as a snapshot payload (used to re-seed a
+    /// fresh store from a recovered one, and by tests).
+    pub fn to_snapshot(&self) -> SnapshotState {
+        SnapshotState {
+            watermark: self.watermark,
+            shards: self.shards.clone(),
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+fn apply_record(shards: &mut Vec<BTreeSet<u32>>, weights: &mut Vec<f64>, rec: &BatchRecord) {
+    let touch = |weights: &mut Vec<f64>, edge: u32, w: f64| {
+        let i = edge as usize;
+        if weights.len() <= i {
+            weights.resize(i + 1, 0.0);
+        }
+        weights[i] = w;
+    };
+    for d in &rec.deltas {
+        touch(weights, d.edge, d.weight);
+    }
+    for d in &rec.decisions {
+        let s = d.shard as usize;
+        if shards.len() <= s {
+            shards.resize_with(s + 1, BTreeSet::new);
+        }
+        // The decision carries the live weight at decision time; applying
+        // it fills in weights that predate any journaled delta (initial
+        // graph weights).
+        touch(weights, d.edge, d.weight);
+        if d.assign {
+            shards[s].insert(d.edge);
+        } else {
+            shards[s].remove(&d.edge);
+        }
+    }
+}
+
+/// Scans `dir` once: latest valid snapshot + WAL tail replay. Also
+/// reports where the WAL tail went bad so [`DurableStore::open`] can
+/// repair it physically.
+fn scan(dir: &Path) -> io::Result<(RecoveredState, Option<(PathBuf, u64)>)> {
+    let base = snapshot::load_latest(dir)?;
+    let mut out = RecoveredState::empty();
+    let mut shards: Vec<BTreeSet<u32>> = Vec::new();
+    if let Some(snap) = base {
+        out.watermark = snap.watermark;
+        out.snapshot_watermark = Some(snap.watermark);
+        out.weights = snap.weights;
+        shards = snap
+            .shards
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+    }
+    let replayed = wal::replay(dir)?;
+    out.truncated_bytes = replayed.truncated_bytes;
+    for rec in &replayed.records {
+        if rec.seq < out.watermark {
+            continue; // segment not yet compacted; the snapshot covers it
+        }
+        if rec.seq != out.watermark {
+            break; // gap — nothing past it is trustworthy
+        }
+        apply_record(&mut shards, &mut out.weights, rec);
+        out.watermark += 1;
+        out.records_replayed += 1;
+    }
+    out.shards = shards
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect();
+    Ok((out, replayed.torn))
+}
+
+/// Rebuilds dispatch state from a store directory, read-only: latest
+/// valid snapshot + WAL tail, tolerating a torn or corrupt tail by
+/// ignoring everything from the first bad frame on. Nothing on disk is
+/// modified.
+pub fn recover(dir: &Path) -> io::Result<RecoveredState> {
+    mbta_telemetry::counter_add("mbta_store_recoveries_total", 1);
+    let (state, _) = scan(dir)?;
+    Ok(state)
+}
+
+/// The write half: owns the WAL and decides when to snapshot and compact.
+pub struct DurableStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    wal: Wal,
+    watermark: u64,
+    last_snapshot: u64,
+    snapshots: u64,
+}
+
+impl DurableStore {
+    /// Opens (or creates) a store in `dir` and recovers whatever durable
+    /// state it holds. A torn WAL tail is *repaired* — physically
+    /// truncated at the last good frame, later segments removed — because
+    /// a reopened writer starts a new segment, and a lingering bad frame
+    /// in an old segment would otherwise mask the new records from
+    /// replay.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> io::Result<(DurableStore, RecoveredState)> {
+        fs::create_dir_all(dir)?;
+        let (recovered, torn) = scan(dir)?;
+        if let Some((path, durable_len)) = torn {
+            repair(dir, &path, durable_len)?;
+        }
+        let wal = Wal::open(
+            dir,
+            WalConfig {
+                fsync: cfg.fsync,
+                segment_bytes: cfg.segment_bytes,
+                batch_fsync_every: cfg.batch_fsync_every,
+            },
+        )?;
+        let store = DurableStore {
+            dir: dir.to_path_buf(),
+            cfg,
+            wal,
+            watermark: recovered.watermark,
+            last_snapshot: recovered.snapshot_watermark.unwrap_or(0),
+            snapshots: 0,
+        };
+        Ok((store, recovered))
+    }
+
+    /// Journals one committed batch. Must be called *before* the batch's
+    /// decisions are released to any sink, with strictly sequential
+    /// sequence numbers.
+    pub fn commit(&mut self, rec: &BatchRecord) -> io::Result<()> {
+        assert_eq!(
+            rec.seq, self.watermark,
+            "store commits must be sequential (got seq {}, expected {})",
+            rec.seq, self.watermark
+        );
+        self.wal.append(rec)?;
+        self.watermark += 1;
+        Ok(())
+    }
+
+    /// Whether the periodic-snapshot cadence says it is time for the
+    /// caller to capture its state and call [`DurableStore::snapshot`].
+    pub fn snapshot_due(&self) -> bool {
+        self.cfg.snapshot_every > 0
+            && self.watermark.saturating_sub(self.last_snapshot) >= self.cfg.snapshot_every
+    }
+
+    /// Writes a snapshot of the caller's full state, then prunes older
+    /// snapshots and compacts WAL segments the new snapshot covers. The
+    /// state's watermark must match the store's.
+    pub fn snapshot(&mut self, state: &SnapshotState) -> io::Result<()> {
+        assert_eq!(
+            state.watermark, self.watermark,
+            "snapshot watermark must match committed watermark"
+        );
+        let t = Instant::now();
+        snapshot::write(&self.dir, state)?;
+        mbta_telemetry::observe("mbta_store_snapshot_ms", t.elapsed().as_secs_f64() * 1e3);
+        mbta_telemetry::counter_add("mbta_store_snapshots_total", 1);
+        self.last_snapshot = state.watermark;
+        self.snapshots += 1;
+        snapshot::prune(&self.dir, state.watermark)?;
+        Wal::compact(&self.dir, state.watermark)?;
+        Ok(())
+    }
+
+    /// Final flush at clean shutdown: fsyncs the WAL regardless of policy
+    /// and writes a last snapshot if any batch landed since the previous
+    /// one. Recovery after a clean seal replays zero records.
+    pub fn seal(&mut self, state: &SnapshotState) -> io::Result<()> {
+        self.wal.sync()?;
+        if self.watermark > self.last_snapshot || self.snapshots == 0 {
+            self.snapshot(state)?;
+        }
+        Ok(())
+    }
+
+    /// Lifetime counters for reports.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            snapshots: self.snapshots,
+            watermark: self.watermark,
+        }
+    }
+
+    /// The configured fsync policy (for report rendering).
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.cfg.fsync
+    }
+}
+
+/// Physically truncates a torn segment at its last good frame and removes
+/// any segments after it. An empty repaired segment is deleted outright
+/// so a reopened writer can reuse its sequence-numbered name.
+fn repair(dir: &Path, torn_path: &Path, durable_len: u64) -> io::Result<()> {
+    let segs = wal::segment_files(dir)?;
+    let mut past_torn = false;
+    for (_, path) in &segs {
+        if past_torn {
+            fs::remove_file(path)?;
+        } else if path == torn_path {
+            past_torn = true;
+        }
+    }
+    if durable_len == 0 {
+        fs::remove_file(torn_path)?;
+    } else {
+        let f = OpenOptions::new().write(true).open(torn_path)?;
+        f.set_len(durable_len)?;
+        f.sync_data()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DecisionRecord, WeightDelta};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mbta-store-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A deterministic little workload: batch `seq` assigns edge `seq`
+    /// to shard `seq % 2` with weight `1 + seq`, and unassigns edge
+    /// `seq - 3` (once it exists) from its shard.
+    fn rec(seq: u64) -> BatchRecord {
+        let mut decisions = vec![DecisionRecord {
+            shard: (seq % 2) as u32,
+            edge: seq as u32,
+            assign: true,
+            worker: seq as u32,
+            task: seq as u32,
+            weight: 1.0 + seq as f64,
+        }];
+        if seq >= 3 {
+            let old = seq - 3;
+            decisions.push(DecisionRecord {
+                shard: (old % 2) as u32,
+                edge: old as u32,
+                assign: false,
+                worker: old as u32,
+                task: old as u32,
+                weight: 1.0 + old as f64,
+            });
+        }
+        BatchRecord {
+            seq,
+            first_time: seq as f64,
+            last_time: seq as f64 + 0.25,
+            events: 1,
+            deltas: vec![WeightDelta {
+                edge: seq as u32,
+                weight: 1.0 + seq as f64,
+            }],
+            decisions,
+        }
+    }
+
+    fn run(store: &mut DurableStore, seqs: std::ops::Range<u64>) {
+        for seq in seqs {
+            store.commit(&rec(seq)).unwrap();
+        }
+    }
+
+    /// Recovered state expected after batches `0..n`.
+    fn expected(n: u64) -> (Vec<Vec<u32>>, f64) {
+        let mut shards = vec![BTreeSet::new(), BTreeSet::new()];
+        let mut total = 0.0;
+        for seq in 0..n {
+            shards[(seq % 2) as usize].insert(seq as u32);
+            total += 1.0 + seq as f64;
+            if seq >= 3 {
+                let old = seq - 3;
+                shards[(old % 2) as usize].remove(&(old as u32));
+                total -= 1.0 + old as f64;
+            }
+        }
+        (
+            shards
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            total,
+        )
+    }
+
+    #[test]
+    fn recover_from_wal_only() {
+        let dir = tmp("wal-only");
+        let (mut store, init) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(init.watermark, 0);
+        run(&mut store, 0..7);
+        drop(store); // simulated abort: no seal, no snapshot
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.watermark, 7);
+        assert_eq!(state.snapshot_watermark, None);
+        assert_eq!(state.records_replayed, 7);
+        let (shards, total) = expected(7);
+        assert_eq!(state.shards, shards);
+        assert!((state.total_weight() - total).abs() < 1e-12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_compacts() {
+        let dir = tmp("snap");
+        let cfg = StoreConfig {
+            snapshot_every: 4,
+            segment_bytes: 96, // force several segments
+            ..StoreConfig::default()
+        };
+        let (mut store, _) = DurableStore::open(&dir, cfg).unwrap();
+        for seq in 0..10 {
+            store.commit(&rec(seq)).unwrap();
+            if store.snapshot_due() {
+                let snap = recover(&dir).unwrap().to_snapshot();
+                store.snapshot(&snap).unwrap();
+            }
+        }
+        assert_eq!(store.stats().snapshots, 2); // at watermarks 4 and 8
+        drop(store);
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.watermark, 10);
+        assert_eq!(state.snapshot_watermark, Some(8));
+        assert_eq!(state.records_replayed, 2);
+        let (shards, total) = expected(10);
+        assert_eq!(state.shards, shards);
+        assert!((state.total_weight() - total).abs() < 1e-12);
+        // Compaction dropped every segment that ended before the last
+        // snapshot; only the segment active at snapshot time (which may
+        // start just below the watermark) and later ones remain.
+        let segs = wal::segment_files(&dir).unwrap();
+        assert!(segs.first().unwrap().0 >= 7, "stale segments: {segs:?}");
+        assert!(segs.len() <= 3, "compaction left {} segments", segs.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seal_then_recover_replays_nothing() {
+        let dir = tmp("seal");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        run(&mut store, 0..5);
+        let snap = recover(&dir).unwrap().to_snapshot();
+        store.seal(&snap).unwrap();
+        drop(store);
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.watermark, 5);
+        assert_eq!(state.snapshot_watermark, Some(5));
+        assert_eq!(state.records_replayed, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_repairs_and_continues() {
+        let dir = tmp("repair");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        run(&mut store, 0..6);
+        drop(store);
+        // Tear the tail: chop the last few bytes of the newest segment.
+        let (_, path) = wal::segment_files(&dir).unwrap().pop().unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        // Reopen: batch 5 is gone, the tail is repaired, and writing
+        // resumes at seq 5 in a fresh segment.
+        let (mut store, recovered) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(recovered.watermark, 5);
+        assert!(recovered.truncated_bytes > 0);
+        run(&mut store, 5..8);
+        drop(store);
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.watermark, 8);
+        assert_eq!(state.truncated_bytes, 0, "repair removed the torn tail");
+        let (shards, total) = expected(8);
+        assert_eq!(state.shards, shards);
+        assert!((state.total_weight() - total).abs() < 1e-12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn out_of_order_commit_panics() {
+        let dir = tmp("order");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        store.commit(&rec(0)).unwrap();
+        let _ = store.commit(&rec(5));
+    }
+}

@@ -217,18 +217,29 @@ pub fn normalize_trace(events: &mut Vec<TimedEvent>) {
     mbta_telemetry::counter_add("mbta_workload_trace_time_bumps_total", time_bumps);
 }
 
-/// Error from [`TraceFile::parse`], with the offending line number.
+/// Error from [`TraceFile::parse`], locating the problem both ways a
+/// reader might look for it: by line number (for an editor) and by byte
+/// offset of that line's start (for `dd`/`xxd` on a large or binary-mangled
+/// file).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceParseError {
     /// 1-based line number of the problem.
     pub line: usize,
+    /// Byte offset of the offending line's first byte within the input
+    /// (`0` for errors not tied to a file position, e.g. a missing spec
+    /// header or an invalid in-memory event list).
+    pub offset: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace line {} (byte offset {}): {}",
+            self.line, self.offset, self.message
+        )
     }
 }
 
@@ -252,6 +263,7 @@ impl TraceFile {
         for (i, e) in events.iter().enumerate() {
             check_id_in_universe(&spec, e.event).map_err(|message| TraceParseError {
                 line: i + 1,
+                offset: 0, // in-memory events have no file position
                 message,
             })?;
         }
@@ -290,11 +302,19 @@ impl TraceFile {
     /// hand-edited file with out-of-order lines still replays
     /// deterministically.
     pub fn parse(text: &str) -> Result<TraceFile, TraceParseError> {
-        let err = |line: usize, message: String| TraceParseError { line, message };
+        let err = |line: usize, offset: usize, message: String| TraceParseError {
+            line,
+            offset,
+            message,
+        };
         let mut spec: Option<WorkloadSpec> = None;
         let mut events = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
+            // `raw` borrows from `text`, so the pointer difference is the
+            // exact byte offset of this line's start — correct under both
+            // `\n` and `\r\n` endings, where a running `len() + 1` is not.
+            let at = raw.as_ptr() as usize - text.as_ptr() as usize;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -303,38 +323,38 @@ impl TraceFile {
             let head = parts.next().expect("non-empty line has a first token");
             if head == "spec" {
                 if spec.is_some() {
-                    return Err(err(line_no, "duplicate spec line".into()));
+                    return Err(err(line_no, at, "duplicate spec line".into()));
                 }
-                spec = Some(parse_spec_line(parts, line_no)?);
+                spec = Some(parse_spec_line(parts, line_no, at)?);
                 continue;
             }
             let kind = head;
             let id: u32 = parts
                 .next()
-                .ok_or_else(|| err(line_no, "missing event id".into()))?
+                .ok_or_else(|| err(line_no, at, "missing event id".into()))?
                 .parse()
-                .map_err(|_| err(line_no, "bad event id".into()))?;
+                .map_err(|_| err(line_no, at, "bad event id".into()))?;
             let time: f64 = parts
                 .next()
-                .ok_or_else(|| err(line_no, "missing timestamp".into()))?
+                .ok_or_else(|| err(line_no, at, "missing timestamp".into()))?
                 .parse()
-                .map_err(|_| err(line_no, "bad timestamp".into()))?;
+                .map_err(|_| err(line_no, at, "bad timestamp".into()))?;
             if !time.is_finite() {
-                return Err(err(line_no, format!("non-finite timestamp {time}")));
+                return Err(err(line_no, at, format!("non-finite timestamp {time}")));
             }
             if parts.next().is_some() {
-                return Err(err(line_no, "trailing tokens".into()));
+                return Err(err(line_no, at, "trailing tokens".into()));
             }
             let event = match kind {
                 "won" => Event::WorkerOn(id),
                 "woff" => Event::WorkerOff(id),
                 "tpost" => Event::TaskPosted(id),
                 "texp" => Event::TaskExpired(id),
-                other => return Err(err(line_no, format!("unknown event kind '{other}'"))),
+                other => return Err(err(line_no, at, format!("unknown event kind '{other}'"))),
             };
             events.push(TimedEvent { time, event });
         }
-        let spec = spec.ok_or_else(|| err(0, "missing spec header line".into()))?;
+        let spec = spec.ok_or_else(|| err(0, 0, "missing spec header line".into()))?;
         TraceFile::new(spec, events)
     }
 }
@@ -357,9 +377,11 @@ fn check_id_in_universe(spec: &WorkloadSpec, event: Event) -> Result<(), String>
 fn parse_spec_line<'a>(
     parts: impl Iterator<Item = &'a str>,
     line_no: usize,
+    offset: usize,
 ) -> Result<WorkloadSpec, TraceParseError> {
     let err = |message: String| TraceParseError {
         line: line_no,
+        offset,
         message,
     };
     let mut profile = None;
@@ -640,6 +662,37 @@ mod tests {
             "spec profile=uniform workers=1 tasks=1 degree=1 dims=1 seed=1 bogus=2\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_line_and_byte_offset() {
+        // A corrupted line in the middle of an otherwise valid file: the
+        // error must name both the 1-based line and the byte offset of
+        // that line's start, so the bad bytes can be found with either an
+        // editor (`:4`) or `xxd -s <offset>`.
+        let header = "# mbta-trace v1\n";
+        let spec_line = "spec profile=uniform workers=4 tasks=2 degree=2 dims=2 seed=1\n";
+        let good = "won 0 0.5\n";
+        let bad = "won 1 garbage\n";
+        let text = format!("{header}{spec_line}{good}{bad}won 2 0.9\n");
+
+        let e = TraceFile::parse(&text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.offset, header.len() + spec_line.len() + good.len());
+        assert_eq!(e.message, "bad timestamp");
+        let shown = e.to_string();
+        assert!(shown.contains("line 4"), "display: {shown}");
+        assert!(
+            shown.contains(&format!("byte offset {}", e.offset)),
+            "display: {shown}"
+        );
+
+        // CRLF endings shift every line start by one extra byte; the
+        // pointer-derived offset must track that exactly.
+        let crlf = text.replace('\n', "\r\n");
+        let e2 = TraceFile::parse(&crlf).unwrap_err();
+        assert_eq!(e2.line, 4);
+        assert_eq!(e2.offset, e.offset + 3, "three CRLF line ends precede");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use mbta_graph as graph;
 pub use mbta_market as market;
 pub use mbta_matching as matching;
 pub use mbta_service as service;
+pub use mbta_store as store;
 pub use mbta_telemetry as telemetry;
 pub use mbta_util as util;
 pub use mbta_workload as workload;
