@@ -32,9 +32,14 @@ usage:
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
               [--metrics-out FILE] [--metrics-every N]
               [--wal-dir DIR] [--snapshot-every N]
-              [--fsync <always|batch|never>]
+              [--fsync <always|batch|never>] [--listen ADDR]
   mbta replay --trace FILE [serve flags; deterministic budgets]
   mbta recover --trace FILE --wal-dir DIR
+  mbta follow --trace FILE --wal-dir DIR [--listen ADDR]
+              [--query-listen ADDR] [--heartbeat-ms N]
+              [--poll-ms N] [--max-wait-ms N]
+  mbta send   --addr ADDR (--trace FILE | --status) [--batch N]
+              [--drift F] [--connect-wait-ms N]
   mbta sweep FILE [--steps N]
   mbta maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
   mbta budget FILE --limit B [--combiner C] [--iters N]
@@ -103,6 +108,52 @@ pub struct ServeOpts {
     pub snapshot_every: u64,
     /// With `--wal-dir`: fsync policy for WAL appends.
     pub fsync: FsyncPolicy,
+    /// Accept events over framed TCP on this address instead of reading
+    /// them from the trace (the trace still defines the market universe).
+    pub listen: Option<String>,
+}
+
+/// Options for `mbta follow` (WAL-follower replication).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FollowOpts {
+    /// Trace the primary is serving (defines the universe the promoted
+    /// state is validated against).
+    pub trace: PathBuf,
+    /// The primary's WAL directory (shared filesystem).
+    pub wal_dir: PathBuf,
+    /// The primary's ingress address: on promotion the follower verifies
+    /// the port is actually dead (bind / connect-refused gate) before
+    /// taking over. Without it, promotion is gated on the heartbeat only.
+    pub listen: Option<String>,
+    /// Serve read-only status queries on this address while following.
+    pub query_listen: Option<String>,
+    /// Heartbeat staleness window in ms: the primary is presumed dead
+    /// once its heartbeat file is older than this.
+    pub heartbeat_ms: u64,
+    /// Tail poll interval in ms.
+    pub poll_ms: u64,
+    /// How long to wait for the primary's WAL dir + first heartbeat to
+    /// appear before giving up.
+    pub max_wait_ms: u64,
+}
+
+/// Options for `mbta send` (TCP event producer / status probe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendOpts {
+    /// Ingress address to connect to.
+    pub addr: String,
+    /// Trace whose events are streamed (required unless `--status`).
+    pub trace: Option<PathBuf>,
+    /// Events per `EVENT_BATCH` request.
+    pub batch: usize,
+    /// Benefit-drift injection rate in [0, 1], woven exactly as `serve
+    /// --drift` would.
+    pub drift: f64,
+    /// Query the endpoint's status instead of sending events.
+    pub status: bool,
+    /// How long to keep retrying the initial connect (covers starting
+    /// the client before the server has bound).
+    pub connect_wait_ms: u64,
 }
 
 /// A parsed command.
@@ -232,6 +283,12 @@ pub enum Command {
     /// Deterministically replay a trace (unbudgeted solves, byte-identical
     /// decision logs across runs).
     Replay(ServeOpts),
+    /// Tail a primary's WAL as a warm read-only follower; promote on
+    /// primary death (stale heartbeat + dead port).
+    Follow(FollowOpts),
+    /// Stream a trace's events to a serving ingress over TCP (or query
+    /// an endpoint's status with `--status`).
+    Send(SendOpts),
     /// Rebuild assignment state from a WAL directory (latest snapshot +
     /// log-tail replay) and verify it against the trace's universe.
     Recover {
@@ -386,6 +443,7 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     let mut snapshot_every_set = false;
     let mut fsync = FsyncPolicy::Batch;
     let mut fsync_set = false;
+    let mut listen = None;
     while let Some(flag) = cur.next() {
         match flag {
             "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
@@ -467,6 +525,7 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
                 })?;
                 fsync_set = true;
             }
+            "--listen" => listen = Some(cur.value_for(flag)?.to_string()),
             _ => return err(format!("unknown flag for {cmd}: '{flag}'")),
         }
     }
@@ -483,6 +542,14 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     }
     if wal_dir.is_none() && (snapshot_every_set || fsync_set) {
         return err("--snapshot-every / --fsync need --wal-dir");
+    }
+    if listen.is_some() {
+        if cmd == "replay" {
+            return err("--listen only applies to serve (replay is a deterministic re-run)");
+        }
+        if drift > 0.0 {
+            return err("--listen takes events from the network; put --drift on `mbta send`");
+        }
     }
     Ok(ServeOpts {
         trace,
@@ -504,6 +571,101 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         wal_dir,
         snapshot_every,
         fsync,
+        listen,
+    })
+}
+
+fn parse_follow_opts(cur: &mut Cursor<'_>) -> Result<FollowOpts, ParseError> {
+    let mut trace = None;
+    let mut wal_dir = None;
+    let mut listen = None;
+    let mut query_listen = None;
+    let mut heartbeat_ms = 1_000u64;
+    let mut poll_ms = 20u64;
+    let mut max_wait_ms = 10_000u64;
+    while let Some(flag) = cur.next() {
+        match flag {
+            "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--wal-dir" => wal_dir = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--listen" => listen = Some(cur.value_for(flag)?.to_string()),
+            "--query-listen" => query_listen = Some(cur.value_for(flag)?.to_string()),
+            "--heartbeat-ms" => {
+                heartbeat_ms = parse_num(flag, cur.value_for(flag)?)?;
+                if heartbeat_ms == 0 {
+                    return err("--heartbeat-ms must be >= 1");
+                }
+            }
+            "--poll-ms" => {
+                poll_ms = parse_num(flag, cur.value_for(flag)?)?;
+                if poll_ms == 0 {
+                    return err("--poll-ms must be >= 1");
+                }
+            }
+            "--max-wait-ms" => max_wait_ms = parse_num(flag, cur.value_for(flag)?)?,
+            _ => return err(format!("unknown flag for follow: '{flag}'")),
+        }
+    }
+    let Some(trace) = trace else {
+        return err("follow requires --trace");
+    };
+    let Some(wal_dir) = wal_dir else {
+        return err("follow requires --wal-dir");
+    };
+    Ok(FollowOpts {
+        trace,
+        wal_dir,
+        listen,
+        query_listen,
+        heartbeat_ms,
+        poll_ms,
+        max_wait_ms,
+    })
+}
+
+fn parse_send_opts(cur: &mut Cursor<'_>) -> Result<SendOpts, ParseError> {
+    let mut addr = None;
+    let mut trace = None;
+    let mut batch = 64usize;
+    let mut drift = 0.0f64;
+    let mut status = false;
+    let mut connect_wait_ms = 5_000u64;
+    while let Some(flag) = cur.next() {
+        match flag {
+            "--addr" => addr = Some(cur.value_for(flag)?.to_string()),
+            "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--batch" => {
+                batch = parse_num(flag, cur.value_for(flag)?)?;
+                if batch == 0 {
+                    return err("--batch must be >= 1");
+                }
+            }
+            "--drift" => {
+                drift = parse_num(flag, cur.value_for(flag)?)?;
+                if !(0.0..=1.0).contains(&drift) {
+                    return err("--drift must be in [0,1]");
+                }
+            }
+            "--status" => status = true,
+            "--connect-wait-ms" => connect_wait_ms = parse_num(flag, cur.value_for(flag)?)?,
+            _ => return err(format!("unknown flag for send: '{flag}'")),
+        }
+    }
+    let Some(addr) = addr else {
+        return err("send requires --addr");
+    };
+    if status && trace.is_some() {
+        return err("--status queries the endpoint; drop --trace");
+    }
+    if !status && trace.is_none() {
+        return err("send requires --trace (or --status)");
+    }
+    Ok(SendOpts {
+        addr,
+        trace,
+        batch,
+        drift,
+        status,
+        connect_wait_ms,
     })
 }
 
@@ -679,6 +841,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "serve" => Ok(Command::Serve(parse_serve_opts(&mut cur, "serve")?)),
         "replay" => Ok(Command::Replay(parse_serve_opts(&mut cur, "replay")?)),
+        "follow" => Ok(Command::Follow(parse_follow_opts(&mut cur)?)),
+        "send" => Ok(Command::Send(parse_send_opts(&mut cur)?)),
         "recover" => {
             let mut trace = None;
             let mut wal_dir = None;
@@ -1177,6 +1341,115 @@ mod tests {
             "--wal-dir",
             "w",
             "--bogus"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_listen_follow_send() {
+        match parse(&sv(&[
+            "serve",
+            "--trace",
+            "t.trace",
+            "--listen",
+            "127.0.0.1:7700",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(o) => assert_eq!(o.listen.as_deref(), Some("127.0.0.1:7700")),
+            _ => panic!("wrong command"),
+        }
+        // Network ingress is serve-only, and drift belongs to the sender.
+        assert!(parse(&sv(&["replay", "--trace", "t", "--listen", ":1"])).is_err());
+        assert!(parse(&sv(&[
+            "serve", "--trace", "t", "--listen", ":1", "--drift", "0.2"
+        ]))
+        .is_err());
+
+        match parse(&sv(&[
+            "follow",
+            "--trace",
+            "t.trace",
+            "--wal-dir",
+            "/tmp/wal",
+            "--listen",
+            "127.0.0.1:7700",
+            "--query-listen",
+            "127.0.0.1:7701",
+            "--heartbeat-ms",
+            "400",
+            "--poll-ms",
+            "10",
+            "--max-wait-ms",
+            "3000",
+        ]))
+        .unwrap()
+        {
+            Command::Follow(o) => {
+                assert_eq!(o.trace, PathBuf::from("t.trace"));
+                assert_eq!(o.wal_dir, PathBuf::from("/tmp/wal"));
+                assert_eq!(o.listen.as_deref(), Some("127.0.0.1:7700"));
+                assert_eq!(o.query_listen.as_deref(), Some("127.0.0.1:7701"));
+                assert_eq!(o.heartbeat_ms, 400);
+                assert_eq!(o.poll_ms, 10);
+                assert_eq!(o.max_wait_ms, 3000);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults.
+        match parse(&sv(&["follow", "--trace", "t", "--wal-dir", "w"])).unwrap() {
+            Command::Follow(o) => {
+                assert_eq!(o.listen, None);
+                assert_eq!(o.heartbeat_ms, 1_000);
+                assert_eq!(o.poll_ms, 20);
+                assert_eq!(o.max_wait_ms, 10_000);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["follow", "--wal-dir", "w"])).is_err());
+        assert!(parse(&sv(&["follow", "--trace", "t"])).is_err());
+        assert!(parse(&sv(&[
+            "follow",
+            "--trace",
+            "t",
+            "--wal-dir",
+            "w",
+            "--heartbeat-ms",
+            "0"
+        ]))
+        .is_err());
+
+        match parse(&sv(&[
+            "send",
+            "--addr",
+            "127.0.0.1:7700",
+            "--trace",
+            "t.trace",
+            "--batch",
+            "32",
+            "--drift",
+            "0.1",
+        ]))
+        .unwrap()
+        {
+            Command::Send(o) => {
+                assert_eq!(o.addr, "127.0.0.1:7700");
+                assert_eq!(o.trace, Some(PathBuf::from("t.trace")));
+                assert_eq!(o.batch, 32);
+                assert_eq!(o.drift, 0.1);
+                assert!(!o.status);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&sv(&["send", "--addr", ":7700", "--status"])).unwrap() {
+            Command::Send(o) => assert!(o.status && o.trace.is_none()),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["send", "--trace", "t"])).is_err()); // needs --addr
+        assert!(parse(&sv(&["send", "--addr", ":1"])).is_err()); // trace or status
+        assert!(parse(&sv(&["send", "--addr", ":1", "--trace", "t", "--status"])).is_err());
+        assert!(parse(&sv(&[
+            "send", "--addr", ":1", "--trace", "t", "--batch", "0"
         ]))
         .is_err());
     }

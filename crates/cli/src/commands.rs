@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Command, FallbackMode, ServeOpts, USAGE};
+use crate::args::{Command, FallbackMode, FollowOpts, SendOpts, ServeOpts, USAGE};
 use mbta_core::algorithms::solve;
 use mbta_core::budget::{greedy_budgeted, lagrangian_budgeted};
 use mbta_core::engine::{solve_robust, EngineConfig, EngineError, QualityTier};
@@ -15,11 +15,15 @@ use mbta_graph::BipartiteGraph;
 use mbta_market::benefit::edge_weights;
 use mbta_market::{BenefitParams, Combiner};
 use mbta_matching::kbest::k_best_bmatchings;
+use mbta_net::{
+    send_events, Client, NetConfig, NetIngress, Reply, Request, Role, StatusInfo, StatusServer,
+};
 use mbta_service::{
     recover, Arrival, BatchConfig, BatchStats, BenefitDrift, BudgetMode, Decision, DecisionSink,
-    DispatchService, DurableStore, NullSink, OfferOutcome, RecoveredState, ServiceConfig,
-    ServiceReport, ShardPlan, StoreConfig, WriteSink,
+    DeferBackoff, DispatchService, DurableStore, NullSink, OfferOutcome, RecoveredState,
+    ServiceConfig, ServiceReport, ShardPlan, StoreConfig, WriteSink,
 };
+use mbta_store::{heartbeat_age, heartbeat_touch, FollowerState, TailStatus, WalTail};
 use mbta_telemetry::{MetricValue, RegistryDiff, Snapshot};
 use mbta_util::table::{fnum, Table};
 use mbta_workload::faults::adversarial_instance;
@@ -29,8 +33,10 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fs;
 use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::time::Instant;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
@@ -369,6 +375,8 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         }
         Command::Serve(opts) => run_service(&opts, false),
         Command::Replay(opts) => run_service(&opts, true),
+        Command::Follow(opts) => run_follow(&opts),
+        Command::Send(opts) => run_send(&opts),
         Command::Recover { trace, wal_dir } => run_recover(&trace, &wal_dir),
         Command::Sweep { file, steps } => {
             let g = load(&file)?;
@@ -530,6 +538,79 @@ fn drive<'p, S: DecisionSink>(
     svc.finish(sink)
 }
 
+/// Network analogue of [`drive`]: pops arrivals off the TCP ingress
+/// queue, keeps the primary's heartbeat file fresh, and publishes live
+/// status for `QUERY_STATUS` replies. Ends when a client has sent `FIN`
+/// and the queue is drained.
+fn drive_net<S: DecisionSink>(
+    mut svc: DispatchService<'_>,
+    ingress: &NetIngress,
+    wal_dir: Option<&Path>,
+    sink: &mut S,
+) -> Result<ServiceReport, Box<dyn Error>> {
+    let beat_every = Duration::from_millis(100);
+    let mut last_beat = Instant::now();
+    loop {
+        if let Some(dir) = wal_dir {
+            if last_beat.elapsed() >= beat_every {
+                heartbeat_touch(dir)
+                    .map_err(|e| format!("cannot write heartbeat in {}: {e}", dir.display()))?;
+                last_beat = Instant::now();
+            }
+        }
+        match ingress.pop_wait(Duration::from_millis(50)) {
+            Some(a) => {
+                while let OfferOutcome::Deferred = svc.offer(a) {
+                    svc.pump(sink);
+                }
+                svc.pump(sink);
+            }
+            None => {
+                svc.pump(sink);
+                if ingress.fin_received() && ingress.is_drained() {
+                    break;
+                }
+            }
+        }
+        ingress.set_status(
+            svc.batches_committed(),
+            svc.current_assignments(),
+            svc.current_value(),
+        );
+    }
+    Ok(svc.finish(sink))
+}
+
+/// [`drive_net`], wrapped in a [`MetricsTee`] when interval scraping was
+/// requested — the tee keeps overwriting the snapshot file during the
+/// run, so the counters survive a `kill -9` of the primary.
+fn drive_net_metered<S: DecisionSink>(
+    svc: DispatchService<'_>,
+    ingress: &NetIngress,
+    wal_dir: Option<&Path>,
+    sink: &mut S,
+    opts: &ServeOpts,
+) -> Result<ServiceReport, Box<dyn Error>> {
+    match (&opts.metrics_out, opts.metrics_every) {
+        (Some(path), Some(every)) => {
+            let mut tee = MetricsTee {
+                inner: sink,
+                path,
+                every,
+                seen: 0,
+                diff: RegistryDiff::new(),
+                error: None,
+            };
+            let report = drive_net(svc, ingress, wal_dir, &mut tee)?;
+            if let Some(e) = tee.error {
+                return Err(format!("cannot write metrics to {}: {e}", path.display()).into());
+            }
+            Ok(report)
+        }
+        _ => drive_net(svc, ingress, wal_dir, sink),
+    }
+}
+
 /// [`drive`], wrapped in a [`MetricsTee`] when interval scraping was
 /// requested via `--metrics-out` + `--metrics-every`.
 fn drive_metered<S: DecisionSink>(
@@ -611,25 +692,75 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         svc.attach_store(store);
     }
 
-    let base = tf.events.iter().copied().map(Arrival::from_trace);
-    let events: Vec<Arrival> = if opts.drift > 0.0 {
-        BenefitDrift::new(&g, opts.drift, tf.spec.seed).weave(base)
-    } else {
-        base.collect()
-    };
-
-    let report = match &opts.decisions {
-        Some(path) => {
-            let file = fs::File::create(path)?;
-            let mut sink = WriteSink::new(io::BufWriter::new(file));
-            let report = drive_metered(svc, &events, &mut sink, opts)?;
-            if let Some(e) = sink.error.take() {
-                return Err(Box::new(e));
-            }
-            sink.into_inner().flush()?;
-            report
+    let report = if let Some(addr) = &opts.listen {
+        // Network ingress: the trace defines the universe, the events
+        // arrive over TCP. Heartbeat before binding, so any follower that
+        // can see the socket can also see a beat.
+        if let Some(dir) = &opts.wal_dir {
+            heartbeat_touch(dir)
+                .map_err(|e| format!("cannot write heartbeat in {}: {e}", dir.display()))?;
         }
-        None => drive_metered(svc, &events, &mut NullSink, opts)?,
+        let ingress = NetIngress::bind(NetConfig {
+            addr: addr.clone(),
+            queue_cap: opts.queue_cap,
+            seed: tf.spec.seed,
+            ..NetConfig::default()
+        })
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        println!("serve: listening on {}", ingress.local_addr());
+        let report = match &opts.decisions {
+            Some(path) => {
+                let file = fs::File::create(path)?;
+                let mut sink = WriteSink::new(io::BufWriter::new(file));
+                let report =
+                    drive_net_metered(svc, &ingress, opts.wal_dir.as_deref(), &mut sink, opts)?;
+                if let Some(e) = sink.error.take() {
+                    return Err(Box::new(e));
+                }
+                sink.into_inner().flush()?;
+                report
+            }
+            None => drive_net_metered(svc, &ingress, opts.wal_dir.as_deref(), &mut NullSink, opts)?,
+        };
+        let s = ingress.stats();
+        let mut t = Table::new(
+            format!("net ingress: {}", ingress.local_addr()),
+            &["metric", "value"],
+        );
+        let rows: Vec<(&str, u64)> = vec![
+            ("connections", s.conns),
+            ("frames", s.frames),
+            ("events accepted", s.accepted),
+            ("retry-after bounces", s.retry_after),
+            ("malformed frames", s.malformed),
+            ("bytes in", s.bytes_in),
+            ("queue high watermark", s.queue_high_watermark as u64),
+        ];
+        for (k, v) in rows {
+            t.row(vec![k.to_string(), v.to_string()]);
+        }
+        print!("{}", t.render());
+        report
+    } else {
+        let base = tf.events.iter().copied().map(Arrival::from_trace);
+        let events: Vec<Arrival> = if opts.drift > 0.0 {
+            BenefitDrift::new(&g, opts.drift, tf.spec.seed).weave(base)
+        } else {
+            base.collect()
+        };
+        match &opts.decisions {
+            Some(path) => {
+                let file = fs::File::create(path)?;
+                let mut sink = WriteSink::new(io::BufWriter::new(file));
+                let report = drive_metered(svc, &events, &mut sink, opts)?;
+                if let Some(e) = sink.error.take() {
+                    return Err(Box::new(e));
+                }
+                sink.into_inner().flush()?;
+                report
+            }
+            None => drive_metered(svc, &events, &mut NullSink, opts)?,
+        }
     };
 
     // The final write is the cumulative run snapshot (replacing the last
@@ -724,6 +855,200 @@ fn run_recover(trace: &Path, wal_dir: &Path) -> Result<(), Box<dyn Error>> {
         return Err(format!(
             "recovered state violates {violations} capacities against {}",
             trace.display()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Whether nothing is listening on `addr`. Promotion gate: a `kill -9`'d
+/// primary can leave its port in TIME_WAIT, where a fresh bind fails even
+/// though the primary is gone — so a failed bind falls back to a connect
+/// probe, and a refused connect proves no listener exists. Only a port
+/// that *answers* keeps the follower waiting (split-brain avoidance).
+fn port_is_dead(addr: &str) -> bool {
+    if let Ok(l) = TcpListener::bind(addr) {
+        drop(l);
+        return true;
+    }
+    match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+        Some(sa) => matches!(
+            TcpStream::connect_timeout(&sa, Duration::from_millis(250)),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused
+        ),
+        None => false,
+    }
+}
+
+fn follower_status(f: &FollowerState, role: Role) -> StatusInfo {
+    StatusInfo {
+        role,
+        watermark: f.watermark(),
+        assignments: f.assignments() as u64,
+        total_weight: f.total_weight(),
+    }
+}
+
+/// `mbta follow`: tail a primary's WAL directory as a warm read-only
+/// replica, serve status queries, and on primary death (stale heartbeat
+/// and dead ingress port) promote — replay the durable tail, persist a
+/// warm snapshot, and validate the promoted state against the trace's
+/// universe. Exits non-zero on any capacity violation.
+fn run_follow(o: &FollowOpts) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(&o.trace)
+        .map_err(|e| format!("cannot read trace {}: {e}", o.trace.display()))?;
+    let tf = TraceFile::parse(&text)?;
+    let g = tf.spec.generate().realize(&BenefitParams::default())?;
+
+    // Wait for the primary to exist: WAL dir with a first heartbeat.
+    let deadline = Instant::now() + Duration::from_millis(o.max_wait_ms);
+    while !matches!(heartbeat_age(&o.wal_dir), Ok(Some(_))) {
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "no primary heartbeat in {} after {} ms",
+                o.wal_dir.display(),
+                o.max_wait_ms
+            )
+            .into());
+        }
+        thread::sleep(Duration::from_millis(o.poll_ms));
+    }
+
+    // Warm start from the durable state, then follow the live tail.
+    let state = recover(&o.wal_dir)
+        .map_err(|e| format!("cannot recover from {}: {e}", o.wal_dir.display()))?;
+    let mut follower = FollowerState::from_recovered(&state);
+    let mut tail = WalTail::resume_from(&o.wal_dir, follower.watermark());
+    println!(
+        "follow: warm at watermark {}, {} assignments",
+        follower.watermark(),
+        follower.assignments()
+    );
+
+    let status = match &o.query_listen {
+        Some(addr) => {
+            let srv = StatusServer::bind(addr, follower_status(&follower, Role::Follower))
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            println!("follow: status queries on {}", srv.local_addr());
+            Some(srv)
+        }
+        None => None,
+    };
+
+    loop {
+        let poll = tail.poll()?;
+        mbta_telemetry::counter_add("mbta_follow_polls_total", 1);
+        if !poll.records.is_empty() {
+            mbta_telemetry::counter_add("mbta_follow_records_total", poll.records.len() as u64);
+        }
+        for rec in &poll.records {
+            follower.apply(rec);
+        }
+        if poll.status == TailStatus::Gap {
+            // The primary compacted past our position: re-seed from the
+            // latest snapshot instead of replaying a hole.
+            mbta_telemetry::counter_add("mbta_follow_gaps_total", 1);
+            let state = recover(&o.wal_dir)
+                .map_err(|e| format!("cannot re-recover from {}: {e}", o.wal_dir.display()))?;
+            follower = FollowerState::from_recovered(&state);
+            tail = WalTail::resume_from(&o.wal_dir, follower.watermark());
+        }
+        if let Some(s) = &status {
+            s.update(follower_status(&follower, Role::Follower));
+        }
+
+        let age = heartbeat_age(&o.wal_dir)?.unwrap_or(Duration::MAX);
+        if age >= Duration::from_millis(o.heartbeat_ms)
+            && o.listen.as_deref().is_none_or(port_is_dead)
+        {
+            break;
+        }
+        thread::sleep(Duration::from_millis(o.poll_ms));
+    }
+
+    // Promote. The writer is dead, so a torn tail frame is final: one
+    // last poll picks up every completed record, then the torn suffix is
+    // dropped exactly as crash recovery would drop it.
+    let last = tail.poll()?;
+    for rec in &last.records {
+        follower.apply(rec);
+    }
+    let violations = recovered_capacity_violations(&g, &follower.to_recovered());
+    let snap_path = mbta_store::snapshot::write(&o.wal_dir, &follower.to_snapshot())
+        .map_err(|e| format!("cannot write promotion snapshot: {e}"))?;
+    if let Some(s) = &status {
+        s.update(follower_status(&follower, Role::Primary));
+    }
+    println!("follow: warm snapshot {}", snap_path.display());
+    // Stable one-line summary (the CI failover smoke greps it).
+    println!(
+        "follow: promoted at watermark {}, {} assignments, total weight {}, \
+         {} capacity violations, {} bytes in flight dropped",
+        follower.watermark(),
+        follower.assignments(),
+        fnum(follower.total_weight(), 4),
+        violations,
+        last.blocked_bytes
+    );
+    if violations > 0 {
+        return Err(format!(
+            "promoted state violates {violations} capacities against {}",
+            o.trace.display()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// `mbta send`: stream a trace's events to a serving ingress over TCP
+/// (with RETRY-AFTER-aware backoff), or probe an endpoint's status.
+fn run_send(o: &SendOpts) -> Result<(), Box<dyn Error>> {
+    let mut client = Client::connect_retry(&o.addr, Duration::from_millis(o.connect_wait_ms))
+        .map_err(|e| format!("cannot connect to {}: {e}", o.addr))?;
+    if o.status {
+        return match client.request(&Request::QueryStatus)? {
+            Reply::Status(s) => {
+                println!(
+                    "status: role {}, watermark {}, {} assignments, total weight {}",
+                    s.role.name(),
+                    s.watermark,
+                    s.assignments,
+                    fnum(s.total_weight, 4)
+                );
+                Ok(())
+            }
+            other => Err(format!("unexpected reply to status query: {other:?}").into()),
+        };
+    }
+    let trace = o.trace.as_ref().expect("parser requires --trace");
+    let text = fs::read_to_string(trace)
+        .map_err(|e| format!("cannot read trace {}: {e}", trace.display()))?;
+    let tf = TraceFile::parse(&text)?;
+    let base = tf.events.iter().copied().map(Arrival::from_trace);
+    let events: Vec<Arrival> = if o.drift > 0.0 {
+        let g = tf.spec.generate().realize(&BenefitParams::default())?;
+        BenefitDrift::new(&g, o.drift, tf.spec.seed).weave(base)
+    } else {
+        base.collect()
+    };
+
+    let mut backoff = DeferBackoff::new(5, 500, tf.spec.seed);
+    let start = Instant::now();
+    let summary = send_events(&mut client, &events, o.batch, &mut backoff)?;
+    client.request(&Request::Fin)?;
+    // Stable one-line summary (the CI overload smoke greps it).
+    println!(
+        "send: {} events in {} batches, {} retries, {:.2?}",
+        summary.sent,
+        summary.batches,
+        summary.retries,
+        start.elapsed()
+    );
+    if summary.sent as usize != events.len() {
+        return Err(format!(
+            "server acknowledged {} of {} events",
+            summary.sent,
+            events.len()
         )
         .into());
     }
@@ -880,6 +1205,7 @@ mod tests {
             wal_dir: None,
             snapshot_every: 64,
             fsync: mbta_service::FsyncPolicy::Batch,
+            listen: None,
         }
     }
 
@@ -920,6 +1246,81 @@ mod tests {
         assert!(r.is_err(), "non-empty WAL dir must be rejected");
         let msg = r.unwrap_err().to_string();
         assert!(msg.contains("already holds"), "unexpected error: {msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn serve_over_network_then_follow_promotes() {
+        let trace = tmp("net.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 50,
+            tasks: 30,
+            degree: 4.0,
+            dims: 4,
+            seed: 31,
+            horizon: 30.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let dir = tmp("net.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Reserve an ephemeral port, then reuse it for the real ingress
+        // so the sender and the follower's takeover gate know the address.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+
+        let mut opts = small_serve_opts(trace.clone(), None);
+        opts.wal_dir = Some(dir.clone());
+        opts.snapshot_every = 8;
+        opts.fsync = mbta_service::FsyncPolicy::Never;
+        opts.drift = 0.0; // with --listen, drift is woven by the sender
+        opts.listen = Some(addr.clone());
+        let primary =
+            std::thread::spawn(move || run(Command::Serve(opts)).map_err(|e| e.to_string()));
+
+        // Follower tails the same WAL dir while the primary is serving.
+        let follow_opts = crate::args::FollowOpts {
+            trace: trace.clone(),
+            wal_dir: dir.clone(),
+            listen: Some(addr.clone()),
+            query_listen: Some("127.0.0.1:0".to_string()),
+            heartbeat_ms: 500,
+            poll_ms: 10,
+            max_wait_ms: 20_000,
+        };
+        let follower = std::thread::spawn(move || {
+            run(Command::Follow(follow_opts)).map_err(|e| e.to_string())
+        });
+
+        run(Command::Send(crate::args::SendOpts {
+            addr,
+            trace: Some(trace.clone()),
+            batch: 64,
+            drift: 0.1,
+            status: false,
+            connect_wait_ms: 20_000,
+        }))
+        .unwrap();
+
+        // FIN drains the primary; its heartbeat then goes stale and its
+        // port dies, so the follower promotes with zero violations.
+        primary.join().unwrap().unwrap();
+        follower.join().unwrap().unwrap();
+
+        // The durable state — including the follower's warm promotion
+        // snapshot — recovers cleanly against the trace's universe.
+        run(Command::Recover {
+            trace: trace.clone(),
+            wal_dir: dir.clone(),
+        })
+        .unwrap();
 
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_file(trace);

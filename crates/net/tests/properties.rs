@@ -1,0 +1,140 @@
+//! Property tests for the wire protocol: the decoders are *total*.
+//! Arbitrary byte garbage — random payloads, bit-flipped valid messages,
+//! truncated streams — must never panic and must always come back as
+//! either a valid message or a typed error. This mirrors the WAL's
+//! truncate-anywhere property: the network peer is even less trustworthy
+//! than a crashed disk.
+
+use mbta_net::{
+    decode_reply, decode_request, encode_reply, encode_request, read_message, write_message,
+    ErrCode, FrameError, Reply, Request, Role, StatusInfo,
+};
+use mbta_service::{Arrival, ServiceEvent};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = ServiceEvent> {
+    (0u32..6, 0u32..10_000, -1.0e3f64..1.0e3).prop_map(|(pick, id, weight)| match pick {
+        0 => ServiceEvent::WorkerJoin(id),
+        1 => ServiceEvent::WorkerLeave(id),
+        2 => ServiceEvent::TaskPost(id),
+        3 => ServiceEvent::TaskCancel(id),
+        4 => ServiceEvent::TaskComplete(id),
+        _ => ServiceEvent::BenefitUpdate { edge: id, weight },
+    })
+}
+
+fn arb_arrival() -> impl Strategy<Value = Arrival> {
+    (0.0f64..1.0e6, arb_event()).prop_map(|(time, event)| Arrival { time, event })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u32..3, vec(arb_arrival(), 0..64)).prop_map(|(pick, batch)| match pick {
+        0 => Request::EventBatch(batch),
+        1 => Request::Fin,
+        _ => Request::QueryStatus,
+    })
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        (0u32..4, any::<u32>(), any::<u8>(), vec(32u8..127, 0..40)),
+        (any::<bool>(), any::<u64>(), any::<u64>(), -1.0e6f64..1.0e6),
+    )
+        .prop_map(
+            |((pick, n, code, msg), (primary, watermark, assignments, total_weight))| match pick {
+                0 => Reply::Ok { accepted: n },
+                1 => Reply::RetryAfter { hint_ms: n },
+                2 => Reply::Err {
+                    code: ErrCode::from_u8(code),
+                    msg: String::from_utf8(msg).expect("printable ASCII"),
+                },
+                _ => Reply::Status(StatusInfo {
+                    role: if primary {
+                        Role::Primary
+                    } else {
+                        Role::Follower
+                    },
+                    watermark,
+                    assignments,
+                    total_weight,
+                }),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed messages round-trip bit-for-bit.
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn replies_round_trip(reply in arb_reply()) {
+        let bytes = encode_reply(&reply);
+        prop_assert_eq!(decode_reply(&bytes).unwrap(), reply);
+    }
+
+    /// Pure garbage payloads: a typed error or (astronomically unlikely)
+    /// a valid decode — never a panic, never an allocation blow-up.
+    #[test]
+    fn garbage_payload_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+
+    /// A valid request truncated at any byte boundary decodes to a typed
+    /// error or a shorter valid message — never a panic.
+    #[test]
+    fn truncated_request_never_panics(req in arb_request(), frac in 0.0f64..1.0) {
+        let bytes = encode_request(&req);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = decode_request(&bytes[..cut.min(bytes.len())]);
+    }
+
+    /// Bit-flip anywhere in a framed message on the socket (optionally
+    /// truncated first): the reader reports `Corrupt`/`Oversize`/`Eof`,
+    /// or delivers a payload the payload decoder then handles totally.
+    /// Never a panic.
+    #[test]
+    fn damaged_socket_frame_never_panics(
+        req in arb_request(),
+        flip_byte in 0usize..4096,
+        flip_bit in 0u8..8,
+        do_cut in any::<bool>(),
+        cut in 0usize..4096,
+    ) {
+        let mut framed = Vec::new();
+        write_message(&mut framed, &encode_request(&req)).unwrap();
+        if do_cut {
+            framed.truncate(cut.min(framed.len()));
+        }
+        if !framed.is_empty() {
+            let idx = flip_byte % framed.len();
+            framed[idx] ^= 1 << flip_bit;
+        }
+        let mut cursor = &framed[..];
+        match read_message(&mut cursor) {
+            Ok(payload) => { let _ = decode_request(&payload); }
+            Err(FrameError::Eof | FrameError::Corrupt | FrameError::Oversize(_)) => {}
+            Err(FrameError::Io(e)) => {
+                // In-memory cursor: only "unexpected EOF"-class errors.
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+        }
+    }
+
+    /// Raw garbage fed straight to the socket reader: same totality.
+    #[test]
+    fn garbage_socket_stream_never_panics(bytes in vec(any::<u8>(), 0..1024)) {
+        let mut cursor = &bytes[..];
+        if let Ok(payload) = read_message(&mut cursor) {
+            let _ = decode_request(&payload);
+            let _ = decode_reply(&payload);
+        }
+    }
+}

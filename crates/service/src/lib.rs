@@ -54,7 +54,7 @@ pub mod sink;
 pub use batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
 pub use event::{Arrival, BenefitDrift, ServiceEvent};
 pub use pool::{BatchSolve, ShardJob, ShardOutcome, SolvePool};
-pub use queue::{BoundedQueue, DropPolicy, OfferOutcome};
+pub use queue::{BoundedQueue, DeferBackoff, DropPolicy, OfferOutcome};
 pub use report::ServiceReport;
 pub use service::{BudgetMode, DispatchService, ServiceConfig};
 pub use shard::{Routing, ShardPlan};

@@ -21,7 +21,9 @@
 //! to be measured, never a silent data-quality bug.
 
 use crate::event::Arrival;
+use mbta_util::SplitMix64;
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// What to do when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,9 +152,96 @@ impl BoundedQueue {
         self.deferrals
     }
 
+    /// Records a deferral decided *outside* [`BoundedQueue::offer`] —
+    /// e.g. an all-or-nothing batch bounced by admission control because
+    /// the whole batch did not fit, even though the queue itself was not
+    /// full. Keeps the ingress accounting identity intact without
+    /// enqueuing anything.
+    pub fn note_deferral(&mut self) {
+        self.deferrals += 1;
+    }
+
     /// Deepest the queue has ever been.
     pub fn high_watermark(&self) -> usize {
         self.high_watermark
+    }
+}
+
+/// Capped exponential backoff with jitter for retrying a deferred offer.
+///
+/// [`DropPolicy::Defer`] tells the producer "drain and retry" — but a
+/// producer that retries *immediately* spins: under sustained saturation
+/// every retry bounces again and the producer burns a core learning
+/// nothing. This schedule spaces the retries out. The k-th consecutive
+/// bounce waits on a floor of `min(base · 2^k, cap)` plus a jitter drawn
+/// uniformly from `[0, floor/2)` (so the delay lies in
+/// `[floor, 1.5·floor)`), and an accepted offer resets the schedule.
+/// Jitter comes from [`mbta_util::SplitMix64`], keeping retry timing
+/// deterministic in the seed and de-synchronizing producers that
+/// saturated at the same instant.
+///
+/// The same schedule drives the network ingress's RETRY-AFTER hints and
+/// the `mbta send` client's retry loop.
+///
+/// # Example
+/// ```
+/// use mbta_service::DeferBackoff;
+/// let mut b = DeferBackoff::new(1, 64, 42);
+/// let first = b.next_delay();
+/// let second = b.next_delay();
+/// assert!(second >= first || second.as_millis() as u64 >= 64);
+/// b.reset(); // an accepted offer starts the schedule over
+/// assert_eq!(b.attempts(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeferBackoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl DeferBackoff {
+    /// A schedule starting at `base_ms` and saturating at `cap_ms`
+    /// (both clamped to at least 1 ms), jittered from `seed`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> DeferBackoff {
+        let base_ms = base_ms.max(1);
+        DeferBackoff {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            attempt: 0,
+            rng: SplitMix64::new(seed).derive("defer-backoff"),
+        }
+    }
+
+    /// The deterministic floor of the delay for the current attempt:
+    /// `min(base · 2^attempt, cap)`, before jitter.
+    pub fn current_floor(&self) -> Duration {
+        let shifted = if self.attempt >= 63 {
+            self.cap_ms
+        } else {
+            self.base_ms.saturating_mul(1u64 << self.attempt)
+        };
+        Duration::from_millis(shifted.min(self.cap_ms))
+    }
+
+    /// Draws the next delay and advances the schedule. The returned
+    /// delay is in `[floor, 1.5·floor)` for the current attempt's floor.
+    pub fn next_delay(&mut self) -> Duration {
+        let floor = self.current_floor().as_millis() as u64;
+        let jitter = self.rng.next_below(floor / 2 + 1);
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_millis(floor + jitter)
+    }
+
+    /// Consecutive bounces since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Starts the schedule over; call when an offer is accepted.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
     }
 }
 
@@ -253,6 +342,56 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 3);
         assert_eq!(q.high_watermark(), 5);
+    }
+
+    #[test]
+    fn backoff_floors_are_monotone_up_to_cap() {
+        let mut b = DeferBackoff::new(2, 100, 7);
+        let mut floors = Vec::new();
+        for _ in 0..12 {
+            let floor = b.current_floor();
+            let delay = b.next_delay();
+            // Jitter never dips below the floor and never reaches 1.5×.
+            assert!(delay >= floor, "delay {delay:?} below floor {floor:?}");
+            assert!(
+                delay.as_millis() < floor.as_millis() + floor.as_millis() / 2 + 1,
+                "delay {delay:?} exceeds 1.5× floor {floor:?}"
+            );
+            floors.push(floor.as_millis() as u64);
+        }
+        // The retry-interval floor sequence is monotone non-decreasing,
+        // doubling (2, 4, 8, …) until it pins at the cap.
+        assert!(floors.windows(2).all(|w| w[0] <= w[1]), "floors {floors:?}");
+        assert_eq!(&floors[..6], &[2, 4, 8, 16, 32, 64]);
+        assert!(floors[6..].iter().all(|&f| f == 100), "cap not reached");
+    }
+
+    #[test]
+    fn backoff_resets_on_accept_and_is_deterministic() {
+        let mut a = DeferBackoff::new(1, 64, 99);
+        let mut b = DeferBackoff::new(1, 64, 99);
+        let first: Vec<_> = (0..5).map(|_| a.next_delay()).collect();
+        let again: Vec<_> = (0..5).map(|_| b.next_delay()).collect();
+        assert_eq!(first, again, "same seed must give the same schedule");
+        assert_eq!(a.attempts(), 5);
+        a.reset();
+        assert_eq!(a.attempts(), 0);
+        assert_eq!(a.current_floor(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn backoff_survives_extreme_attempts_and_degenerate_config() {
+        // Attempt counts far past the doubling range must pin at the cap,
+        // never overflow; base 0 is clamped to 1 ms.
+        let mut b = DeferBackoff::new(0, 50, 1);
+        for _ in 0..200 {
+            let d = b.next_delay();
+            assert!(d.as_millis() as u64 <= 50 + 25);
+        }
+        assert_eq!(b.current_floor(), Duration::from_millis(50));
+        // cap below base is clamped up to base.
+        let c = DeferBackoff::new(10, 3, 1);
+        assert_eq!(c.current_floor(), Duration::from_millis(10));
     }
 
     #[test]

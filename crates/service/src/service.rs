@@ -379,6 +379,23 @@ impl<'p> DispatchService<'p> {
         }
     }
 
+    /// Batches dispatched so far — equals the durable watermark when a
+    /// store is attached. Cheap; safe to read every loop iteration for
+    /// status replies.
+    pub fn batches_committed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Live assigned-edge count across all shards.
+    pub fn current_assignments(&self) -> usize {
+        self.states.iter().map(|s| s.len()).sum()
+    }
+
+    /// Live total assignment value across all shards.
+    pub fn current_value(&self) -> f64 {
+        self.states.iter().map(|s| s.total_weight()).sum()
+    }
+
     fn route(&self, ev: &ServiceEvent) -> Routed {
         match *ev {
             ServiceEvent::WorkerJoin(w) | ServiceEvent::WorkerLeave(w) => {

@@ -23,6 +23,10 @@
 //!   then replay the WAL tail. Torn or corrupt tail frames are tolerated by
 //!   truncating at the first bad frame — only the incomplete suffix is
 //!   lost, never a committed prefix.
+//! * [`tail`] — the replication read path: [`tail::WalTail`] polls the
+//!   same directory a live primary is appending to and feeds a warm
+//!   [`tail::FollowerState`], the mechanism behind `mbta follow` and
+//!   kill -9 failover. Includes the heartbeat-file liveness helpers.
 //!
 //! Everything on disk is little-endian and versioned; [`frame`] holds the
 //! shared `[len | crc32 | payload]` framing and [`record`]/[`snapshot`]
@@ -38,11 +42,15 @@ pub mod frame;
 pub mod record;
 pub mod snapshot;
 pub mod store;
+pub mod tail;
 pub mod wal;
 
 pub use crc::crc32;
-pub use frame::{read_frame, write_frame, FrameRead};
+pub use frame::{read_frame, write_frame, BadFrame, FrameRead};
 pub use record::{BatchRecord, DecisionRecord, DecodeError, WeightDelta};
 pub use snapshot::SnapshotState;
 pub use store::{recover, DurableStore, RecoveredState, StoreConfig, StoreStats};
+pub use tail::{
+    heartbeat_age, heartbeat_touch, FollowerState, TailPoll, TailStatus, WalTail, HEARTBEAT_FILE,
+};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalReplay};

@@ -128,7 +128,11 @@ impl RecoveredState {
     }
 }
 
-fn apply_record(shards: &mut Vec<BTreeSet<u32>>, weights: &mut Vec<f64>, rec: &BatchRecord) {
+pub(crate) fn apply_record(
+    shards: &mut Vec<BTreeSet<u32>>,
+    weights: &mut Vec<f64>,
+    rec: &BatchRecord,
+) {
     let touch = |weights: &mut Vec<f64>, edge: u32, w: f64| {
         let i = edge as usize;
         if weights.len() <= i {
@@ -222,6 +226,7 @@ impl DurableStore {
     /// replay.
     pub fn open(dir: &Path, cfg: StoreConfig) -> io::Result<(DurableStore, RecoveredState)> {
         fs::create_dir_all(dir)?;
+        remove_orphan_tmp(dir)?;
         let (recovered, torn) = scan(dir)?;
         if let Some((path, durable_len)) = torn {
             repair(dir, &path, durable_len)?;
@@ -310,6 +315,24 @@ impl DurableStore {
     pub fn fsync_policy(&self) -> FsyncPolicy {
         self.cfg.fsync
     }
+}
+
+/// Deletes orphaned `*.tmp` files left behind by a crash mid-snapshot.
+/// Snapshot writes go through `snap-….snap.tmp` + rename; a temp file that
+/// survived to the next open was never renamed, so it is dead weight that
+/// would otherwise accumulate forever. Returns the number removed.
+fn remove_orphan_tmp(dir: &Path) -> io::Result<usize> {
+    let mut removed = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Physically truncates a torn segment at its last good frame and removes
@@ -500,6 +523,27 @@ mod tests {
         let (shards, total) = expected(8);
         assert_eq!(state.shards, shards);
         assert!((state.total_weight() - total).abs() < 1e-12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_removes_orphan_tmp_snapshots() {
+        let dir = tmp("orphan-tmp");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        run(&mut store, 0..4);
+        let snap = recover(&dir).unwrap().to_snapshot();
+        store.seal(&snap).unwrap();
+        drop(store);
+        // Plant a temp file as a crash mid-snapshot would leave it: the
+        // write reached the temp path but never the rename.
+        let orphan = dir.join("snap-00000000000000000009.snap.tmp");
+        fs::write(&orphan, b"half-written snapshot bytes").unwrap();
+        let (store, recovered) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        assert!(!orphan.exists(), "orphan tmp survived reopen");
+        // The real snapshot and the recovered state are untouched.
+        assert_eq!(recovered.watermark, 4);
+        assert_eq!(recovered.snapshot_watermark, Some(4));
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -42,6 +42,7 @@ pub use mbta_core as core;
 pub use mbta_graph as graph;
 pub use mbta_market as market;
 pub use mbta_matching as matching;
+pub use mbta_net as net;
 pub use mbta_service as service;
 pub use mbta_store as store;
 pub use mbta_telemetry as telemetry;
