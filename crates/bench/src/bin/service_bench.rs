@@ -7,7 +7,9 @@
 //! shard sweep isolates sharding), then sweeps the solver-pool width
 //! {1, 2, 4, 8} at 8 shards (the thread-scaling section; speedups are
 //! relative to 1 thread and bounded by the host's available parallelism,
-//! recorded as `host_parallelism`), then re-runs the 4-shard
+//! recorded as `host_parallelism`), then sweeps partition quality (hash
+//! vs min-cut routing, and min-cut with the cross-shard boundary-rescue
+//! pass) across the same shard counts, then re-runs the 4-shard
 //! configuration with telemetry recording on vs off (runtime
 //! kill-switch) to measure instrumentation overhead against its <3%
 //! throughput target. Prints a JSON report to stdout or `--out <path>` —
@@ -52,6 +54,8 @@ fn serve_config(threads: usize) -> ServiceConfig {
         drop_policy: mbta_service::DropPolicy::Defer,
         budget: BudgetMode::Wallclock(50),
         threads,
+        boundary_pass: false,
+        replan_threshold: None,
     }
 }
 
@@ -62,8 +66,22 @@ fn run_one(
     shards: usize,
     threads: usize,
 ) -> ServiceReport {
-    let plan = ShardPlan::build(g, weights, shards, Routing::HashId);
-    let mut svc = DispatchService::new(g, &plan, serve_config(threads));
+    run_routed(g, weights, events, shards, threads, Routing::HashId, false)
+}
+
+fn run_routed(
+    g: &mbta_graph::BipartiteGraph,
+    weights: &[f64],
+    events: &[Arrival],
+    shards: usize,
+    threads: usize,
+    routing: Routing,
+    boundary_pass: bool,
+) -> ServiceReport {
+    let plan = ShardPlan::build(g, weights, shards, routing);
+    let mut cfg = serve_config(threads);
+    cfg.boundary_pass = boundary_pass;
+    let mut svc = DispatchService::new(g, &plan, cfg);
     let mut sink = NullSink;
     for &a in events {
         while let OfferOutcome::Deferred = svc.offer(a) {
@@ -235,6 +253,73 @@ fn main() -> ExitCode {
         scaling.join(",\n")
     );
 
+    // Partition-quality sweep: hash vs min-cut routing, and min-cut with
+    // the cross-shard boundary-rescue pass, at each shard count. The
+    // interesting deltas: min-cut keeps more planned weight intra-shard
+    // than hash at the same shard count, and the rescue pass recovers
+    // most of what still crosses (effective retained), at a bounded
+    // events/sec cost.
+    let mut quality = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for (routing, boundary) in [
+            (Routing::HashId, false),
+            (Routing::MinCut, false),
+            (Routing::MinCut, true),
+        ] {
+            let r = run_routed(&g, &weights, &events, shards, 1, routing, boundary);
+            eprintln!(
+                "quality {} shards, {}{}: retained {:.4}, effective {:.4}, \
+                 rescued {:.3}, {:.0} events/sec, {} violations",
+                shards,
+                routing.name(),
+                if boundary { "+rescue" } else { "" },
+                r.retained_weight,
+                r.effective_retained,
+                r.rescued_weight,
+                r.events_per_sec,
+                r.capacity_violations
+            );
+            violations += r.capacity_violations;
+            quality.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"shards\": {},\n",
+                    "      \"routing\": \"{}\",\n",
+                    "      \"boundary_pass\": {},\n",
+                    "      \"cross_shard_edges\": {},\n",
+                    "      \"retained_weight_fraction\": {:.4},\n",
+                    "      \"effective_retained_fraction\": {:.4},\n",
+                    "      \"rescued_weight\": {:.4},\n",
+                    "      \"rescue_solves\": {},\n",
+                    "      \"events_per_sec\": {:.0},\n",
+                    "      \"capacity_violations\": {}\n",
+                    "    }}"
+                ),
+                shards,
+                routing.name(),
+                boundary,
+                r.cross_edges,
+                r.retained_weight,
+                r.effective_retained,
+                r.rescued_weight,
+                r.rescue_solves,
+                r.events_per_sec,
+                r.capacity_violations
+            ));
+        }
+    }
+    let partition_quality = format!(
+        concat!(
+            "  \"partition_quality\": {{\n",
+            "    \"note\": \"retained is the live intra-shard weight fraction; ",
+            "effective additionally credits cross edges the boundary-rescue ",
+            "market was offered\",\n",
+            "    \"results\": [\n{}\n    ]\n",
+            "  }},\n"
+        ),
+        quality.join(",\n")
+    );
+
     // Instrumentation overhead guard: the same workload at 4 shards with
     // recording on vs off via the runtime kill-switch, after the sweep
     // above has warmed everything. Target: under 3% throughput cost.
@@ -286,6 +371,7 @@ fn main() -> ExitCode {
             "  }},\n",
             "{}",
             "{}",
+            "{}",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -298,6 +384,7 @@ fn main() -> ExitCode {
         REPEATS,
         DRIFT,
         thread_scaling,
+        partition_quality,
         overhead,
         entries.join(",\n")
     );

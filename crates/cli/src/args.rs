@@ -28,12 +28,14 @@ usage:
   mbta serve  --trace FILE [--shards N] [--threads N] [--batch-max N]
               [--batch-bytes N] [--flush-ms F] [--queue-cap N]
               [--drop-policy <drop-newest|drop-oldest|defer>]
-              [--routing <hash|range>] [--budget-ms N] [--drift F]
+              [--routing <hash|range|min-cut>] [--boundary-pass]
+              [--replan-threshold F] [--budget-ms N] [--drift F]
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
               [--metrics-out FILE] [--metrics-every N]
               [--wal-dir DIR] [--snapshot-every N]
               [--fsync <always|batch|never>] [--listen ADDR]
   mbta replay --trace FILE [serve flags; deterministic budgets]
+  mbta plan-stats --trace FILE [--shards N,N,...]
   mbta recover --trace FILE --wal-dir DIR
   mbta follow --trace FILE --wal-dir DIR [--listen ADDR]
               [--query-listen ADDR] [--heartbeat-ms N]
@@ -81,6 +83,12 @@ pub struct ServeOpts {
     pub drop_policy: DropPolicy,
     /// Task-to-shard routing.
     pub routing: Routing,
+    /// Run the cross-shard boundary-rescue matching after every batch's
+    /// per-shard solves.
+    pub boundary_pass: bool,
+    /// Re-plan the shard layout at a batch boundary once the live cut
+    /// fraction has degraded past this much above the plan's baseline.
+    pub replan_threshold: Option<f64>,
     /// Per-batch wall-clock solve budget in ms (`serve` only; `replay`
     /// always runs deterministic, unbudgeted solves).
     pub budget_ms: u64,
@@ -298,6 +306,14 @@ pub enum Command {
         /// WAL directory of the crashed run.
         wal_dir: PathBuf,
     },
+    /// Compare shard-plan quality (hash vs range vs min-cut cut stats)
+    /// over a trace's universe at several shard counts.
+    PlanStats {
+        /// Trace whose universe is partitioned.
+        trace: PathBuf,
+        /// Shard counts to tabulate.
+        shards: Vec<usize>,
+    },
     /// Enumerate the k best assignments (Murty).
     TopK {
         /// Instance path.
@@ -417,7 +433,8 @@ fn parse_routing(s: &str) -> Result<Routing, ParseError> {
     match s {
         "hash" => Ok(Routing::HashId),
         "range" => Ok(Routing::Range),
-        _ => err(format!("unknown routing '{s}' (try hash|range)")),
+        "min-cut" => Ok(Routing::MinCut),
+        _ => err(format!("unknown routing '{s}' (try hash|range|min-cut)")),
     }
 }
 
@@ -431,6 +448,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     let mut queue_cap = 4096usize;
     let mut drop_policy = DropPolicy::Defer;
     let mut routing = Routing::HashId;
+    let mut boundary_pass = false;
+    let mut replan_threshold = None;
     let mut budget_ms = 50u64;
     let mut drift = 0.0f64;
     let mut poison_shard = None;
@@ -488,6 +507,14 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
                 })?;
             }
             "--routing" => routing = parse_routing(cur.value_for(flag)?)?,
+            "--boundary-pass" => boundary_pass = true,
+            "--replan-threshold" => {
+                let t: f64 = parse_num(flag, cur.value_for(flag)?)?;
+                if !(t > 0.0 && t.is_finite()) {
+                    return err("--replan-threshold must be positive and finite");
+                }
+                replan_threshold = Some(t);
+            }
             "--budget-ms" => {
                 budget_ms = parse_num(flag, cur.value_for(flag)?)?;
                 if budget_ms == 0 {
@@ -550,6 +577,11 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         if drift > 0.0 {
             return err("--listen takes events from the network; put --drift on `mbta send`");
         }
+        if replan_threshold.is_some() {
+            return err(
+                "--replan-threshold needs a trace-driven run (network serve never re-plans)",
+            );
+        }
     }
     Ok(ServeOpts {
         trace,
@@ -561,6 +593,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         queue_cap,
         drop_policy,
         routing,
+        boundary_pass,
+        replan_threshold,
         budget_ms,
         drift,
         poison_shard,
@@ -840,6 +874,30 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "serve" => Ok(Command::Serve(parse_serve_opts(&mut cur, "serve")?)),
+        "plan-stats" => {
+            let mut trace = None;
+            let mut shards = vec![2usize, 4, 8];
+            while let Some(flag) = cur.next() {
+                match flag {
+                    "--trace" => trace = Some(PathBuf::from(cur.value_for(flag)?)),
+                    "--shards" => {
+                        let v = cur.value_for(flag)?;
+                        shards = v
+                            .split(',')
+                            .map(|s| parse_num::<usize>(flag, s.trim()))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if shards.is_empty() || shards.contains(&0) {
+                            return err("--shards needs a comma list of counts >= 1");
+                        }
+                    }
+                    _ => return err(format!("unknown flag for plan-stats: '{flag}'")),
+                }
+            }
+            let Some(trace) = trace else {
+                return err("plan-stats requires --trace");
+            };
+            Ok(Command::PlanStats { trace, shards })
+        }
         "replay" => Ok(Command::Replay(parse_serve_opts(&mut cur, "replay")?)),
         "follow" => Ok(Command::Follow(parse_follow_opts(&mut cur)?)),
         "send" => Ok(Command::Send(parse_send_opts(&mut cur)?)),
@@ -1266,6 +1324,70 @@ mod tests {
             "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_partition_flags() {
+        match parse(&sv(&[
+            "serve",
+            "--trace",
+            "t.trace",
+            "--routing",
+            "min-cut",
+            "--boundary-pass",
+            "--replan-threshold",
+            "0.05",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert_eq!(o.routing, Routing::MinCut);
+                assert!(o.boundary_pass);
+                assert_eq!(o.replan_threshold, Some(0.05));
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: hash routing, no rescue, no re-planning.
+        match parse(&sv(&["replay", "--trace", "t.trace"])).unwrap() {
+            Command::Replay(o) => {
+                assert!(!o.boundary_pass);
+                assert_eq!(o.replan_threshold, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["serve", "--trace", "t", "--routing", "mincut"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--replan-threshold", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--replan-threshold", "nan"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--replan-threshold", "-1"])).is_err());
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--listen",
+            ":1",
+            "--replan-threshold",
+            "0.1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_plan_stats() {
+        match parse(&sv(&["plan-stats", "--trace", "t.trace"])).unwrap() {
+            Command::PlanStats { trace, shards } => {
+                assert_eq!(trace, PathBuf::from("t.trace"));
+                assert_eq!(shards, vec![2, 4, 8]);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&sv(&["plan-stats", "--trace", "t", "--shards", "1,4,16"])).unwrap() {
+            Command::PlanStats { shards, .. } => assert_eq!(shards, vec![1, 4, 16]),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["plan-stats"])).is_err());
+        assert!(parse(&sv(&["plan-stats", "--trace", "t", "--shards", "4,0"])).is_err());
+        assert!(parse(&sv(&["plan-stats", "--trace", "t", "--shards", "x"])).is_err());
+        assert!(parse(&sv(&["plan-stats", "--trace", "t", "--bogus"])).is_err());
     }
 
     #[test]

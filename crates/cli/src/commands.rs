@@ -375,6 +375,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         }
         Command::Serve(opts) => run_service(&opts, false),
         Command::Replay(opts) => run_service(&opts, true),
+        Command::PlanStats { trace, shards } => run_plan_stats(&trace, &shards),
         Command::Follow(opts) => run_follow(&opts),
         Command::Send(opts) => run_send(&opts),
         Command::Recover { trace, wal_dir } => run_recover(&trace, &wal_dir),
@@ -524,18 +525,55 @@ impl<S: DecisionSink> DecisionSink for MetricsTee<'_, S> {
 /// Streams every arrival through the service, pumping between offers so
 /// watermark flushes happen promptly and `Defer` backpressure makes
 /// progress instead of spinning.
-fn drive<'p, S: DecisionSink>(
-    mut svc: DispatchService<'p>,
+///
+/// Runs as an epoch loop: when `--replan-threshold` is set and the live
+/// cut degrades past it, the service is detached at the batch boundary, a
+/// fresh plan is built from the live weights, and the carried state is
+/// resumed under it (journaling a plan record if a WAL is attached). With
+/// no threshold the loop is a single epoch over the initial plan.
+fn drive<S: DecisionSink>(
+    g: &BipartiteGraph,
+    mut plan: ShardPlan,
+    cfg: &ServiceConfig,
+    poison_shard: Option<usize>,
+    mut store: Option<DurableStore>,
     events: &[Arrival],
     sink: &mut S,
 ) -> ServiceReport {
-    for &a in events {
-        while let OfferOutcome::Deferred = svc.offer(a) {
+    let mut idx = 0usize;
+    let mut carried = None;
+    loop {
+        let mut svc = match carried.take() {
+            None => {
+                let mut svc = DispatchService::new(g, &plan, cfg.clone());
+                if let Some(s) = poison_shard {
+                    svc.poison_shard(s);
+                }
+                if let Some(store) = store.take() {
+                    svc.attach_store(store);
+                }
+                svc
+            }
+            Some(c) => DispatchService::resume(g, &plan, c, sink),
+        };
+        while idx < events.len() {
+            let a = events[idx];
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(sink);
+            }
+            idx += 1;
             svc.pump(sink);
+            if svc.replan_due() {
+                break;
+            }
         }
-        svc.pump(sink);
+        if idx >= events.len() {
+            return svc.finish(sink);
+        }
+        let c = svc.detach();
+        plan = ShardPlan::build(g, c.live_weights(), plan.n_shards(), plan.routing);
+        carried = Some(c);
     }
-    svc.finish(sink)
 }
 
 /// Network analogue of [`drive`]: pops arrivals off the TCP ingress
@@ -613,8 +651,13 @@ fn drive_net_metered<S: DecisionSink>(
 
 /// [`drive`], wrapped in a [`MetricsTee`] when interval scraping was
 /// requested via `--metrics-out` + `--metrics-every`.
+#[allow(clippy::too_many_arguments)]
 fn drive_metered<S: DecisionSink>(
-    svc: DispatchService<'_>,
+    g: &BipartiteGraph,
+    plan: ShardPlan,
+    cfg: &ServiceConfig,
+    poison_shard: Option<usize>,
+    store: Option<DurableStore>,
     events: &[Arrival],
     sink: &mut S,
     opts: &ServeOpts,
@@ -629,13 +672,13 @@ fn drive_metered<S: DecisionSink>(
                 diff: RegistryDiff::new(),
                 error: None,
             };
-            let report = drive(svc, events, &mut tee);
+            let report = drive(g, plan, cfg, poison_shard, store, events, &mut tee);
             if let Some(e) = tee.error {
                 return Err(format!("cannot write metrics to {}: {e}", path.display()).into());
             }
             Ok(report)
         }
-        _ => Ok(drive(svc, events, sink)),
+        _ => Ok(drive(g, plan, cfg, poison_shard, store, events, sink)),
     }
 }
 
@@ -665,34 +708,44 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
             BudgetMode::Wallclock(opts.budget_ms)
         },
         threads: opts.threads,
+        boundary_pass: opts.boundary_pass,
+        replan_threshold: opts.replan_threshold,
     };
-    let mut svc = DispatchService::new(&g, &plan, cfg);
-    if let Some(s) = opts.poison_shard {
-        svc.poison_shard(s);
-    }
-    if let Some(dir) = &opts.wal_dir {
-        let store_cfg = StoreConfig {
-            fsync: opts.fsync,
-            snapshot_every: opts.snapshot_every,
-            ..StoreConfig::default()
-        };
-        let (store, recovered) = DurableStore::open(dir, store_cfg)
-            .map_err(|e| format!("cannot open WAL dir {}: {e}", dir.display()))?;
-        if recovered.watermark != 0 {
-            // Resuming a half-served trace would double-apply its prefix;
-            // the journal is for post-mortem recovery, not continuation.
-            return Err(format!(
-                "WAL dir {} already holds {} committed batches; \
-                 inspect it with `mbta recover` or point --wal-dir at a fresh directory",
-                dir.display(),
-                recovered.watermark
-            )
-            .into());
+    let store = match &opts.wal_dir {
+        Some(dir) => {
+            let store_cfg = StoreConfig {
+                fsync: opts.fsync,
+                snapshot_every: opts.snapshot_every,
+                ..StoreConfig::default()
+            };
+            let (store, recovered) = DurableStore::open(dir, store_cfg)
+                .map_err(|e| format!("cannot open WAL dir {}: {e}", dir.display()))?;
+            if recovered.watermark != 0 {
+                // Resuming a half-served trace would double-apply its prefix;
+                // the journal is for post-mortem recovery, not continuation.
+                return Err(format!(
+                    "WAL dir {} already holds {} committed batches; \
+                     inspect it with `mbta recover` or point --wal-dir at a fresh directory",
+                    dir.display(),
+                    recovered.watermark
+                )
+                .into());
+            }
+            Some(store)
         }
-        svc.attach_store(store);
-    }
+        None => None,
+    };
 
     let report = if let Some(addr) = &opts.listen {
+        // The network loop pulls events as they arrive and never detaches,
+        // so the initial plan lives for the whole run.
+        let mut svc = DispatchService::new(&g, &plan, cfg);
+        if let Some(s) = opts.poison_shard {
+            svc.poison_shard(s);
+        }
+        if let Some(store) = store {
+            svc.attach_store(store);
+        }
         // Network ingress: the trace defines the universe, the events
         // arrive over TCP. Heartbeat before binding, so any follower that
         // can see the socket can also see a beat.
@@ -752,14 +805,32 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
             Some(path) => {
                 let file = fs::File::create(path)?;
                 let mut sink = WriteSink::new(io::BufWriter::new(file));
-                let report = drive_metered(svc, &events, &mut sink, opts)?;
+                let report = drive_metered(
+                    &g,
+                    plan,
+                    &cfg,
+                    opts.poison_shard,
+                    store,
+                    &events,
+                    &mut sink,
+                    opts,
+                )?;
                 if let Some(e) = sink.error.take() {
                     return Err(Box::new(e));
                 }
                 sink.into_inner().flush()?;
                 report
             }
-            None => drive_metered(svc, &events, &mut NullSink, opts)?,
+            None => drive_metered(
+                &g,
+                plan,
+                &cfg,
+                opts.poison_shard,
+                store,
+                &events,
+                &mut NullSink,
+                opts,
+            )?,
         }
     };
 
@@ -782,6 +853,16 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         report.capacity_violations,
         fnum(report.wall_ms, 1)
     );
+    // Stable one-line quality summary (the CI sharding smoke greps it).
+    println!(
+        "sharding: retained {}, effective {}, rescued weight {}, \
+         {} rescue solves, {} replans",
+        fnum(report.retained_weight, 4),
+        fnum(report.effective_retained, 4),
+        fnum(report.rescued_weight, 4),
+        report.rescue_solves,
+        report.replans
+    );
     if report.capacity_violations > 0 {
         return Err(format!(
             "capacity invariant violated: {} violations in final assignment",
@@ -797,6 +878,50 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
             )
             .into());
         }
+    }
+    Ok(())
+}
+
+/// `mbta plan-stats`: tabulate shard-plan quality — cross edges and the
+/// fraction of planned edge weight kept intra-shard — for every routing
+/// policy at each requested shard count, over the trace's universe.
+fn run_plan_stats(trace: &Path, shards: &[usize]) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(trace)
+        .map_err(|e| format!("cannot read trace {}: {e}", trace.display()))?;
+    let tf = TraceFile::parse(&text)?;
+    let g = tf.spec.generate().realize(&BenefitParams::default())?;
+    let weights = edge_weights(&g, Combiner::balanced());
+
+    let mut t = Table::new(
+        format!("plan-stats: {}", trace.display()),
+        &["shards", "routing", "cross edges", "retained wt"],
+    );
+    let mut best: Option<(usize, &'static str, f64)> = None;
+    for &k in shards {
+        for routing in [
+            mbta_service::Routing::HashId,
+            mbta_service::Routing::Range,
+            mbta_service::Routing::MinCut,
+        ] {
+            let plan = ShardPlan::build(&g, &weights, k, routing);
+            t.row(vec![
+                k.to_string(),
+                routing.name().to_string(),
+                plan.cross_edges.to_string(),
+                fnum(plan.retained_weight, 4),
+            ]);
+            if best.is_none_or(|(_, _, r)| plan.retained_weight > r) {
+                best = Some((k, routing.name(), plan.retained_weight));
+            }
+        }
+    }
+    print!("{}", t.render());
+    if let Some((k, name, r)) = best {
+        // Stable one-line summary (scripts grep it).
+        println!(
+            "plan-stats: best {name} at {k} shards, retained {}",
+            fnum(r, 4)
+        );
     }
     Ok(())
 }
@@ -1195,6 +1320,8 @@ mod tests {
             queue_cap: 4096,
             drop_policy: mbta_service::DropPolicy::Defer,
             routing: mbta_service::Routing::HashId,
+            boundary_pass: false,
+            replan_threshold: None,
             budget_ms: 50,
             drift: 0.1,
             poison_shard: None,
@@ -1429,6 +1556,53 @@ mod tests {
         let b = std::fs::read(&log_b).unwrap();
         assert!(!a.is_empty(), "replay produced an empty decision log");
         assert_eq!(a, b, "replay decision logs differ between runs");
+
+        for p in [trace, log_a, log_b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn replay_min_cut_with_rescue_and_replan_is_deterministic() {
+        let trace = tmp("mincut.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 80,
+            tasks: 50,
+            degree: 5.0,
+            dims: 4,
+            seed: 17,
+            horizon: 40.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let mk = |log: PathBuf, threads: usize| {
+            let mut o = small_serve_opts(trace.clone(), Some(log));
+            o.routing = mbta_service::Routing::MinCut;
+            o.boundary_pass = true;
+            o.replan_threshold = Some(0.01);
+            o.shards = 8;
+            o.threads = threads;
+            o.drift = 0.3;
+            o
+        };
+        let log_a = tmp("mincut_a.log");
+        let log_b = tmp("mincut_b.log");
+        run(Command::Replay(mk(log_a.clone(), 1))).unwrap();
+        run(Command::Replay(mk(log_b.clone(), 4))).unwrap();
+        let a = std::fs::read(&log_a).unwrap();
+        let b = std::fs::read(&log_b).unwrap();
+        assert!(!a.is_empty(), "replay produced an empty decision log");
+        assert_eq!(a, b, "boundary pass broke cross-width determinism");
+
+        // The plan-quality tabulation runs over the same universe.
+        run(Command::PlanStats {
+            trace: trace.clone(),
+            shards: vec![2, 4, 8],
+        })
+        .unwrap();
 
         for p in [trace, log_a, log_b] {
             let _ = std::fs::remove_file(p);

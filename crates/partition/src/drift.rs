@@ -1,0 +1,145 @@
+//! Drift accounting for re-planning decisions.
+//!
+//! A shard plan is computed against the weights at plan time, but
+//! benefit drift keeps moving weight between edges afterwards. When the
+//! drift concentrates weight on *cross* edges, the plan's cut degrades
+//! and a re-plan pays for itself. [`CutTracker`] maintains the live
+//! intra/cross weight split incrementally — O(1) per benefit update —
+//! so the service can test "has the cut degraded past the threshold?"
+//! at every batch boundary without rescanning the edge set.
+//!
+//! [`migration_diff`] summarizes what a re-plan would physically move:
+//! the workers and tasks whose shard changes between the old and new
+//! assignments. The service journals those counts with its `PlanRecord`
+//! so operators can see migration churn in the WAL.
+
+/// Incremental live cut-weight tracker for one shard plan.
+#[derive(Debug, Clone)]
+pub struct CutTracker {
+    intra: f64,
+    cross: f64,
+    baseline_cut: f64,
+}
+
+impl CutTracker {
+    /// Starts tracking from the plan-time intra/cross weight split; the
+    /// baseline cut fraction is frozen here.
+    pub fn new(intra: f64, cross: f64) -> CutTracker {
+        let t = CutTracker {
+            intra,
+            cross,
+            baseline_cut: 0.0,
+        };
+        CutTracker {
+            baseline_cut: t.cut_fraction(),
+            ..t
+        }
+    }
+
+    /// Applies one benefit update to the tracked totals.
+    pub fn update(&mut self, is_cross: bool, old: f64, new: f64) {
+        let side = if is_cross {
+            &mut self.cross
+        } else {
+            &mut self.intra
+        };
+        // Clamp at zero: accumulated f64 rounding must never push a
+        // total negative and flip the fraction's sign.
+        *side = (*side + new - old).max(0.0);
+    }
+
+    /// Live fraction of total weight sitting on cross edges (0 when the
+    /// market is empty).
+    pub fn cut_fraction(&self) -> f64 {
+        let total = self.intra + self.cross;
+        if total > 0.0 {
+            self.cross / total
+        } else {
+            0.0
+        }
+    }
+
+    /// How much worse the live cut fraction is than at plan time
+    /// (negative when drift *improved* the cut).
+    pub fn degradation(&self) -> f64 {
+        self.cut_fraction() - self.baseline_cut
+    }
+
+    /// Plan-time cut fraction.
+    pub fn baseline(&self) -> f64 {
+        self.baseline_cut
+    }
+}
+
+/// What a re-plan moves between shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Workers whose home shard changes.
+    pub moved_workers: u32,
+    /// Tasks whose shard changes.
+    pub moved_tasks: u32,
+}
+
+/// Diffs two node → shard assignments.
+///
+/// # Panics
+/// Panics if the old and new assignments disagree on universe size —
+/// re-planning never adds or removes nodes.
+pub fn migration_diff(
+    old_workers: &[u32],
+    new_workers: &[u32],
+    old_tasks: &[u32],
+    new_tasks: &[u32],
+) -> MigrationStats {
+    assert_eq!(old_workers.len(), new_workers.len(), "worker count changed");
+    assert_eq!(old_tasks.len(), new_tasks.len(), "task count changed");
+    let moved =
+        |old: &[u32], new: &[u32]| old.iter().zip(new).filter(|(a, b)| a != b).count() as u32;
+    MigrationStats {
+        moved_workers: moved(old_workers, new_workers),
+        moved_tasks: moved(old_tasks, new_tasks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_follows_weight_motion() {
+        let mut t = CutTracker::new(8.0, 2.0);
+        assert!((t.baseline() - 0.2).abs() < 1e-12);
+        assert_eq!(t.degradation(), 0.0);
+        // Move 3.0 of weight from an intra edge onto a cross edge.
+        t.update(false, 4.0, 1.0);
+        t.update(true, 0.5, 3.5);
+        assert!((t.cut_fraction() - 0.5).abs() < 1e-12);
+        assert!((t.degradation() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_reads_negative() {
+        let mut t = CutTracker::new(5.0, 5.0);
+        t.update(true, 4.0, 0.0);
+        assert!(t.degradation() < 0.0);
+    }
+
+    #[test]
+    fn empty_market_is_zero_cut() {
+        let t = CutTracker::new(0.0, 0.0);
+        assert_eq!(t.cut_fraction(), 0.0);
+        assert_eq!(t.degradation(), 0.0);
+    }
+
+    #[test]
+    fn migration_diff_counts_moves() {
+        let m = migration_diff(&[0, 1, 2], &[0, 2, 2], &[1, 1], &[1, 0]);
+        assert_eq!(
+            m,
+            MigrationStats {
+                moved_workers: 1,
+                moved_tasks: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The boundary-rescue market: residual capacity vs cross-shard edges.
+//!
+//! After the per-shard solves of a batch merge, each worker/task may
+//! have *residual* capacity (its universe capacity minus the load its
+//! home shard assigned). Cross-shard edges — unassignable by the shard
+//! solvers — whose endpoints both have residual capacity form a small
+//! second-stage matching market: anything matched there is pure
+//! recovered cut weight, and the union with the intra-shard assignments
+//! stays feasible because the rescue instance's capacities *are* the
+//! residuals.
+//!
+//! This module builds the residual instance spec ([`residual_candidates`])
+//! and re-validates a proposed rescue assignment ([`validate_rescue`]).
+//! The solve itself lives in the service (it owns the engine, the solve
+//! pool, and the deadline policy); keeping the instance algebra here
+//! makes it testable without a running service.
+
+use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
+
+/// A residual boundary market, in universe ids.
+#[derive(Debug, Default)]
+pub struct RescueSpec {
+    /// Workers with residual capacity incident to ≥ 1 candidate edge,
+    /// with that residual as their capacity. Ascending id order.
+    pub workers: Vec<(WorkerId, u32)>,
+    /// Tasks with residual demand incident to ≥ 1 candidate edge.
+    pub tasks: Vec<(TaskId, u32)>,
+    /// Candidate cross edges (both endpoints present above).
+    pub candidates: Vec<EdgeId>,
+    /// Total weight of the candidate edges.
+    pub candidate_weight: f64,
+}
+
+impl RescueSpec {
+    /// Whether there is anything to solve.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Collects the residual boundary market.
+///
+/// An edge is a candidate iff `is_cross(edge)` holds, both endpoints are
+/// eligible (`worker_ok` / `task_ok` — the service passes liveness), and
+/// both endpoints have positive residual. Node lists carry residuals as
+/// capacities and are emitted in ascending id order, so the spec — and
+/// every downstream solve over it — is deterministic.
+pub fn residual_candidates(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    mut is_cross: impl FnMut(EdgeId) -> bool,
+    mut worker_ok: impl FnMut(WorkerId) -> bool,
+    mut task_ok: impl FnMut(TaskId) -> bool,
+    w_residual: &[u32],
+    t_residual: &[u32],
+) -> RescueSpec {
+    let mut w_in = vec![false; g.n_workers()];
+    let mut t_in = vec![false; g.n_tasks()];
+    let mut candidates = Vec::new();
+    let mut candidate_weight = 0.0f64;
+    for e in g.edges() {
+        if !is_cross(e) {
+            continue;
+        }
+        let (w, t) = (g.worker_of(e), g.task_of(e));
+        if w_residual[w.index()] == 0 || t_residual[t.index()] == 0 {
+            continue;
+        }
+        if !worker_ok(w) || !task_ok(t) {
+            continue;
+        }
+        w_in[w.index()] = true;
+        t_in[t.index()] = true;
+        candidates.push(e);
+        candidate_weight += weights[e.index()];
+    }
+    let workers = g
+        .workers()
+        .filter(|w| w_in[w.index()])
+        .map(|w| (w, w_residual[w.index()]))
+        .collect();
+    let tasks = g
+        .tasks()
+        .filter(|t| t_in[t.index()])
+        .map(|t| (t, t_residual[t.index()]))
+        .collect();
+    RescueSpec {
+        workers,
+        tasks,
+        candidates,
+        candidate_weight,
+    }
+}
+
+/// Counts violations of a proposed rescue assignment: a chosen edge that
+/// is not cross-shard, chosen twice, or endpoint load exceeding the
+/// residual. Zero means the union (shards + rescue) is feasible.
+pub fn validate_rescue(
+    g: &BipartiteGraph,
+    mut is_cross: impl FnMut(EdgeId) -> bool,
+    w_residual: &[u32],
+    t_residual: &[u32],
+    chosen: &[EdgeId],
+) -> usize {
+    let mut violations = 0usize;
+    let mut seen = vec![false; g.n_edges()];
+    let mut w_load = vec![0u32; g.n_workers()];
+    let mut t_load = vec![0u32; g.n_tasks()];
+    for &e in chosen {
+        if !is_cross(e) {
+            violations += 1;
+        }
+        if std::mem::replace(&mut seen[e.index()], true) {
+            violations += 1;
+        }
+        w_load[g.worker_of(e).index()] += 1;
+        t_load[g.task_of(e).index()] += 1;
+    }
+    violations += g
+        .workers()
+        .filter(|&w| w_load[w.index()] > w_residual[w.index()])
+        .count();
+    violations += g
+        .tasks()
+        .filter(|&t| t_load[t.index()] > t_residual[t.index()])
+        .count();
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::from_edges;
+
+    /// Two workers, two tasks, cross edges marked by parity.
+    fn tiny() -> (BipartiteGraph, Vec<f64>) {
+        let g = from_edges(
+            &[1, 2],
+            &[1, 1],
+            &[
+                (0, 0, 0.9, 0.9),
+                (0, 1, 0.8, 0.8),
+                (1, 0, 0.7, 0.7),
+                (1, 1, 0.6, 0.6),
+            ],
+        );
+        let w = vec![0.9, 0.8, 0.7, 0.6];
+        (g, w)
+    }
+
+    #[test]
+    fn candidates_respect_residuals_and_crossness() {
+        let (g, w) = tiny();
+        // Only odd edges are cross; worker 0 has no residual.
+        let spec = residual_candidates(
+            &g,
+            &w,
+            |e| e.index() % 2 == 1,
+            |_| true,
+            |_| true,
+            &[0, 2],
+            &[1, 1],
+        );
+        // Edge 1 (w0) is blocked by zero residual; edge 3 (w1–t1) stays.
+        assert_eq!(spec.candidates, vec![EdgeId::new(3)]);
+        assert_eq!(spec.workers, vec![(WorkerId::new(1), 2)]);
+        assert_eq!(spec.tasks, vec![(TaskId::new(1), 1)]);
+        assert!((spec.candidate_weight - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_endpoints_are_excluded() {
+        let (g, w) = tiny();
+        let spec = residual_candidates(
+            &g,
+            &w,
+            |_| true,
+            |wk| wk.index() == 0,
+            |_| true,
+            &[1, 1],
+            &[1, 1],
+        );
+        assert!(spec.candidates.iter().all(|&e| g.worker_of(e).index() == 0));
+    }
+
+    #[test]
+    fn validator_counts_each_failure_mode() {
+        let (g, _) = tiny();
+        // Edge 0 is intra (not cross) and chosen twice (two not-cross
+        // hits plus one duplicate), and worker 0's residual is 0: four
+        // violations in all.
+        let v = validate_rescue(
+            &g,
+            |e| e.index() != 0,
+            &[0, 2],
+            &[2, 2],
+            &[EdgeId::new(0), EdgeId::new(0)],
+        );
+        assert_eq!(v, 4);
+        // A clean rescue passes.
+        let v = validate_rescue(&g, |_| true, &[1, 1], &[1, 1], &[EdgeId::new(3)]);
+        assert_eq!(v, 0);
+    }
+}

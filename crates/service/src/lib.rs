@@ -15,7 +15,9 @@
 //!   policy (drop-newest / drop-oldest / defer), every loss counted.
 //! * [`shard`] — node-disjoint market sharding with home-shard worker
 //!   placement; node-disjointness is what makes the cross-shard capacity
-//!   invariant hold by construction.
+//!   invariant hold by construction. Three routings: `hash`, `range`,
+//!   and `min-cut` (edge-cut-aware label propagation from
+//!   `mbta-partition`).
 //! * [`pool`] — the worker pool that solves a batch's touched shards
 //!   concurrently: work-stealing largest-first scheduling over vendored
 //!   crossbeam scoped threads + channels, with a deterministic
@@ -24,7 +26,11 @@
 //!   repair, re-solve each touched shard with the robust engine under the
 //!   batch's shared deadline budget (via the pool), adopt improvements,
 //!   emit deltas. Poisoned shards degrade to the greedy floor without
-//!   stalling siblings.
+//!   stalling siblings. With the boundary pass on, a per-batch rescue
+//!   matching recovers cross-shard edges with residual capacity; with a
+//!   re-plan threshold armed, cut drift triggers a detach → re-partition
+//!   → resume migration at a batch boundary (journaled as a WAL plan
+//!   record). See DESIGN.md §13.
 //! * [`sink`] — pluggable decision output; the textual decision log is
 //!   byte-identical across replays under deterministic budgets.
 //! * [`report`] — end-of-run telemetry: throughput, batch-latency
@@ -56,7 +62,7 @@ pub use event::{Arrival, BenefitDrift, ServiceEvent};
 pub use pool::{BatchSolve, ShardJob, ShardOutcome, SolvePool};
 pub use queue::{BoundedQueue, DeferBackoff, DropPolicy, OfferOutcome};
 pub use report::ServiceReport;
-pub use service::{BudgetMode, DispatchService, ServiceConfig};
+pub use service::{BudgetMode, CarriedState, DispatchService, ServiceConfig};
 pub use shard::{Routing, ShardPlan};
 pub use sink::{Action, BatchStats, CollectSink, Decision, DecisionSink, NullSink, WriteSink};
 

@@ -126,6 +126,13 @@ impl SolvePool {
         self.threads
     }
 
+    /// Solves a single job inline on the caller's thread — the
+    /// boundary-rescue path, which has exactly one residual market per
+    /// batch and must not pay scoped-thread setup for it.
+    pub fn solve_one(&self, job: ShardJob<'_>) -> ShardOutcome {
+        run_job(job)
+    }
+
     /// Solves every job and returns the outcomes sorted by shard index.
     ///
     /// With one worker (or at most one job) this runs inline in the order

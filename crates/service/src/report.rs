@@ -18,8 +18,27 @@ pub struct ServiceReport {
     pub n_shards: usize,
     /// Universe edges unreachable under the shard plan.
     pub cross_edges: usize,
-    /// Fraction of universe edge weight reachable under the shard plan.
+    /// Fraction of **live** edge weight on intra-shard edges at run end
+    /// (plan quality under the weights as they drifted, not as planned).
     pub retained_weight: f64,
+    /// Like `retained_weight`, but also crediting cross edges whose
+    /// endpoints were ever concurrently live — weight the boundary-rescue
+    /// market could reach, so the partition is charged only for what it
+    /// made unreachable (equals `retained_weight` with the boundary pass
+    /// off).
+    pub effective_retained: f64,
+    /// Live weight held by the rescue overlay at run end.
+    pub rescued_weight: f64,
+    /// Boundary-rescue solves executed (≤ batches).
+    pub rescue_solves: u64,
+    /// Assign decisions the rescue overlay emitted across the run.
+    pub rescue_assigns: u64,
+    /// Drift-driven re-plans applied (detach → rebuild → resume cycles).
+    pub replans: u64,
+    /// Workers whose home shard changed across all re-plans.
+    pub migrated_workers: u64,
+    /// Tasks whose shard changed across all re-plans.
+    pub migrated_tasks: u64,
 
     /// Events offered to the service (before admission control).
     pub events_in: u64,
@@ -204,6 +223,30 @@ impl ServiceReport {
             fin.render()
         );
 
+        if self.rescue_solves > 0 || self.replans > 0 {
+            let mut quality = Table::new(
+                "service: sharding quality",
+                &[
+                    "effective retained",
+                    "rescued wt",
+                    "rescue solves",
+                    "rescue assigns",
+                    "replans",
+                    "migrated w/t",
+                ],
+            );
+            quality.row(vec![
+                fnum(self.effective_retained, 3),
+                fnum(self.rescued_weight, 4),
+                self.rescue_solves.to_string(),
+                self.rescue_assigns.to_string(),
+                self.replans.to_string(),
+                format!("{}/{}", self.migrated_workers, self.migrated_tasks),
+            ]);
+            out.push('\n');
+            out.push_str(&quality.render());
+        }
+
         if self.wal_records > 0 || self.snapshots > 0 || self.store_error.is_some() {
             let mut dur = Table::new(
                 "service: durability",
@@ -232,6 +275,13 @@ mod tests {
             n_shards: 4,
             cross_edges: 10,
             retained_weight: 0.82,
+            effective_retained: 0.91,
+            rescued_weight: 1.25,
+            rescue_solves: 6,
+            rescue_assigns: 4,
+            replans: 1,
+            migrated_workers: 12,
+            migrated_tasks: 9,
             events_in: 100,
             events_processed: 95,
             dropped_newest: 5,
@@ -280,5 +330,8 @@ mod tests {
             "events/sec rendered: {s}"
         );
         assert!(s.contains("0.820"));
+        assert!(s.contains("sharding quality"));
+        assert!(s.contains("0.910"));
+        assert!(s.contains("12/9"));
     }
 }

@@ -32,10 +32,20 @@ pub enum Routing {
     /// Contiguous id ranges — preserves locality when ids encode
     /// region/skill adjacency (as the synthetic generators do).
     Range,
+    /// Edge-cut-aware: capacity-balanced label propagation over the whole
+    /// worker–task graph (see `mbta-partition`). Unlike the key-based
+    /// routings there is no closed-form per-task rule — the assignment is
+    /// computed jointly for both node sides by [`ShardPlan::build`].
+    MinCut,
 }
 
 impl Routing {
-    /// Shard of a task under this routing.
+    /// Shard of a task under a *key-based* routing.
+    ///
+    /// # Panics
+    /// Panics for [`Routing::MinCut`]: min-cut task placement is decided
+    /// jointly with worker placement by the partitioner and has no
+    /// per-task formula.
     pub fn task_shard(&self, t: u32, n_tasks: usize, shards: usize) -> usize {
         match self {
             Routing::HashId => (hash_u64(t as u64) % shards as u64) as usize,
@@ -43,6 +53,7 @@ impl Routing {
                 debug_assert!((t as usize) < n_tasks);
                 ((t as usize) * shards / n_tasks.max(1)).min(shards - 1)
             }
+            Routing::MinCut => panic!("min-cut routing has no per-task rule; use ShardPlan::build"),
         }
     }
 
@@ -51,6 +62,7 @@ impl Routing {
         match self {
             Routing::HashId => "hash",
             Routing::Range => "range",
+            Routing::MinCut => "min-cut",
         }
     }
 }
@@ -88,6 +100,11 @@ pub struct ShardPlan {
     /// Fraction of total universe edge weight retained by intra-shard
     /// edges (1.0 for a single shard).
     pub retained_weight: f64,
+    /// The plan-time universe edge weights (the service seeds its live
+    /// weights from these, cross-shard edges included).
+    pub universe_weights: Vec<f64>,
+    /// The routing that produced this plan.
+    pub routing: Routing,
 }
 
 impl ShardPlan {
@@ -103,26 +120,7 @@ impl ShardPlan {
         assert!(n_shards >= 1, "need at least one shard");
         assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
 
-        let task_shard: Vec<u32> = (0..g.n_tasks() as u32)
-            .map(|t| routing.task_shard(t, g.n_tasks(), n_shards) as u32)
-            .collect();
-
-        // Home each worker: plurality vote of its eligible tasks' shards.
-        let mut worker_shard = vec![0u32; g.n_workers()];
-        let mut votes = vec![0u32; n_shards];
-        for w in g.workers() {
-            votes.iter_mut().for_each(|v| *v = 0);
-            for e in g.worker_edges(w) {
-                votes[task_shard[g.task_of(e).index()] as usize] += 1;
-            }
-            let best = votes
-                .iter()
-                .enumerate()
-                .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            worker_shard[w.index()] = best as u32;
-        }
+        let (task_shard, worker_shard) = assign_nodes(g, weights, n_shards, routing);
 
         // Induce one subgraph per shard. The edge filter keeps an edge iff
         // its worker homed on the task's shard; worker-side membership is
@@ -189,6 +187,8 @@ impl ShardPlan {
             } else {
                 1.0
             },
+            universe_weights: weights.to_vec(),
+            routing,
         }
     }
 
@@ -196,6 +196,47 @@ impl ShardPlan {
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
+}
+
+/// Computes the task → shard and worker → shard assignments for `routing`.
+///
+/// Key-based routings place tasks by key and home each worker on the
+/// shard holding the plurality *by edge weight* of its eligible tasks
+/// (strictly-greater comparison over an ascending scan, so equal-weight
+/// ties resolve to the lowest shard index — fully deterministic). Min-cut
+/// routing delegates both sides to the label-propagation partitioner.
+fn assign_nodes(
+    g: &BipartiteGraph,
+    weights: &[f64],
+    n_shards: usize,
+    routing: Routing,
+) -> (Vec<u32>, Vec<u32>) {
+    if routing == Routing::MinCut {
+        let p =
+            mbta_partition::partition(g, weights, &mbta_partition::PartitionConfig::new(n_shards));
+        return (p.task_shard, p.worker_shard);
+    }
+
+    let task_shard: Vec<u32> = (0..g.n_tasks() as u32)
+        .map(|t| routing.task_shard(t, g.n_tasks(), n_shards) as u32)
+        .collect();
+
+    let mut worker_shard = vec![0u32; g.n_workers()];
+    let mut votes = vec![0.0f64; n_shards];
+    for w in g.workers() {
+        votes.iter_mut().for_each(|v| *v = 0.0);
+        for e in g.worker_edges(w) {
+            votes[task_shard[g.task_of(e).index()] as usize] += weights[e.index()];
+        }
+        let mut best = 0usize;
+        for (i, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = i;
+            }
+        }
+        worker_shard[w.index()] = best as u32;
+    }
+    (task_shard, worker_shard)
 }
 
 #[cfg(test)]
@@ -283,6 +324,59 @@ mod tests {
         assert_eq!(a.worker_shard, b.worker_shard);
         assert_eq!(a.task_shard, b.task_shard);
         assert_eq!(a.cross_edges, b.cross_edges);
+    }
+
+    #[test]
+    fn worker_homing_is_weighted_with_lowest_index_ties() {
+        use mbta_graph::random::from_edges;
+        // Worker 0: shard 1 holds more *weight* (0.9) than shard 0
+        // (0.3 + 0.3 = 0.6) despite fewer edges — weight wins.
+        // Worker 1: shards 0 and 1 tie exactly (0.5 each) — the lowest
+        // shard index must win.
+        let g = from_edges(
+            &[2, 2],
+            &[1, 1, 1, 1],
+            &[
+                (0, 0, 0.3, 0.3),
+                (0, 1, 0.3, 0.3),
+                (0, 2, 0.9, 0.9),
+                (1, 0, 0.5, 0.5),
+                (1, 2, 0.5, 0.5),
+            ],
+        );
+        let w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        // Range routing over 4 tasks and 2 shards: tasks 0,1 → shard 0,
+        // tasks 2,3 → shard 1.
+        let plan = ShardPlan::build(&g, &w, 2, Routing::Range);
+        assert_eq!(plan.task_shard, vec![0, 0, 1, 1]);
+        assert_eq!(
+            plan.worker_shard[0], 1,
+            "weight plurality must win over edge count"
+        );
+        assert_eq!(
+            plan.worker_shard[1], 0,
+            "equal weight must tie-break to the lowest shard"
+        );
+    }
+
+    #[test]
+    fn min_cut_plan_retains_more_weight_than_hash() {
+        let (g, w) = universe();
+        for k in [4, 8] {
+            let hash = ShardPlan::build(&g, &w, k, Routing::HashId);
+            let mincut = ShardPlan::build(&g, &w, k, Routing::MinCut);
+            assert!(
+                mincut.retained_weight > hash.retained_weight,
+                "k={k}: min-cut {} <= hash {}",
+                mincut.retained_weight,
+                hash.retained_weight
+            );
+            // Same structural invariants as the key routings.
+            let tot_w: usize = mincut.shards.iter().map(|s| s.sub.graph.n_workers()).sum();
+            let tot_t: usize = mincut.shards.iter().map(|s| s.sub.graph.n_tasks()).sum();
+            assert_eq!(tot_w, g.n_workers());
+            assert_eq!(tot_t, g.n_tasks());
+        }
     }
 
     #[test]

@@ -76,6 +76,8 @@ fn cfg() -> ServiceConfig {
         drop_policy: DropPolicy::Defer,
         budget: BudgetMode::Deterministic,
         threads: 1,
+        boundary_pass: false,
+        replan_threshold: None,
     }
 }
 
@@ -275,6 +277,79 @@ fn sealed_run_recovers_without_replay() {
     );
     assert_eq!(state.truncated_bytes, 0);
     assert_recovery_matches(&g, &plan, &w, &events, &clean, &state);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A drift-driven re-plan mid-stream journals a `PlanRecord`; after a
+/// crash (no seal, no snapshot) pure WAL replay must reproduce the live
+/// assignment across the migration boundary, with every recovered intra
+/// edge sitting in its **new** plan's shard.
+#[test]
+fn replan_migration_replays_from_wal() {
+    let (g, w) = universe();
+    let events = stream(&g, 77);
+    let plan1 = ShardPlan::build(&g, &w, 4, Routing::MinCut);
+    let dir = tmp("replan");
+
+    let mut svc = DispatchService::new(&g, &plan1, cfg());
+    // snapshot_every = 0: recovery must come from WAL frames alone, so
+    // the plan frame's replay path is actually exercised.
+    let (store, recovered) = DurableStore::open(&dir, store_cfg(0)).unwrap();
+    assert_eq!(recovered.watermark, 0);
+    svc.attach_store(store);
+    let mut sink = StateTrackingSink::default();
+
+    // First half under plan 1, then a forced migration, then the rest.
+    let half = events.len() / 2;
+    for &a in &events[..half] {
+        while let OfferOutcome::Deferred = svc.offer(a) {
+            svc.pump(&mut sink);
+        }
+        svc.pump(&mut sink);
+    }
+    let batches_before = svc.batches_committed();
+    let carried = svc.detach();
+    let plan2 = ShardPlan::build(&g, carried.live_weights(), 4, Routing::MinCut);
+    let mut svc = DispatchService::resume(&g, &plan2, carried, &mut sink);
+    assert_eq!(
+        svc.batches_committed(),
+        batches_before + 1,
+        "the plan record must consume a sequence slot"
+    );
+    for &a in &events[half..] {
+        while let OfferOutcome::Deferred = svc.offer(a) {
+            svc.pump(&mut sink);
+        }
+        svc.pump(&mut sink);
+    }
+    drop(svc); // simulated crash: no finish(), no seal
+
+    let state = recover(&dir).unwrap();
+    assert!(
+        state.records_replayed > 0,
+        "WAL-only recovery must replay frames"
+    );
+    // The recovered edge union equals the sink's live assignment. Shard
+    // labels are compared as sets of edges: a migration relabels shards
+    // wholesale (journaled in the plan frame) without re-announcing
+    // still-assigned edges to the sink.
+    let recovered_edges: BTreeSet<u32> = state.shards.iter().flatten().copied().collect();
+    let live_edges: BTreeSet<u32> = sink.live.iter().map(|&(_, e)| e).collect();
+    assert_eq!(
+        recovered_edges, live_edges,
+        "assignment diverged across the migration"
+    );
+    // Every recovered intra edge lives in its post-migration shard.
+    for (s, edges) in state.shards.iter().enumerate().take(4) {
+        for &e in edges {
+            if plan2.edge_shard[e as usize] != UNMAPPED {
+                assert_eq!(
+                    plan2.edge_shard[e as usize] as usize, s,
+                    "edge {e} recovered into a pre-migration shard"
+                );
+            }
+        }
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -52,6 +52,8 @@ fn cfg(threads: usize, budget: BudgetMode) -> ServiceConfig {
         drop_policy: DropPolicy::Defer,
         budget,
         threads,
+        boundary_pass: false,
+        replan_threshold: None,
     }
 }
 
@@ -109,6 +111,37 @@ proptest! {
         prop_assert_eq!(rep_seq.reseeds, rep_par.reseeds);
         prop_assert_eq!(rep_seq.decisions, rep_par.decisions);
         prop_assert_eq!(log_seq, log_par);
+    }
+
+    /// Boundary rescue, for arbitrary universes and shard counts: the
+    /// rescue pass must never violate capacity (the service folds rescue
+    /// validation — including "chosen edge is actually cross-shard" —
+    /// into `capacity_violations`), and shards + rescue must be worth at
+    /// least as much as shards alone.
+    #[test]
+    fn boundary_rescue_is_feasible_and_never_worse(
+        seed in 0u64..10_000,
+        n_workers in 40usize..100,
+        shards in 2usize..8,
+        drift in 0.0f64..0.4,
+    ) {
+        let (g, w) = universe(seed, n_workers);
+        let plan = ShardPlan::build(&g, &w, shards, Routing::HashId);
+        let evs = events(&g, seed ^ 0xabcd, drift);
+
+        let (_, rep_off) = run(&g, &plan, &evs, cfg(1, BudgetMode::Deterministic));
+        let mut on = cfg(1, BudgetMode::Deterministic);
+        on.boundary_pass = true;
+        let (_, rep_on) = run(&g, &plan, &evs, on);
+
+        prop_assert_eq!(rep_on.capacity_violations, 0);
+        prop_assert!(rep_on.rescued_weight >= 0.0);
+        prop_assert!(
+            rep_on.final_value >= rep_off.final_value - 1e-9,
+            "rescue made the assignment worse: {} < {}",
+            rep_on.final_value, rep_off.final_value
+        );
+        prop_assert!(rep_on.effective_retained >= rep_on.retained_weight - 1e-12);
     }
 
     /// Wall-clock budgets: solve adoption may differ across thread counts

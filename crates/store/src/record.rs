@@ -1,13 +1,24 @@
-//! The WAL payload: one [`BatchRecord`] per committed dispatch batch.
+//! The WAL payloads: one [`BatchRecord`] per committed dispatch batch,
+//! plus the rarer [`PlanRecord`] a re-plan writes at a batch boundary.
 //!
-//! A record is everything needed to roll the sharded assignment state
-//! forward by one batch, starting from any state that reflects the
+//! A batch record is everything needed to roll the sharded assignment
+//! state forward by one batch, starting from any state that reflects the
 //! batches before it: the weight updates the batch applied and the
 //! assignment deltas it emitted. Event-range metadata (`first_time` /
 //! `last_time` / `events`) ties the record back to the input trace for
 //! auditing; it is not needed to replay state.
 //!
-//! Payload layout (all little-endian, `f64` as raw bits):
+//! A plan record is an *inline snapshot of the shard structure*: when the
+//! service re-partitions the market it journals the complete
+//! post-migration per-shard assignment lists, and replay (recovery and
+//! followers alike) replaces its shard sets wholesale. Carrying the full
+//! lists — rather than a move diff — keeps the fold trivially idempotent
+//! against the state it lands on and immune to drift between the
+//! primary's and a follower's view of the old plan. Weights are
+//! untouched: migration moves assignments between shards, it never
+//! revalues them.
+//!
+//! Batch payload layout (all little-endian, `f64` as raw bits):
 //!
 //! ```text
 //! u8  kind (1 = batch record)
@@ -18,12 +29,25 @@
 //! u32 n_decisions, n × { u32 shard, u32 edge, u8 assign,
 //!                        u32 worker, u32 task, f64 weight }
 //! ```
+//!
+//! Plan payload layout:
+//!
+//! ```text
+//! u8  kind (2 = plan record)
+//! u64 seq                    — consumes one slot in the same sequence
+//! f64 retained_weight        — plan-time retained fraction (audit only)
+//! u32 moved_workers, u32 moved_tasks
+//! u32 n_lists, per list: u32 n_edges, n × u32 edge (sorted)
+//! ```
 
 use crate::codec::{put_f64, put_u32, put_u64, put_u8, Reader};
 use std::fmt;
 
 /// Payload kind tag for a batch record.
 pub const KIND_BATCH: u8 = 1;
+
+/// Payload kind tag for a plan (re-shard) record.
+pub const KIND_PLAN: u8 = 2;
 
 /// A benefit-weight update applied during the batch, in universe edge ids.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,6 +185,116 @@ impl BatchRecord {
     }
 }
 
+/// Everything journaled for one shard re-plan: the complete
+/// post-migration shard structure (see the module docs for why the full
+/// lists travel instead of a diff).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRecord {
+    /// Sequence slot this record consumes (shared with batch records).
+    pub seq: u64,
+    /// Retained-weight fraction of the new plan at plan time (audit
+    /// metadata; replay does not use it).
+    pub retained_weight: f64,
+    /// Workers whose home shard changed.
+    pub moved_workers: u32,
+    /// Tasks whose shard changed.
+    pub moved_tasks: u32,
+    /// Per shard (rescue overlay last, when present), the sorted universe
+    /// edge ids assigned after the migration.
+    pub shards: Vec<Vec<u32>>,
+}
+
+impl PlanRecord {
+    /// Encodes the record into its WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let edges: usize = self.shards.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(29 + 4 * self.shards.len() + 4 * edges);
+        put_u8(&mut out, KIND_PLAN);
+        put_u64(&mut out, self.seq);
+        put_f64(&mut out, self.retained_weight);
+        put_u32(&mut out, self.moved_workers);
+        put_u32(&mut out, self.moved_tasks);
+        put_u32(&mut out, self.shards.len() as u32);
+        for shard in &self.shards {
+            put_u32(&mut out, shard.len() as u32);
+            for &e in shard {
+                put_u32(&mut out, e);
+            }
+        }
+        out
+    }
+
+    /// Decodes a WAL payload.
+    pub fn decode(payload: &[u8]) -> Result<PlanRecord, DecodeError> {
+        let mut r = Reader::new(payload);
+        let kind = r.u8()?;
+        if kind != KIND_PLAN {
+            return Err(DecodeError::BadKind(kind));
+        }
+        let seq = r.u64()?;
+        let retained_weight = r.f64()?;
+        let moved_workers = r.u32()?;
+        let moved_tasks = r.u32()?;
+        let n_lists = r.len_prefix(4)?;
+        let mut shards = Vec::with_capacity(n_lists);
+        for _ in 0..n_lists {
+            let n = r.len_prefix(4)?;
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                edges.push(r.u32()?);
+            }
+            shards.push(edges);
+        }
+        r.finish()?;
+        Ok(PlanRecord {
+            seq,
+            retained_weight,
+            moved_workers,
+            moved_tasks,
+            shards,
+        })
+    }
+}
+
+/// Any record the WAL can hold. The sequence numbering is shared: plan
+/// records consume a slot exactly like batch records, so replay and
+/// followers stay strictly sequential across both kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// One committed dispatch batch.
+    Batch(BatchRecord),
+    /// One shard re-plan (inline shard-structure snapshot).
+    Plan(PlanRecord),
+}
+
+impl WalRecord {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Batch(r) => r.seq,
+            WalRecord::Plan(r) => r.seq,
+        }
+    }
+
+    /// Encodes the record into its WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Batch(r) => r.encode(),
+            WalRecord::Plan(r) => r.encode(),
+        }
+    }
+
+    /// Decodes any WAL payload by its kind tag.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+        match payload.first() {
+            Some(&KIND_BATCH) => Ok(WalRecord::Batch(BatchRecord::decode(payload)?)),
+            Some(&KIND_PLAN) => Ok(WalRecord::Plan(PlanRecord::decode(payload)?)),
+            Some(&k) => Err(DecodeError::BadKind(k)),
+            None => Err(DecodeError::Truncated),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +369,38 @@ mod tests {
         let mut huge = good;
         huge[29..33].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(BatchRecord::decode(&huge), Err(DecodeError::Truncated));
+    }
+
+    fn sample_plan(seq: u64) -> PlanRecord {
+        PlanRecord {
+            seq,
+            retained_weight: 0.875,
+            moved_workers: 12,
+            moved_tasks: 7,
+            shards: vec![vec![1, 5, 9], vec![], vec![2, 3]],
+        }
+    }
+
+    #[test]
+    fn plan_record_round_trips() {
+        let rec = sample_plan(17);
+        assert_eq!(PlanRecord::decode(&rec.encode()).unwrap(), rec);
+        // Every strict prefix fails, never panics.
+        let bytes = rec.encode();
+        for cut in 0..bytes.len() {
+            assert!(PlanRecord::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn wal_record_dispatches_on_kind() {
+        let b = WalRecord::Batch(sample(3));
+        let p = WalRecord::Plan(sample_plan(4));
+        assert_eq!(WalRecord::decode(&b.encode()).unwrap(), b);
+        assert_eq!(WalRecord::decode(&p.encode()).unwrap(), p);
+        assert_eq!(b.seq(), 3);
+        assert_eq!(p.seq(), 4);
+        assert_eq!(WalRecord::decode(&[9]), Err(DecodeError::BadKind(9)));
+        assert_eq!(WalRecord::decode(&[]), Err(DecodeError::Truncated));
     }
 }

@@ -22,7 +22,7 @@
 //!    suffix of a valid store directory recovers to some valid prefix
 //!    state.
 
-use crate::record::BatchRecord;
+use crate::record::{BatchRecord, PlanRecord, WalRecord};
 use crate::snapshot::{self, SnapshotState};
 use crate::wal::{self, FsyncPolicy, Wal, WalConfig};
 use std::collections::BTreeSet;
@@ -160,6 +160,19 @@ pub(crate) fn apply_record(
     }
 }
 
+/// Applies a shard-plan (migration) record: the record carries the full
+/// post-migration assignment per shard, so replay replaces the shard
+/// structure wholesale. Weights are untouched — a migration moves edges
+/// between shards, it does not change their live benefit.
+pub(crate) fn apply_plan(shards: &mut Vec<BTreeSet<u32>>, rec: &PlanRecord) {
+    shards.clear();
+    shards.extend(
+        rec.shards
+            .iter()
+            .map(|s| s.iter().copied().collect::<BTreeSet<u32>>()),
+    );
+}
+
 /// Scans `dir` once: latest valid snapshot + WAL tail replay. Also
 /// reports where the WAL tail went bad so [`DurableStore::open`] can
 /// repair it physically.
@@ -180,13 +193,16 @@ fn scan(dir: &Path) -> io::Result<(RecoveredState, Option<(PathBuf, u64)>)> {
     let replayed = wal::replay(dir)?;
     out.truncated_bytes = replayed.truncated_bytes;
     for rec in &replayed.records {
-        if rec.seq < out.watermark {
+        if rec.seq() < out.watermark {
             continue; // segment not yet compacted; the snapshot covers it
         }
-        if rec.seq != out.watermark {
+        if rec.seq() != out.watermark {
             break; // gap — nothing past it is trustworthy
         }
-        apply_record(&mut shards, &mut out.weights, rec);
+        match rec {
+            WalRecord::Batch(rec) => apply_record(&mut shards, &mut out.weights, rec),
+            WalRecord::Plan(rec) => apply_plan(&mut shards, rec),
+        }
         out.watermark += 1;
         out.records_replayed += 1;
     }
@@ -260,6 +276,20 @@ impl DurableStore {
             rec.seq, self.watermark
         );
         self.wal.append(rec)?;
+        self.watermark += 1;
+        Ok(())
+    }
+
+    /// Journals one shard-plan migration. Plan records consume a slot in
+    /// the same sequence space as batches, so followers and recovery
+    /// replay the migration at exactly the batch boundary it happened.
+    pub fn commit_plan(&mut self, rec: &PlanRecord) -> io::Result<()> {
+        assert_eq!(
+            rec.seq, self.watermark,
+            "store commits must be sequential (got plan seq {}, expected {})",
+            rec.seq, self.watermark
+        );
+        self.wal.append_plan(rec)?;
         self.watermark += 1;
         Ok(())
     }
@@ -544,6 +574,41 @@ mod tests {
         assert_eq!(recovered.watermark, 4);
         assert_eq!(recovered.snapshot_watermark, Some(4));
         drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_record_replays_as_migration() {
+        let dir = tmp("plan-replay");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        run(&mut store, 0..4);
+        // Migrate: shard 0 and 1 swap their surviving edges, and the plan
+        // consumes seq 4.
+        let before = recover(&dir).unwrap();
+        let plan = PlanRecord {
+            seq: 4,
+            retained_weight: before.total_weight(),
+            moved_workers: 2,
+            moved_tasks: 1,
+            shards: vec![before.shards[1].clone(), before.shards[0].clone()],
+        };
+        store.commit_plan(&plan).unwrap();
+        // Batches continue after the migration in the same seq space.
+        store.commit(&rec(5)).unwrap();
+        drop(store);
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.watermark, 6);
+        let (expected_shards, _) = expected(4);
+        // Post-plan: swapped shards, then batch 5 assigned edge 5 to
+        // shard 1 and unassigned edge 2 from shard 0 — a no-op there,
+        // because the swap moved edge 2 to shard 1 (shard ids in batch
+        // records address the post-plan layout).
+        assert_eq!(state.shards[0], expected_shards[1]);
+        let mut shard1: BTreeSet<u32> = expected_shards[0].iter().copied().collect();
+        shard1.insert(5);
+        assert_eq!(state.shards[1], shard1.into_iter().collect::<Vec<u32>>());
+        // Weights survive the migration untouched.
+        assert!((state.weights[3] - 4.0).abs() < 1e-12);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,9 +20,9 @@
 //!   sufficient) signal of primary death. See DESIGN.md §12 for the full
 //!   promotion gate.
 
-use crate::record::BatchRecord;
+use crate::record::WalRecord;
 use crate::snapshot::SnapshotState;
-use crate::store::{apply_record, RecoveredState};
+use crate::store::{apply_plan, apply_record, RecoveredState};
 use crate::wal::segment_files;
 use crate::{read_frame, FrameRead};
 use std::collections::BTreeSet;
@@ -78,7 +78,7 @@ pub enum TailStatus {
 pub struct TailPoll {
     /// Records that became durable since the previous poll, in `seq`
     /// order, starting at the tail's next expected sequence number.
-    pub records: Vec<BatchRecord>,
+    pub records: Vec<WalRecord>,
     /// How the read ended.
     pub status: TailStatus,
     /// Bytes from the blocking frame to the end of its segment when
@@ -160,9 +160,9 @@ impl WalTail {
             loop {
                 match read_frame(&buf, offset) {
                     FrameRead::End => break,
-                    FrameRead::Frame { payload, next } => match BatchRecord::decode(payload) {
-                        Ok(rec) if rec.seq < self.next_seq => offset = next,
-                        Ok(rec) if rec.seq == self.next_seq => {
+                    FrameRead::Frame { payload, next } => match WalRecord::decode(payload) {
+                        Ok(rec) if rec.seq() < self.next_seq => offset = next,
+                        Ok(rec) if rec.seq() == self.next_seq => {
                             out.records.push(rec);
                             self.next_seq += 1;
                             offset = next;
@@ -239,13 +239,18 @@ impl FollowerState {
     }
 
     /// Folds one record in. Records must arrive in sequence.
-    pub fn apply(&mut self, rec: &BatchRecord) {
+    pub fn apply(&mut self, rec: &WalRecord) {
         assert_eq!(
-            rec.seq, self.watermark,
+            rec.seq(),
+            self.watermark,
             "follower records must be sequential (got seq {}, expected {})",
-            rec.seq, self.watermark
+            rec.seq(),
+            self.watermark
         );
-        apply_record(&mut self.shards, &mut self.weights, rec);
+        match rec {
+            WalRecord::Batch(rec) => apply_record(&mut self.shards, &mut self.weights, rec),
+            WalRecord::Plan(rec) => apply_plan(&mut self.shards, rec),
+        }
         self.watermark += 1;
         self.records_applied += 1;
     }
@@ -312,7 +317,7 @@ impl FollowerState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{DecisionRecord, WeightDelta};
+    use crate::record::{BatchRecord, DecisionRecord, PlanRecord, WeightDelta};
     use crate::store::{recover, DurableStore, StoreConfig};
     use crate::wal;
 
@@ -410,7 +415,7 @@ mod tests {
         let p = tail.poll().unwrap();
         assert_eq!(p.status, TailStatus::Clean);
         assert_eq!(
-            p.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            p.records.iter().map(|r| r.seq()).collect::<Vec<_>>(),
             (0..10).collect::<Vec<_>>()
         );
         fs::remove_dir_all(&dir).unwrap();
@@ -446,7 +451,7 @@ mod tests {
         let p = tail.poll().unwrap();
         assert_eq!(p.status, TailStatus::Clean);
         assert_eq!(p.records.len(), 1);
-        assert_eq!(p.records[0].seq, 1);
+        assert_eq!(p.records[0].seq(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -479,7 +484,7 @@ mod tests {
         store.commit(&rec(6)).unwrap();
         let p = tail.poll().unwrap();
         assert_eq!(p.records.len(), 1);
-        assert_eq!(p.records[0].seq, 6);
+        assert_eq!(p.records[0].seq(), 6);
         p.records.iter().for_each(|r| follower.apply(r));
         assert_eq!(follower.watermark(), 7);
         fs::remove_dir_all(&dir).unwrap();
@@ -510,6 +515,39 @@ mod tests {
         // early segments are gone.
         assert_eq!(p.status, TailStatus::Gap);
         assert!(p.records.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follower_replays_plan_frames() {
+        let dir = tmp("plan");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        let mut tail = WalTail::new(&dir);
+        let mut follower = FollowerState::new();
+        for seq in 0..3 {
+            store.commit(&rec(seq)).unwrap();
+        }
+        // A migration swaps shards 0 and 1 at seq 3; batches continue.
+        let pre = recover(&dir).unwrap();
+        let plan = PlanRecord {
+            seq: 3,
+            retained_weight: pre.total_weight(),
+            moved_workers: 1,
+            moved_tasks: 1,
+            shards: vec![pre.shards[1].clone(), pre.shards[0].clone()],
+        };
+        store.commit_plan(&plan).unwrap();
+        store.commit(&rec(4)).unwrap();
+        let p = tail.poll().unwrap();
+        assert_eq!(p.status, TailStatus::Clean);
+        assert_eq!(p.records.len(), 5);
+        p.records.iter().for_each(|r| follower.apply(r));
+        assert_eq!(follower.watermark(), 5);
+        // The mirror equals a fresh recovery across the plan boundary.
+        drop(store);
+        let recovered = recover(&dir).unwrap();
+        assert_eq!(follower.to_recovered().shards, recovered.shards);
+        assert!((follower.total_weight() - recovered.total_weight()).abs() < 1e-12);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -4,7 +4,8 @@
 //! (the zero-padded first batch sequence number in the segment, so
 //! lexicographic order is numeric order). Each segment is a run of CRC
 //! frames (see [`crate::frame`]) whose payloads are encoded
-//! [`BatchRecord`]s with strictly ascending `seq`. A new segment starts
+//! [`WalRecord`]s — batch decisions or shard-plan migrations, sharing a
+//! single strictly ascending `seq` space. A new segment starts
 //! when the current one crosses [`WalConfig::segment_bytes`]; compaction
 //! deletes whole segments whose records all fall at or below a snapshot
 //! watermark.
@@ -15,7 +16,7 @@
 //! cheaper), `never` leaves flushing to the OS (benchmarks only).
 
 use crate::frame::{read_frame, write_frame, FrameRead};
-use crate::record::BatchRecord;
+use crate::record::{BatchRecord, PlanRecord, WalRecord};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -149,18 +150,29 @@ impl Wal {
         self.bytes
     }
 
-    /// Appends one record, honouring the fsync policy. Rolls to a new
-    /// segment first if the active one is full.
+    /// Appends one batch record, honouring the fsync policy. Rolls to a
+    /// new segment first if the active one is full.
     pub fn append(&mut self, rec: &BatchRecord) -> io::Result<()> {
+        self.append_payload(rec.seq, &rec.encode())
+    }
+
+    /// Appends one shard-plan record. Plan frames share the sequence
+    /// space with batch frames, so replay and followers see a single
+    /// totally-ordered stream.
+    pub fn append_plan(&mut self, rec: &PlanRecord) -> io::Result<()> {
+        self.append_payload(rec.seq, &rec.encode())
+    }
+
+    fn append_payload(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
         let roll = match &self.active {
             Some(seg) => seg.len >= self.cfg.segment_bytes,
             None => true,
         };
         if roll {
-            self.roll(rec.seq)?;
+            self.roll(seq)?;
         }
         let mut frame = Vec::new();
-        write_frame(&mut frame, &rec.encode());
+        write_frame(&mut frame, payload);
         let seg = self.active.as_mut().expect("rolled above");
         seg.file.write_all(&frame)?;
         seg.len += frame.len() as u64;
@@ -240,7 +252,7 @@ impl Wal {
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalReplay {
     /// All intact records, in ascending `seq` order.
-    pub records: Vec<BatchRecord>,
+    pub records: Vec<WalRecord>,
     /// Bytes of torn/corrupt tail ignored (0 on a clean log).
     pub truncated_bytes: u64,
     /// Segment files scanned.
@@ -270,12 +282,12 @@ pub fn replay(dir: &Path) -> io::Result<WalReplay> {
             match read_frame(&buf, offset) {
                 FrameRead::End => break,
                 FrameRead::Frame { payload, next } => {
-                    let ok = match BatchRecord::decode(payload) {
+                    let ok = match WalRecord::decode(payload) {
                         Ok(rec) => {
                             let monotone = out
                                 .records
                                 .last()
-                                .map(|prev| rec.seq == prev.seq + 1)
+                                .map(|prev| rec.seq() == prev.seq() + 1)
                                 .unwrap_or(true);
                             if monotone {
                                 out.records.push(rec);
@@ -346,10 +358,40 @@ mod tests {
         }
         wal.sync().unwrap();
         let replayed = replay(&dir).unwrap();
-        assert_eq!(replayed.records, (0..5).map(rec).collect::<Vec<_>>());
+        assert_eq!(
+            replayed.records,
+            (0..5).map(|s| WalRecord::Batch(rec(s))).collect::<Vec<_>>()
+        );
         assert_eq!(replayed.truncated_bytes, 0);
         assert_eq!(replayed.segments, 1);
         assert!(replayed.torn.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_frames_interleave_with_batches() {
+        let dir = tmp("plan-frames");
+        let mut wal = Wal::open(&dir, WalConfig::default()).unwrap();
+        wal.append(&rec(0)).unwrap();
+        let plan = PlanRecord {
+            seq: 1,
+            retained_weight: 0.5,
+            moved_workers: 2,
+            moved_tasks: 3,
+            shards: vec![vec![0, 4], vec![1]],
+        };
+        wal.append_plan(&plan).unwrap();
+        wal.append(&rec(2)).unwrap();
+        wal.sync().unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(
+            replayed.records,
+            vec![
+                WalRecord::Batch(rec(0)),
+                WalRecord::Plan(plan),
+                WalRecord::Batch(rec(2)),
+            ]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -418,8 +460,8 @@ mod tests {
         assert_eq!(removed, 1);
         // Replay of the remainder starts exactly where the snapshot ends.
         let replayed = replay(&dir).unwrap();
-        assert_eq!(replayed.records.first().unwrap().seq, watermark);
-        assert_eq!(replayed.records.last().unwrap().seq, 11);
+        assert_eq!(replayed.records.first().unwrap().seq(), watermark);
+        assert_eq!(replayed.records.last().unwrap().seq(), 11);
         // Compacting at the final watermark keeps the last segment.
         let _ = Wal::compact(&dir, 12).unwrap();
         assert!(!segment_files(&dir).unwrap().is_empty());
