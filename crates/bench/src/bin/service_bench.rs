@@ -9,10 +9,12 @@
 //! relative to 1 thread and bounded by the host's available parallelism,
 //! recorded as `host_parallelism`), then sweeps partition quality (hash
 //! vs min-cut routing, and min-cut with the cross-shard boundary-rescue
-//! pass) across the same shard counts, then re-runs the 4-shard
-//! configuration with telemetry recording on vs off (runtime
-//! kill-switch) to measure instrumentation overhead against its <3%
-//! throughput target. Prints a JSON report to stdout or `--out <path>` —
+//! pass) across the same shard counts, then pits the per-event online
+//! decision path against the batch path on the same stream (per-event
+//! latency percentiles and retained-weight ratio; targets: p50 < 1 ms at
+//! 1 shard, ratio >= 0.9), then re-runs the 4-shard configuration with
+//! telemetry recording on vs off (runtime kill-switch) to measure
+//! instrumentation overhead against its <3% throughput target. Prints a JSON report to stdout or `--out <path>` —
 //! the committed `BENCH_service.json` baseline is a direct capture of
 //! this output:
 //!
@@ -22,7 +24,7 @@
 
 use mbta_service::{
     Arrival, BatchConfig, BenefitDrift, BudgetMode, DispatchService, NullSink, OfferOutcome,
-    Routing, ServiceConfig, ServiceReport, ShardPlan,
+    OnlineConfig, Routing, ServiceConfig, ServiceReport, ShardPlan,
 };
 use mbta_workload::trace::TraceSpec;
 use mbta_workload::{Profile, WorkloadSpec};
@@ -42,6 +44,10 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Shard count for the thread-scaling sweep: enough independent jobs per
 /// batch that every pool width up to 8 can find work.
 const SCALING_SHARDS: usize = 8;
+/// Online-mode drift threshold for the online_vs_batch section: tighter
+/// than the 0.2 default so the warm fallback keeps the single-shard run
+/// within the >= 0.9 weight-ratio target against full-market batch solves.
+const ONLINE_DRIFT_THRESHOLD: f64 = 0.1;
 
 fn serve_config(threads: usize) -> ServiceConfig {
     ServiceConfig {
@@ -56,6 +62,7 @@ fn serve_config(threads: usize) -> ServiceConfig {
         threads,
         boundary_pass: false,
         replan_threshold: None,
+        online: None,
     }
 }
 
@@ -67,6 +74,27 @@ fn run_one(
     threads: usize,
 ) -> ServiceReport {
     run_routed(g, weights, events, shards, threads, Routing::HashId, false)
+}
+
+fn run_online(
+    g: &mbta_graph::BipartiteGraph,
+    weights: &[f64],
+    events: &[Arrival],
+    shards: usize,
+    drift_threshold: f64,
+) -> ServiceReport {
+    let plan = ShardPlan::build(g, weights, shards, Routing::HashId);
+    let mut cfg = serve_config(1);
+    cfg.online = Some(OnlineConfig { drift_threshold });
+    let mut svc = DispatchService::new(g, &plan, cfg);
+    let mut sink = NullSink;
+    for &a in events {
+        while let OfferOutcome::Deferred = svc.offer(a) {
+            svc.pump(&mut sink);
+        }
+        svc.pump(&mut sink);
+    }
+    svc.finish(&mut sink)
 }
 
 fn run_routed(
@@ -320,6 +348,90 @@ fn main() -> ExitCode {
         quality.join(",\n")
     );
 
+    // Online vs batch: the same stream through the per-event decision
+    // path (--online, default drift threshold) against the batch path at
+    // the same shard count. The interesting numbers: per-event decision
+    // latency (target: p50 under 1 ms at 1 shard) and the final matched
+    // weight retained relative to batch (target: ratio >= 0.9).
+    let mut online_entries = Vec::new();
+    for &shards in &[1usize, 4] {
+        let batch = run_one(&g, &weights, &events, shards, 1);
+        let online = run_online(&g, &weights, &events, shards, ONLINE_DRIFT_THRESHOLD);
+        violations += batch.capacity_violations + online.capacity_violations;
+        let ratio = if batch.final_value > 0.0 {
+            online.final_value / batch.final_value
+        } else {
+            1.0
+        };
+        eprintln!(
+            "online {shards} shards: p50 {:.4} ms, p99 {:.4} ms, \
+             weight ratio {ratio:.4}, {} fallbacks, {} exchanges, {} violations",
+            online.p50_online_ms,
+            online.p99_online_ms,
+            online.online_fallbacks,
+            online.online_exchanges,
+            online.capacity_violations
+        );
+        if shards == 1 && online.p50_online_ms >= 1.0 {
+            eprintln!(
+                "WARN: online p50 {:.4} ms at 1 shard exceeds the 1 ms target",
+                online.p50_online_ms
+            );
+        }
+        if ratio < 0.9 {
+            eprintln!("WARN: online/batch weight ratio {ratio:.4} below the 0.9 target");
+        }
+        online_entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"shards\": {},\n",
+                "      \"online_events\": {},\n",
+                "      \"online_events_per_sec\": {:.0},\n",
+                "      \"batch_events_per_sec\": {:.0},\n",
+                "      \"p50_event_ms\": {:.4},\n",
+                "      \"p99_event_ms\": {:.4},\n",
+                "      \"max_event_ms\": {:.4},\n",
+                "      \"online_final_value\": {:.4},\n",
+                "      \"batch_final_value\": {:.4},\n",
+                "      \"weight_ratio_vs_batch\": {:.4},\n",
+                "      \"fallbacks\": {},\n",
+                "      \"exchanges\": {},\n",
+                "      \"warm_solves\": {},\n",
+                "      \"warm_hits\": {},\n",
+                "      \"capacity_violations\": {}\n",
+                "    }}"
+            ),
+            shards,
+            online.online_events,
+            online.events_per_sec,
+            batch.events_per_sec,
+            online.p50_online_ms,
+            online.p99_online_ms,
+            online.max_online_ms,
+            online.final_value,
+            batch.final_value,
+            ratio,
+            online.online_fallbacks,
+            online.online_exchanges,
+            online.online_warm_solves,
+            online.online_warm_hits,
+            online.capacity_violations
+        ));
+    }
+    let online_vs_batch = format!(
+        concat!(
+            "  \"online_vs_batch\": {{\n",
+            "    \"drift_threshold\": {},\n",
+            "    \"note\": \"per-event decision path vs the batch path on the same ",
+            "stream; targets: p50_event_ms < 1.0 at 1 shard, ",
+            "weight_ratio_vs_batch >= 0.9\",\n",
+            "    \"results\": [\n{}\n    ]\n",
+            "  }},\n"
+        ),
+        ONLINE_DRIFT_THRESHOLD,
+        online_entries.join(",\n")
+    );
+
     // Instrumentation overhead guard: the same workload at 4 shards with
     // recording on vs off via the runtime kill-switch, after the sweep
     // above has warmed everything. Target: under 3% throughput cost.
@@ -372,6 +484,7 @@ fn main() -> ExitCode {
             "{}",
             "{}",
             "{}",
+            "{}",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -385,6 +498,7 @@ fn main() -> ExitCode {
         DRIFT,
         thread_scaling,
         partition_quality,
+        online_vs_batch,
         overhead,
         entries.join(",\n")
     );

@@ -29,7 +29,8 @@ usage:
               [--batch-bytes N] [--flush-ms F] [--queue-cap N]
               [--drop-policy <drop-newest|drop-oldest|defer>]
               [--routing <hash|range|min-cut>] [--boundary-pass]
-              [--replan-threshold F] [--budget-ms N] [--drift F]
+              [--replan-threshold F] [--online] [--drift-threshold F]
+              [--budget-ms N] [--drift F]
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
               [--metrics-out FILE] [--metrics-every N]
               [--wal-dir DIR] [--snapshot-every N]
@@ -89,6 +90,13 @@ pub struct ServeOpts {
     /// Re-plan the shard layout at a batch boundary once the live cut
     /// fraction has degraded past this much above the plan's baseline.
     pub replan_threshold: Option<f64>,
+    /// Per-event online decision path: bypass the batcher, decide on every
+    /// event, and journal one WAL record per deciding event. Incompatible
+    /// with `--boundary-pass`.
+    pub online: bool,
+    /// With `--online`: fraction of a shard's matched weight that may
+    /// drift before the warm-started exact fallback fires.
+    pub drift_threshold: f64,
     /// Per-batch wall-clock solve budget in ms (`serve` only; `replay`
     /// always runs deterministic, unbudgeted solves).
     pub budget_ms: u64,
@@ -450,6 +458,9 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     let mut routing = Routing::HashId;
     let mut boundary_pass = false;
     let mut replan_threshold = None;
+    let mut online = false;
+    let mut drift_threshold = 0.2f64;
+    let mut drift_threshold_set = false;
     let mut budget_ms = 50u64;
     let mut drift = 0.0f64;
     let mut poison_shard = None;
@@ -515,6 +526,15 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
                 }
                 replan_threshold = Some(t);
             }
+            "--online" => online = true,
+            "--drift-threshold" => {
+                let t: f64 = parse_num(flag, cur.value_for(flag)?)?;
+                if !(t > 0.0 && t.is_finite()) {
+                    return err("--drift-threshold must be positive and finite");
+                }
+                drift_threshold = t;
+                drift_threshold_set = true;
+            }
             "--budget-ms" => {
                 budget_ms = parse_num(flag, cur.value_for(flag)?)?;
                 if budget_ms == 0 {
@@ -570,6 +590,12 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     if wal_dir.is_none() && (snapshot_every_set || fsync_set) {
         return err("--snapshot-every / --fsync need --wal-dir");
     }
+    if online && boundary_pass {
+        return err("--online and --boundary-pass are incompatible (the rescue overlay is a batch construct)");
+    }
+    if drift_threshold_set && !online {
+        return err("--drift-threshold needs --online");
+    }
     if listen.is_some() {
         if cmd == "replay" {
             return err("--listen only applies to serve (replay is a deterministic re-run)");
@@ -595,6 +621,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         routing,
         boundary_pass,
         replan_threshold,
+        online,
+        drift_threshold,
         budget_ms,
         drift,
         poison_shard,
@@ -1367,6 +1395,68 @@ mod tests {
             ":1",
             "--replan-threshold",
             "0.1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_online_flags() {
+        match parse(&sv(&[
+            "serve",
+            "--trace",
+            "t.trace",
+            "--online",
+            "--drift-threshold",
+            "0.35",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(o) => {
+                assert!(o.online);
+                assert_eq!(o.drift_threshold, 0.35);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: batch mode, threshold present but inert.
+        match parse(&sv(&["serve", "--trace", "t.trace"])).unwrap() {
+            Command::Serve(o) => {
+                assert!(!o.online);
+                assert_eq!(o.drift_threshold, 0.2);
+            }
+            _ => panic!("wrong command"),
+        }
+        // `replay` accepts the online flags (a deterministic online re-run).
+        match parse(&sv(&["replay", "--trace", "t.trace", "--online"])).unwrap() {
+            Command::Replay(o) => assert!(o.online),
+            _ => panic!("wrong command"),
+        }
+        // The threshold needs the mode, must be positive/finite, and the
+        // rescue overlay is batch-only.
+        assert!(parse(&sv(&["serve", "--trace", "t", "--drift-threshold", "0.1"])).is_err());
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--online",
+            "--drift-threshold",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--online",
+            "--drift-threshold",
+            "inf"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--online",
+            "--boundary-pass"
         ]))
         .is_err());
     }

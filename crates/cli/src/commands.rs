@@ -20,8 +20,8 @@ use mbta_net::{
 };
 use mbta_service::{
     recover, Arrival, BatchConfig, BatchStats, BenefitDrift, BudgetMode, Decision, DecisionSink,
-    DeferBackoff, DispatchService, DurableStore, NullSink, OfferOutcome, RecoveredState,
-    ServiceConfig, ServiceReport, ShardPlan, StoreConfig, WriteSink,
+    DeferBackoff, DispatchService, DurableStore, NullSink, OfferOutcome, OnlineConfig,
+    RecoveredState, ServiceConfig, ServiceReport, ShardPlan, StoreConfig, WriteSink,
 };
 use mbta_store::{heartbeat_age, heartbeat_touch, FollowerState, TailStatus, WalTail};
 use mbta_telemetry::{MetricValue, RegistryDiff, Snapshot};
@@ -710,6 +710,9 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         threads: opts.threads,
         boundary_pass: opts.boundary_pass,
         replan_threshold: opts.replan_threshold,
+        online: opts.online.then_some(OnlineConfig {
+            drift_threshold: opts.drift_threshold,
+        }),
     };
     let store = match &opts.wal_dir {
         Some(dir) => {
@@ -1322,6 +1325,8 @@ mod tests {
             routing: mbta_service::Routing::HashId,
             boundary_pass: false,
             replan_threshold: None,
+            online: false,
+            drift_threshold: 0.2,
             budget_ms: 50,
             drift: 0.1,
             poison_shard: None,
@@ -1373,6 +1378,45 @@ mod tests {
         assert!(r.is_err(), "non-empty WAL dir must be rejected");
         let msg = r.unwrap_err().to_string();
         assert!(msg.contains("already holds"), "unexpected error: {msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn online_serve_with_wal_then_recover_matches() {
+        let trace = tmp("online-serve.trace");
+        run(Command::GenTrace {
+            profile: Profile::Uniform,
+            workers: 50,
+            tasks: 30,
+            degree: 4.0,
+            dims: 4,
+            seed: 31,
+            horizon: 30.0,
+            repeats: 2,
+            out: trace.clone(),
+        })
+        .unwrap();
+
+        let dir = tmp("online-serve.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = small_serve_opts(trace.clone(), None);
+        opts.online = true;
+        opts.drift_threshold = 0.1;
+        opts.drift = 0.3;
+        opts.wal_dir = Some(dir.clone());
+        opts.snapshot_every = 8;
+        opts.fsync = mbta_service::FsyncPolicy::Never;
+        run(Command::Replay(opts)).unwrap();
+
+        // The per-event journal recovers cleanly and validates against
+        // the trace (zero capacity violations, weights consistent).
+        run(Command::Recover {
+            trace: trace.clone(),
+            wal_dir: dir.clone(),
+        })
+        .unwrap();
 
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_file(trace);

@@ -87,6 +87,11 @@ pub struct IncrementalAssignment<'g> {
     worker_active: Vec<bool>,
     task_active: Vec<bool>,
     total: f64,
+    /// When `true`, every insert/remove is appended to `log` so an online
+    /// caller can journal per-event assignment deltas. Off by default:
+    /// batch users never pay for the bookkeeping.
+    log_enabled: bool,
+    log: Vec<(EdgeId, bool)>,
 }
 
 impl<'g> IncrementalAssignment<'g> {
@@ -134,6 +139,8 @@ impl<'g> IncrementalAssignment<'g> {
             worker_active: vec![true; g.n_workers()],
             task_active: vec![true; g.n_tasks()],
             total: 0.0,
+            log_enabled: false,
+            log: Vec::new(),
         };
         for &e in &m.edges {
             s.insert(e);
@@ -182,6 +189,9 @@ impl<'g> IncrementalAssignment<'g> {
         self.w_load[self.g.worker_of(e).index()] += 1;
         self.t_load[self.g.task_of(e).index()] += 1;
         self.total += self.weights[e.index()];
+        if self.log_enabled {
+            self.log.push((e, true));
+        }
     }
 
     fn remove(&mut self, e: EdgeId) {
@@ -190,6 +200,9 @@ impl<'g> IncrementalAssignment<'g> {
         self.w_load[self.g.worker_of(e).index()] -= 1;
         self.t_load[self.g.task_of(e).index()] -= 1;
         self.total -= self.weights[e.index()];
+        if self.log_enabled {
+            self.log.push((e, false));
+        }
     }
 
     /// Whether edge `e` could be added right now. Non-finite weights are
@@ -389,6 +402,99 @@ impl<'g> IncrementalAssignment<'g> {
                 }
             })
             .collect()
+    }
+
+    /// Turns on assignment-delta logging: every subsequent edge insert
+    /// and remove (from repair, reseed, eviction — any funnel) is
+    /// recorded so an online caller can journal per-event decisions.
+    /// Existing batch users never enable this and pay nothing.
+    ///
+    /// # Example
+    /// ```
+    /// use mbta_core::incremental::IncrementalAssignment;
+    /// use mbta_graph::random::from_edges;
+    /// use mbta_graph::WorkerId;
+    ///
+    /// let g = from_edges(&[1, 1], &[1], &[(0, 0, 0.9, 0.9), (1, 0, 0.5, 0.5)]);
+    /// let weights: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+    /// let mut inc = IncrementalAssignment::new(&g, weights);
+    /// inc.enable_log();
+    /// inc.drain_log(); // discard the churn that predates our interest
+    /// inc.deactivate_worker(WorkerId::new(0));
+    /// // The departure dropped edge 0 and repair picked up edge 1.
+    /// let flips = inc.drain_log();
+    /// assert_eq!(flips.len(), 2);
+    /// assert!(!flips[0].1 && flips[1].1);
+    /// ```
+    pub fn enable_log(&mut self) {
+        self.log_enabled = true;
+    }
+
+    /// Takes the accumulated `(edge, assigned)` flip log, leaving it
+    /// empty. An edge may appear multiple times (evicted then re-added
+    /// within one event); fold by flip parity to get net decisions.
+    pub fn drain_log(&mut self) -> Vec<(EdgeId, bool)> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Whether edge `e` is currently assigned.
+    pub fn edge_assigned(&self, e: EdgeId) -> bool {
+        self.in_matching[e.index()]
+    }
+
+    /// The live weight of edge `e`.
+    pub fn weight_of(&self, e: EdgeId) -> f64 {
+        self.weights[e.index()]
+    }
+
+    /// Current assigned load of a worker.
+    pub fn worker_load(&self, w: WorkerId) -> u32 {
+        self.w_load[w.index()]
+    }
+
+    /// Current assigned load of a task.
+    pub fn task_load(&self, t: TaskId) -> u32 {
+        self.t_load[t.index()]
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.g
+    }
+
+    /// Assigns edge `e` if it is addable right now (unassigned, positive
+    /// finite weight, both endpoints active with spare capacity).
+    /// Returns whether the edge was taken.
+    pub fn try_assign(&mut self, e: EdgeId) -> bool {
+        let ok = self.addable(e);
+        if ok {
+            self.insert(e);
+        }
+        ok
+    }
+
+    /// Unassigns edge `e` if it is currently assigned (an online
+    /// exchange evicting a weaker edge). Returns whether a removal
+    /// happened. The freed capacity is *not* repaired — the caller
+    /// decides what replaces it.
+    pub fn unassign(&mut self, e: EdgeId) -> bool {
+        let ok = self.in_matching[e.index()];
+        if ok {
+            self.remove(e);
+        }
+        ok
+    }
+
+    /// Greedily fills a worker's spare capacity from its best addable
+    /// edges (public entry to the repair pass, for online callers).
+    pub fn fill_worker(&mut self, w: WorkerId) {
+        self.repair_worker(w);
+    }
+
+    /// Greedily fills a task's remaining demand (public entry to the
+    /// repair pass, for online callers).
+    pub fn fill_task(&mut self, t: TaskId) {
+        self.repair_task(t);
     }
 
     /// Debug validation: feasibility, activity and total consistency.

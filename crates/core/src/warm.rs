@@ -1,0 +1,204 @@
+//! Warm-started exact re-solves for long-lived shard states.
+//!
+//! The online dispatch path keeps an [`crate::incremental::IncrementalAssignment`]
+//! per shard and occasionally needs an exact re-solve (the drift
+//! fallback). Rebuilding the flow network from scratch there wastes the
+//! one thing a long-lived shard has plenty of: prior state.
+//! [`WarmSolver`] owns an [`mbta_matching::warm::WarmNet`] for the
+//! shard's fixed topology and re-solves against drifting weights,
+//! seeding each solve with the previous matching and carrying the node
+//! potentials across calls. Telemetry
+//! (`mbta_core_warm_solves_total` / `mbta_core_warm_hits_total` /
+//! `mbta_core_warm_audited_cold_total`) records how often the warm
+//! state survives.
+//!
+//! The returned matching is filtered to strictly positive weights
+//! before it is handed back, so it can always be adopted by
+//! [`crate::incremental::IncrementalAssignment::reseed`] (which rejects
+//! edges on inactive endpoints; inactive endpoints read as weight 0
+//! through [`crate::incremental::IncrementalAssignment::active_weights`]).
+
+use mbta_graph::BipartiteGraph;
+use mbta_matching::warm::{WarmNet, WarmStats};
+use mbta_matching::Matching;
+use mbta_util::SolveCtl;
+
+/// Lifetime counters of one [`WarmSolver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmSolverStats {
+    /// Exact re-solves performed.
+    pub solves: u64,
+    /// Solves that kept the seeded flow (pure warm or cycle-repaired).
+    pub warm_hits: u64,
+    /// Warm solves that the de-augmentation audit sent back to cold.
+    pub audited_cold: u64,
+    /// Total augmenting-path iterations across all solves.
+    pub iterations: u64,
+}
+
+/// A reusable exact solver bound to one shard topology.
+///
+/// # Example
+/// ```
+/// use mbta_core::warm::WarmSolver;
+/// use mbta_graph::random::from_edges;
+/// use mbta_util::SolveCtl;
+///
+/// let g = from_edges(
+///     &[1, 1],
+///     &[1, 1],
+///     &[(0, 0, 0.9, 0.9), (0, 1, 0.8, 0.8), (1, 0, 0.7, 0.7)],
+/// );
+/// let mut solver = WarmSolver::new(&g);
+/// // First solve is cold; it picks the 0.8 + 0.7 pairing over the 0.9.
+/// let m1 = solver.solve(&g, &[0.9, 0.8, 0.7], &SolveCtl::unlimited());
+/// assert_eq!(m1.len(), 2);
+/// // Drifted weights re-solve warm, seeded from the previous matching.
+/// let m2 = solver.solve(&g, &[0.95, 0.79, 0.71], &SolveCtl::unlimited());
+/// assert_eq!(m2.len(), 2);
+/// assert!(solver.stats().warm_hits >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarmSolver {
+    net: WarmNet,
+    prev: Matching,
+    stats: WarmSolverStats,
+}
+
+impl WarmSolver {
+    /// Builds the solver for `g`'s topology (done once per shard per
+    /// plan epoch; the graph must not change shape afterwards).
+    pub fn new(g: &BipartiteGraph) -> WarmSolver {
+        WarmSolver {
+            net: WarmNet::new(g),
+            prev: Matching::empty(),
+            stats: WarmSolverStats::default(),
+        }
+    }
+
+    /// Seeds the carried matching (e.g. the shard's current incremental
+    /// assignment) without solving; the next [`WarmSolver::solve`] warm
+    /// starts from it once potentials exist.
+    pub fn seed(&mut self, m: Matching) {
+        self.prev = m;
+    }
+
+    /// Discards all carried state; the next solve runs cold.
+    pub fn invalidate(&mut self) {
+        self.net.invalidate();
+        self.prev = Matching::empty();
+    }
+
+    /// Exact free-cardinality maximum-weight matching under `weights`,
+    /// warm-started when the carried state permits. The result is
+    /// filtered to strictly positive weights (zero-weight edges encode
+    /// inactive endpoints in the online path) and becomes the seed of
+    /// the next call.
+    pub fn solve(&mut self, g: &BipartiteGraph, weights: &[f64], ctl: &SolveCtl) -> Matching {
+        let (m, stats) = self.net.solve(g, weights, &self.prev, ctl);
+        self.record(&stats);
+        let filtered = Matching::from_edges(
+            m.edges
+                .iter()
+                .copied()
+                .filter(|e| weights[e.index()] > 0.0)
+                .collect(),
+        );
+        self.prev = filtered.clone();
+        filtered
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> WarmSolverStats {
+        self.stats
+    }
+
+    fn record(&mut self, s: &WarmStats) {
+        self.stats.solves += 1;
+        self.stats.warm_hits += u64::from(s.warm);
+        self.stats.audited_cold += u64::from(s.audited_cold);
+        self.stats.iterations += s.iterations;
+        mbta_telemetry::counter_add("mbta_core_warm_solves_total", 1);
+        mbta_telemetry::counter_add("mbta_core_warm_hits_total", u64::from(s.warm));
+        mbta_telemetry::counter_add(
+            "mbta_core_warm_audited_cold_total",
+            u64::from(s.audited_cold),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::{random_bipartite, RandomGraphSpec};
+    use mbta_matching::mcmf::{max_weight_bmatching, FlowMode, PathAlgo};
+
+    #[test]
+    fn warm_solver_tracks_cold_objective_through_drift() {
+        let g = random_bipartite(
+            &RandomGraphSpec {
+                n_workers: 60,
+                n_tasks: 40,
+                avg_degree: 6.0,
+                capacity: 2,
+                demand: 2,
+            },
+            11,
+        );
+        let mut w: Vec<f64> = g.edges().map(|e| 0.5 * (g.rb(e) + g.wb(e))).collect();
+        let mut solver = WarmSolver::new(&g);
+        for round in 0..8u64 {
+            let m = solver.solve(&g, &w, &SolveCtl::unlimited());
+            m.validate(&g).unwrap();
+            let (cold, _) =
+                max_weight_bmatching(&g, &w, FlowMode::FreeCardinality, PathAlgo::Dijkstra);
+            assert!(
+                (m.total_weight(&w) - cold.total_weight(&w)).abs() < 1e-6,
+                "round {round}: warm {} vs cold {}",
+                m.total_weight(&w),
+                cold.total_weight(&w)
+            );
+            // Deterministic small drift.
+            for (i, wt) in w.iter_mut().enumerate() {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(round);
+                let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+                *wt = (*wt * (0.96 + 0.08 * unit)).clamp(0.0, 1.0);
+            }
+        }
+        let s = solver.stats();
+        assert_eq!(s.solves, 8);
+        assert!(s.warm_hits >= 1, "no warm hit across 8 drift rounds: {s:?}");
+    }
+
+    #[test]
+    fn zero_weight_edges_are_filtered_for_reseed() {
+        use crate::incremental::IncrementalAssignment;
+        use mbta_graph::random::from_edges;
+        use mbta_graph::WorkerId;
+        let g = from_edges(&[1, 1], &[1, 1], &[(0, 0, 0.9, 0.9), (1, 1, 0.5, 0.5)]);
+        let mut inc = IncrementalAssignment::new(&g, vec![0.9, 0.5]);
+        inc.deactivate_worker(WorkerId::new(1));
+        // Active-subgraph weights zero out the deactivated worker's edge.
+        let aw = inc.active_weights();
+        assert_eq!(aw, vec![0.9, 0.0]);
+        let mut solver = WarmSolver::new(&g);
+        let m = solver.solve(&g, &aw, &SolveCtl::unlimited());
+        // The filtered result must be adoptable despite the inactive node.
+        inc.reseed(&m).unwrap();
+        inc.check_invariants();
+        assert_eq!(inc.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_forces_cold() {
+        let g = random_bipartite(&RandomGraphSpec::default(), 3);
+        let w: Vec<f64> = g.edges().map(|e| g.rb(e)).collect();
+        let mut solver = WarmSolver::new(&g);
+        solver.solve(&g, &w, &SolveCtl::unlimited());
+        solver.invalidate();
+        solver.solve(&g, &w, &SolveCtl::unlimited());
+        assert_eq!(solver.stats().warm_hits, 0, "cold after invalidate");
+    }
+}

@@ -31,6 +31,9 @@
 //!   reference baseline.
 //! * [`online`] — irrevocable arrival-order assignment policies (greedy,
 //!   ranking, two-phase sample-then-threshold).
+//! * [`warm`] — a reusable MCMF network ([`warm::WarmNet`]) that carries
+//!   potentials and seeded flow across repeated solves on a fixed
+//!   topology; the exact engine behind the service's online fallback.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,5 +50,6 @@ pub mod online;
 pub mod push_relabel;
 pub mod solution;
 pub mod stable;
+pub mod warm;
 
 pub use solution::{Infeasibility, Matching};

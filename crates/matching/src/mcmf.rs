@@ -31,8 +31,8 @@ use mbta_graph::BipartiteGraph;
 use mbta_util::fixed::benefit_to_profit;
 use mbta_util::{IndexedHeap, SolveCtl};
 
-const NONE: u32 = u32::MAX;
-const INF: i64 = i64::MAX / 4;
+pub(crate) const NONE: u32 = u32::MAX;
+pub(crate) const INF: i64 = i64::MAX / 4;
 
 /// Path-finding strategy for the successive-shortest-path loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,12 +55,12 @@ pub enum FlowMode {
 /// A min-cost flow network (forward/backward arc-pair arena, `i64` costs).
 #[derive(Debug, Clone)]
 pub struct CostFlow {
-    head: Vec<u32>,
-    next: Vec<u32>,
-    first: Vec<u32>,
-    cap: Vec<u32>,
-    cost: Vec<i64>,
-    n_nodes: usize,
+    pub(crate) head: Vec<u32>,
+    pub(crate) next: Vec<u32>,
+    pub(crate) first: Vec<u32>,
+    pub(crate) cap: Vec<u32>,
+    pub(crate) cost: Vec<i64>,
+    pub(crate) n_nodes: usize,
 }
 
 /// Result of a [`CostFlow::run`] call.
@@ -159,7 +159,7 @@ impl CostFlow {
     /// SPFA (queue Bellman–Ford) shortest path on raw residual costs.
     /// Fills `dist` and `parent_arc`; returns `false` if stopped early by
     /// `ctl` (in which case the labels must not be used for augmentation).
-    fn spfa(
+    pub(crate) fn spfa(
         &self,
         source: usize,
         dist: &mut [i64],
@@ -212,7 +212,7 @@ impl CostFlow {
     /// and all still-queued tentative distances are `≥ dist[sink]` at the
     /// moment the sink pops, which covers the remaining cases.
     #[allow(clippy::too_many_arguments)] // internal: scratch buffers + ctl
-    fn dijkstra(
+    pub(crate) fn dijkstra(
         &self,
         source: usize,
         sink: usize,
@@ -258,7 +258,7 @@ impl CostFlow {
     }
 
     /// Augments along parent arcs; returns `(bottleneck, true_path_cost)`.
-    fn augment(&mut self, source: usize, sink: usize, parent_arc: &[u32]) -> (u32, i64) {
+    pub(crate) fn augment(&mut self, source: usize, sink: usize, parent_arc: &[u32]) -> (u32, i64) {
         let mut bottleneck = u32::MAX;
         let mut cost = 0i64;
         let mut v = sink;

@@ -32,6 +32,9 @@ pub enum FlushReason {
     Watermark,
     /// End of stream: the final partial batch, flushed by `drain`.
     Drain,
+    /// Not a batch at all: one per-event flush from the online decision
+    /// path (`--online`), which bypasses the batcher entirely.
+    Online,
 }
 
 impl FlushReason {
@@ -42,6 +45,7 @@ impl FlushReason {
             FlushReason::Bytes => "bytes",
             FlushReason::Watermark => "watermark",
             FlushReason::Drain => "drain",
+            FlushReason::Online => "online",
         }
     }
 }

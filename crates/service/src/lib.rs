@@ -31,6 +31,12 @@
 //!   re-plan threshold armed, cut drift triggers a detach → re-partition
 //!   → resume migration at a batch boundary (journaled as a WAL plan
 //!   record). See DESIGN.md §13.
+//! * [`online`] — the per-event decision path (`--online`): greedy
+//!   repair plus a depth-1 exchange on every event, per-shard drift
+//!   accounting, and a warm-started exact fallback
+//!   (`mbta_core::warm::WarmSolver`) when drift crosses the configured
+//!   threshold. Sub-millisecond median decision latency, journaled as
+//!   one WAL record per deciding event. See DESIGN.md §14.
 //! * [`sink`] — pluggable decision output; the textual decision log is
 //!   byte-identical across replays under deterministic budgets.
 //! * [`report`] — end-of-run telemetry: throughput, batch-latency
@@ -50,6 +56,7 @@
 
 pub mod batch;
 pub mod event;
+pub mod online;
 pub mod pool;
 pub mod queue;
 pub mod report;
@@ -59,6 +66,7 @@ pub mod sink;
 
 pub use batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
 pub use event::{Arrival, BenefitDrift, ServiceEvent};
+pub use online::OnlineConfig;
 pub use pool::{BatchSolve, ShardJob, ShardOutcome, SolvePool};
 pub use queue::{BoundedQueue, DeferBackoff, DropPolicy, OfferOutcome};
 pub use report::ServiceReport;

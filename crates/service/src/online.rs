@@ -1,0 +1,341 @@
+//! Per-event online assignment: the sub-millisecond decision path.
+//!
+//! Batch dispatch amortizes one exact solve over a micro-batch; the
+//! online path instead decides on **every event** and keeps the exact
+//! solver in reserve. Three mechanisms make that sound:
+//!
+//! * **Primal repair** — every event funnels through the shard's
+//!   [`IncrementalAssignment`], whose greedy local repair keeps the
+//!   assignment feasible at all times. A benefit update additionally
+//!   gets one `try_exchange` attempt: evict the cheapest assigned
+//!   edge at each saturated endpoint when the updated edge is strictly
+//!   heavier than everything it displaces (a depth-1 alternating step —
+//!   the primal move that a single dual adjustment would license).
+//! * **Drift accounting** — each shard accumulates the weight the
+//!   greedy path may have left on the table: `|Δw|` of benefit updates
+//!   plus the weight of every net-removed edge. Plain greedy fills
+//!   accrue nothing.
+//! * **Warm fallback** — when a shard's accumulated drift exceeds
+//!   [`OnlineConfig::drift_threshold`] × its live assigned weight, the
+//!   shard re-solves exactly through its [`WarmSolver`], which carries
+//!   node potentials and the previous matching across solves (see
+//!   `mbta_matching::warm`), then the accumulator resets.
+//!
+//! Decisions come out of the assignment's flip log (`net_flips` folds
+//! eviction/re-add churn by parity), are journaled as one
+//! `OnlineRecord` per event *before* they reach the sink, and replay
+//! through `mbta_store::recover` exactly like batch records. See
+//! DESIGN.md §14 for the full contract.
+
+use crate::shard::ShardPlan;
+use mbta_core::incremental::IncrementalAssignment;
+use mbta_core::warm::{WarmSolver, WarmSolverStats};
+use mbta_graph::EdgeId;
+use mbta_telemetry::Histogram;
+
+/// Tunables for the per-event online decision path.
+///
+/// ```
+/// use mbta_service::OnlineConfig;
+///
+/// let cfg = OnlineConfig::default();
+/// assert!(cfg.drift_threshold > 0.0);
+/// let strict = OnlineConfig {
+///     drift_threshold: 0.05,
+/// };
+/// strict.validate(); // panics on non-positive or non-finite thresholds
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Fallback trigger: a shard re-solves exactly once its accumulated
+    /// drift exceeds this fraction of its live assigned weight (floored
+    /// at 1.0 so empty shards still fall back eventually). Lower values
+    /// buy assignment quality with more exact solves.
+    pub drift_threshold: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            drift_threshold: 0.2,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Panics on thresholds that would never (or always) trigger.
+    pub fn validate(&self) {
+        assert!(
+            self.drift_threshold > 0.0 && self.drift_threshold.is_finite(),
+            "drift_threshold must be positive and finite"
+        );
+    }
+}
+
+/// Per-shard online state: the warm exact solver and the drift
+/// accumulator that decides when to use it.
+pub(crate) struct ShardOnline {
+    pub warm: WarmSolver,
+    pub acc: f64,
+}
+
+/// The service's online-mode runtime: per-shard warm/drift state plus
+/// the run counters that survive re-plans via [`OnlineCarried`].
+pub(crate) struct OnlineRuntime {
+    pub cfg: OnlineConfig,
+    pub shards: Vec<ShardOnline>,
+    pub events: u64,
+    pub fallbacks: u64,
+    pub exchanges: u64,
+    /// Warm-solver counters accumulated before the last re-plan (the
+    /// solvers themselves are rebuilt for each plan's topology).
+    prior_warm: WarmSolverStats,
+    /// Per-event decision latency (wall-clock ms).
+    pub lat: Histogram,
+}
+
+impl OnlineRuntime {
+    /// Fresh runtime for a plan: one warm solver per shard topology.
+    pub fn new(cfg: OnlineConfig, plan: &ShardPlan) -> Self {
+        cfg.validate();
+        OnlineRuntime {
+            cfg,
+            shards: plan
+                .shards
+                .iter()
+                .map(|slice| ShardOnline {
+                    warm: WarmSolver::new(&slice.sub.graph),
+                    acc: 0.0,
+                })
+                .collect(),
+            events: 0,
+            fallbacks: 0,
+            exchanges: 0,
+            prior_warm: WarmSolverStats::default(),
+            lat: Histogram::new(),
+        }
+    }
+
+    /// Whether shard `s`'s drift accumulator has crossed the fallback
+    /// line for a shard currently holding `shard_weight` assigned value.
+    pub fn fallback_due(&self, s: usize, shard_weight: f64) -> bool {
+        self.shards[s].acc > self.cfg.drift_threshold * shard_weight.max(1.0)
+    }
+
+    /// Lifetime warm-solver counters: the current solvers plus whatever
+    /// pre-replan solvers accumulated.
+    pub fn warm_totals(&self) -> WarmSolverStats {
+        let mut t = self.prior_warm;
+        for sh in &self.shards {
+            let s = sh.warm.stats();
+            t.solves += s.solves;
+            t.warm_hits += s.warm_hits;
+            t.audited_cold += s.audited_cold;
+            t.iterations += s.iterations;
+        }
+        t
+    }
+
+    /// Extracts the plan-independent half for a detach → resume cycle.
+    pub fn detach(self) -> OnlineCarried {
+        let warm = self.warm_totals();
+        OnlineCarried {
+            cfg: self.cfg,
+            events: self.events,
+            fallbacks: self.fallbacks,
+            exchanges: self.exchanges,
+            warm,
+            lat: self.lat,
+        }
+    }
+
+    /// Rebuilds the runtime over a new plan from carried counters. The
+    /// warm solvers start cold — the shard topologies changed.
+    pub fn resume(c: OnlineCarried, plan: &ShardPlan) -> Self {
+        let mut rt = OnlineRuntime::new(c.cfg, plan);
+        rt.events = c.events;
+        rt.fallbacks = c.fallbacks;
+        rt.exchanges = c.exchanges;
+        rt.prior_warm = c.warm;
+        rt.lat = c.lat;
+        rt
+    }
+}
+
+/// Plan-independent online counters carried across a re-plan.
+pub(crate) struct OnlineCarried {
+    cfg: OnlineConfig,
+    events: u64,
+    fallbacks: u64,
+    exchanges: u64,
+    warm: WarmSolverStats,
+    lat: Histogram,
+}
+
+/// Folds a raw flip log into net per-edge decisions. Flips for one edge
+/// strictly alternate (an assigned edge cannot be inserted again), so an
+/// edge with an odd flip count net-changed state, in the direction of
+/// its last flip; even counts cancel out. Output ascends by edge id.
+pub(crate) fn net_flips(flips: &[(EdgeId, bool)]) -> Vec<(EdgeId, bool)> {
+    let mut sorted = flips.to_vec();
+    // Stable sort: chronological order within each edge survives.
+    sorted.sort_by_key(|&(e, _)| e);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let e = sorted[i].0;
+        let mut j = i;
+        while j < sorted.len() && sorted[j].0 == e {
+            j += 1;
+        }
+        if (j - i) % 2 == 1 {
+            out.push((e, sorted[j - 1].1));
+        }
+        i = j;
+    }
+    out
+}
+
+/// Depth-1 exchange for an unassigned edge whose endpoints are
+/// saturated: evict the cheapest assigned edge at each full endpoint if
+/// `e` is strictly heavier than everything it displaces, assign `e`,
+/// then greedily refill the displaced far endpoints from spare capacity
+/// only. Returns whether the exchange happened. Never degrades the
+/// shard's assigned weight and preserves feasibility by construction.
+pub(crate) fn try_exchange(st: &mut IncrementalAssignment<'_>, e: EdgeId) -> bool {
+    let w_new = st.weight_of(e);
+    if st.edge_assigned(e) || !w_new.is_finite() || w_new <= 0.0 {
+        return false;
+    }
+    let g = st.graph();
+    let (wk, tk) = (g.worker_of(e), g.task_of(e));
+    if !st.worker_active(wk) || !st.task_active(tk) {
+        return false;
+    }
+    let mut victims: Vec<EdgeId> = Vec::with_capacity(2);
+    if st.worker_load(wk) >= g.capacity(wk) {
+        match min_assigned(st, g.worker_edges(wk), &victims) {
+            Some(v) => victims.push(v),
+            None => return false,
+        }
+    }
+    if st.task_load(tk) >= g.demand(tk) {
+        match min_assigned(st, g.task_edges(tk), &victims) {
+            Some(v) => victims.push(v),
+            None => return false,
+        }
+    }
+    if victims.is_empty() {
+        // Spare capacity on both sides: this was a plain `try_assign`
+        // situation, not an exchange.
+        return false;
+    }
+    let displaced: f64 = victims.iter().map(|&v| st.weight_of(v)).sum();
+    if w_new <= displaced + 1e-12 {
+        return false;
+    }
+    for &v in &victims {
+        st.unassign(v);
+    }
+    let took = st.try_assign(e);
+    debug_assert!(took, "exchange freed both endpoints of an active edge");
+    // The evicted edges' far endpoints regained capacity; refill them
+    // greedily (the evicted edge itself stays blocked at the shared
+    // endpoint, so this cannot oscillate).
+    for &v in &victims {
+        let (vw, vt) = (g.worker_of(v), g.task_of(v));
+        if vw != wk {
+            st.fill_worker(vw);
+        }
+        if vt != tk {
+            st.fill_task(vt);
+        }
+    }
+    took
+}
+
+/// The lightest currently-assigned candidate (ties to the lower edge
+/// id), skipping already-chosen victims.
+fn min_assigned(
+    st: &IncrementalAssignment<'_>,
+    cands: impl Iterator<Item = EdgeId>,
+    excl: &[EdgeId],
+) -> Option<EdgeId> {
+    cands
+        .filter(|&c| st.edge_assigned(c) && !excl.contains(&c))
+        .min_by(|&a, &b| st.weight_of(a).total_cmp(&st.weight_of(b)).then(a.cmp(&b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbta_graph::random::from_edges;
+
+    fn eid(i: u32) -> EdgeId {
+        EdgeId::new(i)
+    }
+
+    #[test]
+    fn net_flips_folds_by_parity() {
+        let flips = vec![
+            (eid(3), false),
+            (eid(1), true),
+            (eid(3), true), // edge 3: remove + re-add = net zero
+            (eid(2), true),
+            (eid(2), false),
+            (eid(2), true), // edge 2: odd count, net assign
+        ];
+        assert_eq!(net_flips(&flips), vec![(eid(1), true), (eid(2), true)]);
+        assert!(net_flips(&[]).is_empty());
+        // A bare removal survives the fold.
+        assert_eq!(net_flips(&[(eid(5), false)]), vec![(eid(5), false)]);
+    }
+
+    #[test]
+    fn exchange_evicts_lighter_edge_and_refills() {
+        // Worker 0 (capacity 1) holds the 0.5 edge; a benefit update
+        // makes edge 1 (same worker, other task) worth 0.9. The exchange
+        // must evict edge 0, take edge 1, and refill task 0 via worker 1.
+        let g = from_edges(
+            &[1, 1],
+            &[1, 1],
+            &[(0, 0, 0.5, 0.5), (0, 1, 0.1, 0.1), (1, 0, 0.3, 0.3)],
+        );
+        let mut st = IncrementalAssignment::new(&g, vec![0.5, 0.1, 0.3]);
+        assert!(st.edge_assigned(eid(0)));
+        st.set_weight(eid(1), 0.9);
+        assert!(!st.try_assign(eid(1)), "worker 0 is saturated");
+        assert!(try_exchange(&mut st, eid(1)));
+        assert!(st.edge_assigned(eid(1)));
+        assert!(!st.edge_assigned(eid(0)));
+        assert!(st.edge_assigned(eid(2)), "displaced task 0 was refilled");
+        st.check_invariants();
+    }
+
+    #[test]
+    fn exchange_refuses_non_improving_swaps() {
+        let g = from_edges(&[1], &[1, 1], &[(0, 0, 0.5, 0.5), (0, 1, 0.4, 0.4)]);
+        let mut st = IncrementalAssignment::new(&g, vec![0.5, 0.4]);
+        assert!(st.edge_assigned(eid(0)));
+        // 0.4 < 0.5: no exchange; equal weight: no exchange either.
+        assert!(!try_exchange(&mut st, eid(1)));
+        st.set_weight(eid(1), 0.5);
+        assert!(!try_exchange(&mut st, eid(1)));
+        assert!(st.edge_assigned(eid(0)));
+    }
+
+    #[test]
+    fn runtime_detach_resume_carries_counters() {
+        let g = from_edges(&[1], &[1], &[(0, 0, 0.5, 0.5)]);
+        let w = vec![0.5];
+        let plan = ShardPlan::build(&g, &w, 1, crate::shard::Routing::HashId);
+        let mut rt = OnlineRuntime::new(OnlineConfig::default(), &plan);
+        rt.events = 7;
+        rt.fallbacks = 2;
+        rt.exchanges = 1;
+        let rt2 = OnlineRuntime::resume(rt.detach(), &plan);
+        assert_eq!(rt2.events, 7);
+        assert_eq!(rt2.fallbacks, 2);
+        assert_eq!(rt2.exchanges, 1);
+    }
+}

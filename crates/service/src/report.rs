@@ -70,6 +70,29 @@ pub struct ServiceReport {
     pub flush_watermark: u64,
     /// Final partial batches flushed at end of stream.
     pub flush_drain: u64,
+    /// Per-event flushes from the online decision path (one per event
+    /// that produced decisions or weight deltas; always zero in batch
+    /// mode).
+    pub flush_online: u64,
+
+    /// Events decided by the online path (zero in batch mode).
+    pub online_events: u64,
+    /// Drift-threshold crossings that triggered an exact re-solve (or,
+    /// for a poisoned shard, an accumulator reset without one).
+    pub online_fallbacks: u64,
+    /// Depth-1 exchanges that displaced a weaker assigned edge.
+    pub online_exchanges: u64,
+    /// Warm-solver re-solves across all shards and plan epochs.
+    pub online_warm_solves: u64,
+    /// Warm-solver runs that kept the seeded flow (pure warm or
+    /// cycle-repaired) instead of redoing the solve cold.
+    pub online_warm_hits: u64,
+    /// Median per-event online decision latency (wall-clock ms).
+    pub p50_online_ms: f64,
+    /// 99th-percentile per-event online decision latency (ms).
+    pub p99_online_ms: f64,
+    /// Worst per-event online decision latency (ms).
+    pub max_online_ms: f64,
 
     /// Per-shard engine solves executed.
     pub solves: u64,
@@ -156,7 +179,7 @@ impl ServiceReport {
             "service: batches & solves",
             &[
                 "batches",
-                "count/bytes/time/drain",
+                "count/bytes/time/drain/online",
                 "solves",
                 "exact",
                 "approx",
@@ -168,8 +191,12 @@ impl ServiceReport {
         batches.row(vec![
             self.batches.to_string(),
             format!(
-                "{}/{}/{}/{}",
-                self.flush_count, self.flush_bytes, self.flush_watermark, self.flush_drain
+                "{}/{}/{}/{}/{}",
+                self.flush_count,
+                self.flush_bytes,
+                self.flush_watermark,
+                self.flush_drain,
+                self.flush_online
             ),
             self.solves.to_string(),
             self.tier_exact.to_string(),
@@ -222,6 +249,34 @@ impl ServiceReport {
             perf.render(),
             fin.render()
         );
+
+        if self.online_events > 0 {
+            let mut online = Table::new(
+                "service: online path",
+                &[
+                    "events",
+                    "exchanges",
+                    "fallbacks",
+                    "warm solves",
+                    "warm hits",
+                    "p50 ev ms",
+                    "p99 ev ms",
+                    "max ev ms",
+                ],
+            );
+            online.row(vec![
+                self.online_events.to_string(),
+                self.online_exchanges.to_string(),
+                self.online_fallbacks.to_string(),
+                self.online_warm_solves.to_string(),
+                self.online_warm_hits.to_string(),
+                fnum(self.p50_online_ms, 3),
+                fnum(self.p99_online_ms, 3),
+                fnum(self.max_online_ms, 3),
+            ]);
+            out.push('\n');
+            out.push_str(&online.render());
+        }
 
         if self.rescue_solves > 0 || self.replans > 0 {
             let mut quality = Table::new(
@@ -296,6 +351,15 @@ mod tests {
             flush_bytes: 1,
             flush_watermark: 1,
             flush_drain: 1,
+            flush_online: 0,
+            online_events: 55,
+            online_fallbacks: 3,
+            online_exchanges: 8,
+            online_warm_solves: 3,
+            online_warm_hits: 2,
+            p50_online_ms: 0.12,
+            p99_online_ms: 0.9,
+            max_online_ms: 1.4,
             solves: 12,
             tier_exact: 9,
             tier_approximate: 2,
@@ -333,5 +397,8 @@ mod tests {
         assert!(s.contains("sharding quality"));
         assert!(s.contains("0.910"));
         assert!(s.contains("12/9"));
+        assert!(s.contains("online path"));
+        assert!(s.contains("warm hits"));
+        assert!(s.contains("0.120"));
     }
 }

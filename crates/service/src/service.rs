@@ -57,6 +57,7 @@
 
 use crate::batch::{BatchConfig, Batcher, ClosedBatch, FlushReason};
 use crate::event::{Arrival, ServiceEvent};
+use crate::online::{self, OnlineConfig, OnlineRuntime};
 use crate::pool::{ShardJob, SolvePool};
 use crate::queue::{BoundedQueue, DropPolicy, OfferOutcome};
 use crate::report::ServiceReport;
@@ -68,10 +69,10 @@ use mbta_graph::subgraph::{induce, SubgraphSpec};
 use mbta_graph::{BipartiteGraph, EdgeId, TaskId, WorkerId};
 use mbta_matching::Matching;
 use mbta_partition::{migration_diff, residual_candidates, validate_rescue, CutTracker};
-use mbta_store::record::{BatchRecord, DecisionRecord, PlanRecord, WeightDelta};
+use mbta_store::record::{BatchRecord, DecisionRecord, OnlineRecord, PlanRecord, WeightDelta};
 use mbta_store::snapshot::SnapshotState;
 use mbta_store::store::DurableStore;
-use mbta_util::{CancelToken, Deadline};
+use mbta_util::{CancelToken, Deadline, SolveCtl};
 use std::time::Instant;
 
 /// How solve budgets are assigned per batch.
@@ -114,6 +115,12 @@ pub struct ServiceConfig {
     /// starts returning true and the driver should detach → rebuild the
     /// plan → resume. `None` disables drift-driven re-planning.
     pub replan_threshold: Option<f64>,
+    /// Per-event online decision path: `Some` bypasses the batcher and
+    /// decides on every event (greedy repair + depth-1 exchange, with a
+    /// warm-started exact fallback once per-shard drift crosses the
+    /// configured threshold). Incompatible with `boundary_pass` — the
+    /// rescue overlay is a batch-boundary construct.
+    pub online: Option<OnlineConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +133,7 @@ impl Default for ServiceConfig {
             threads: 0,
             boundary_pass: false,
             replan_threshold: None,
+            online: None,
         }
     }
 }
@@ -193,12 +201,15 @@ pub struct DispatchService<'p> {
     cut: CutTracker,
     replan_threshold: Option<f64>,
 
+    /// Per-event online decision runtime (`None` = batch dispatch).
+    online: Option<OnlineRuntime>,
+
     seq: u64,
     events_in: u64,
     events_processed: u64,
     invalid_events: u64,
     cross_benefit_drops: u64,
-    flush_tally: [u64; 4],
+    flush_tally: [u64; 5],
     solves: u64,
     tier_tally: [u64; 3],
     degraded_by_shard: Vec<u64>,
@@ -219,6 +230,9 @@ pub struct DispatchService<'p> {
     /// Per-instance batch solve-latency histogram; the report's p50/p99
     /// derive from its buckets instead of a private sample buffer.
     solve_lat: mbta_telemetry::Histogram,
+    /// Largest stream timestamp seen on the online path — stamps the
+    /// closing drain records, which have no triggering arrival.
+    last_time: f64,
     started: Instant,
 }
 
@@ -233,7 +247,17 @@ impl<'p> DispatchService<'p> {
     /// Builds a service over a shard plan. All nodes start *inactive* —
     /// the market is empty until join/post events arrive.
     pub fn new(universe: &'p BipartiteGraph, plan: &'p ShardPlan, cfg: ServiceConfig) -> Self {
-        let (states, live_weights, cut) = seed_plan_state(universe, plan, None);
+        assert!(
+            !(cfg.boundary_pass && cfg.online.is_some()),
+            "online mode is incompatible with the boundary pass"
+        );
+        let (mut states, live_weights, cut) = seed_plan_state(universe, plan, None);
+        let online = cfg.online.map(|oc| {
+            for st in &mut states {
+                st.enable_log();
+            }
+            OnlineRuntime::new(oc, plan)
+        });
         let n = plan.n_shards();
         DispatchService {
             universe,
@@ -252,12 +276,13 @@ impl<'p> DispatchService<'p> {
             cross_seen: vec![false; universe.n_edges()],
             cut,
             replan_threshold: cfg.replan_threshold,
+            online,
             seq: 0,
             events_in: 0,
             events_processed: 0,
             invalid_events: 0,
             cross_benefit_drops: 0,
-            flush_tally: [0; 4],
+            flush_tally: [0; 5],
             solves: 0,
             tier_tally: [0; 3],
             degraded_by_shard: vec![0; n],
@@ -273,6 +298,7 @@ impl<'p> DispatchService<'p> {
             defer_retry_ok: 0,
             reseeds: 0,
             solve_lat: mbta_telemetry::Histogram::new(),
+            last_time: 0.0,
             started: Instant::now(),
         }
     }
@@ -347,6 +373,279 @@ impl<'p> DispatchService<'p> {
         self.store = Some(store);
     }
 
+    /// Journals one online record through the attached store, with the
+    /// same first-error-stops-journaling contract as [`Self::journal`].
+    fn journal_online(&mut self, rec: OnlineRecord) {
+        let Some(mut store) = self.store.take() else {
+            return;
+        };
+        if self.store_error.is_none() {
+            let mut res = store.commit_online(&rec);
+            if res.is_ok() && store.snapshot_due() {
+                let snap = self.snapshot_state(rec.seq + 1);
+                res = store.snapshot(&snap);
+            }
+            if let Err(e) = res {
+                mbta_telemetry::counter_add("mbta_store_errors_total", 1);
+                self.store_error = Some(e);
+            }
+        }
+        self.store = Some(store);
+    }
+
+    /// Whether shard `s` has nothing an exact solver could work with.
+    fn shard_degenerate(&self, s: usize) -> bool {
+        let g = &self.plan.shards[s].sub.graph;
+        g.n_edges() == 0 || g.n_workers() == 0 || g.n_tasks() == 0
+    }
+
+    /// Warm-started exact re-solve of shard `s` (the caller has ruled
+    /// out poisoned and degenerate shards), adopting the solution when
+    /// it improves on the incremental state. Returns the applied flips.
+    fn warm_solve_shard(&mut self, s: usize, ctl: &SolveCtl) -> Vec<(EdgeId, bool)> {
+        let rt = self.online.as_mut().expect("online solve requires runtime");
+        let st = &mut self.states[s];
+        let aw = st.active_weights();
+        let sh = &mut rt.shards[s];
+        sh.warm.seed(st.matching());
+        let m = sh.warm.solve(&self.plan.shards[s].sub.graph, &aw, ctl);
+        if m.total_weight(&aw) > st.total_weight() + 1e-12 {
+            st.reseed(&m)
+                .expect("warm solution is feasible on the active sub-market");
+            self.reseeds += 1;
+            mbta_telemetry::counter_add("mbta_service_reseeds_total", 1);
+        }
+        st.drain_log()
+    }
+
+    /// The per-event online decision path (see the [`crate::online`]
+    /// module docs): apply the event through the shard's incremental
+    /// state, attempt a depth-1 exchange for benefit updates, accumulate
+    /// drift, fall back to a warm-started exact re-solve past the drift
+    /// threshold, then journal and emit the event's net decisions.
+    fn dispatch_online(&mut self, a: Arrival, sink: &mut impl DecisionSink) {
+        let t0 = Instant::now();
+        self.last_time = self.last_time.max(a.time);
+        let s = match self.route(&a.event) {
+            Routed::Shard(s) => s,
+            Routed::Invalid => {
+                self.invalid_events += 1;
+                mbta_telemetry::counter_add("mbta_service_invalid_events_total", 1);
+                return;
+            }
+            // The rescue overlay is a batch construct; in online mode a
+            // cross-shard benefit update has no decision surface.
+            Routed::CrossBenefit => {
+                self.cross_benefit_drops += 1;
+                return;
+            }
+        };
+
+        // Deltas are collected whether or not a store is attached, so the
+        // sequence of deciding events — and therefore the decision stream
+        // — is identical with and without journaling.
+        let mut deltas: Vec<WeightDelta> = Vec::new();
+        // Benefit drift accrues before the weight is overwritten.
+        let mut drift = 0.0f64;
+        if let ServiceEvent::BenefitUpdate { edge, weight } = a.event {
+            deltas.push(WeightDelta { edge, weight });
+            drift = (weight - self.live_weights[edge as usize]).abs();
+        }
+        self.apply(s, &a.event);
+        self.events_processed += 1;
+
+        // A benefit update may make its edge newly attractive: take it
+        // greedily if capacity allows, else try the depth-1 exchange.
+        if let ServiceEvent::BenefitUpdate { edge, .. } = a.event {
+            let local = EdgeId::new(self.plan.edge_local[edge as usize]);
+            let st = &mut self.states[s];
+            if !st.edge_assigned(local) && !st.try_assign(local) && online::try_exchange(st, local)
+            {
+                let rt = self
+                    .online
+                    .as_mut()
+                    .expect("online dispatch requires runtime");
+                rt.exchanges += 1;
+                mbta_telemetry::counter_add("mbta_service_online_exchanges_total", 1);
+            }
+        }
+
+        // Drift: |Δw| of the update plus every net-removed edge's weight
+        // (departures and evictions — plain greedy fills accrue nothing).
+        let mut flips = self.states[s].drain_log();
+        {
+            let st = &self.states[s];
+            for (e, added) in online::net_flips(&flips) {
+                if !added {
+                    drift += st.weight_of(e).max(0.0);
+                }
+            }
+        }
+        let rt = self
+            .online
+            .as_mut()
+            .expect("online dispatch requires runtime");
+        rt.events += 1;
+        rt.shards[s].acc += drift;
+        mbta_telemetry::counter_add("mbta_service_online_events_total", 1);
+        let due = rt.fallback_due(s, self.states[s].total_weight());
+
+        // Drift fallback: warm-started exact re-solve of the shard,
+        // under the same per-batch budget the batch path gets — the
+        // event is on the latency path.
+        let mut fell_back = false;
+        if due && !self.poisoned[s] && !self.shard_degenerate(s) {
+            let ctl = match self.budget {
+                BudgetMode::Wallclock(ms) => {
+                    SolveCtl::unlimited().with_deadline(Deadline::after_ms(ms))
+                }
+                BudgetMode::Deterministic => SolveCtl::unlimited(),
+            };
+            flips.extend(self.warm_solve_shard(s, &ctl));
+            fell_back = true;
+        }
+        let rt = self
+            .online
+            .as_mut()
+            .expect("online dispatch requires runtime");
+        if fell_back || (due && self.poisoned[s]) {
+            // A poisoned shard resets its accumulator without solving —
+            // it stays on the greedy floor, like its batch behavior.
+            rt.shards[s].acc = 0.0;
+            rt.fallbacks += 1;
+            mbta_telemetry::counter_add("mbta_service_online_fallbacks_total", 1);
+        }
+
+        // Net decisions for this event, in universe ids.
+        let decisions = self.online_decisions(s, &flips);
+
+        let event_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let rt = self
+            .online
+            .as_mut()
+            .expect("online dispatch requires runtime");
+        rt.lat.observe(event_ms);
+        mbta_telemetry::observe("mbta_service_online_event_ms", event_ms);
+
+        // Events that changed nothing durable consume no sequence slot:
+        // the WAL stays contiguous and sinks see only deciding events.
+        if decisions.is_empty() && deltas.is_empty() {
+            return;
+        }
+        let stats = BatchStats {
+            seq: self.seq,
+            reason: FlushReason::Online,
+            events: 1,
+            queue_depth: self.queue.len(),
+            shards_touched: 1,
+            degraded_shards: 0,
+            worst_tier: None,
+            solve_ms: event_ms,
+            invalid_events: 0,
+        };
+        self.seq += 1;
+        self.flush_tally[4] += 1;
+        self.decisions_out += decisions.len() as u64;
+        mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
+        // Write-ahead ordering, identical to the batch path: the record
+        // is durable before any decision escapes.
+        if self.store.is_some() {
+            let rec = OnlineRecord {
+                seq: stats.seq,
+                time: a.time,
+                events: 1,
+                fallbacks: u32::from(fell_back),
+                deltas,
+                decisions: to_records(&decisions),
+            };
+            self.journal_online(rec);
+        }
+        sink.on_batch(&stats, &decisions);
+    }
+
+    /// Folds shard `s`'s flip log into canonical universe-id decisions.
+    fn online_decisions(&self, s: usize, flips: &[(EdgeId, bool)]) -> Vec<Decision> {
+        let slice = &self.plan.shards[s];
+        let mut decisions: Vec<Decision> = online::net_flips(flips)
+            .into_iter()
+            .map(|(local, added)| {
+                let parent = slice.sub.edge_back[local.index()];
+                Decision {
+                    shard: s as u32,
+                    edge: parent.raw(),
+                    action: if added {
+                        Action::Assign
+                    } else {
+                        Action::Unassign
+                    },
+                    worker: self.universe.worker_of(parent).raw(),
+                    task: self.universe.task_of(parent).raw(),
+                    weight: self.live_weights[parent.index()],
+                }
+            })
+            .collect();
+        canonical_order(&mut decisions);
+        decisions
+    }
+
+    /// The online analog of the batcher's final partial batch: one
+    /// closing warm exact solve per healthy shard, so the run converges
+    /// before the final report instead of ending wherever drift since
+    /// the last fallback left it. Decisions are journaled and emitted
+    /// exactly like per-event ones (`events: 0` — no arrival triggered
+    /// them), and shards whose closing solve changes nothing consume no
+    /// sequence slot.
+    fn drain_online(&mut self, sink: &mut impl DecisionSink) {
+        if self.online.is_none() {
+            return;
+        }
+        for s in 0..self.plan.n_shards() {
+            if self.poisoned[s] || self.shard_degenerate(s) {
+                continue;
+            }
+            let t0 = Instant::now();
+            // Shutdown is off the latency path, so the closing solve runs
+            // unbudgeted: a wall-clock budget sized for steady-state events
+            // would truncate the one solve whose whole point is to converge.
+            let flips = self.warm_solve_shard(s, &SolveCtl::unlimited());
+            let rt = self.online.as_mut().expect("online drain requires runtime");
+            rt.shards[s].acc = 0.0;
+            rt.fallbacks += 1;
+            mbta_telemetry::counter_add("mbta_service_online_fallbacks_total", 1);
+            let decisions = self.online_decisions(s, &flips);
+            if decisions.is_empty() {
+                continue;
+            }
+            let stats = BatchStats {
+                seq: self.seq,
+                reason: FlushReason::Online,
+                events: 0,
+                queue_depth: 0,
+                shards_touched: 1,
+                degraded_shards: 0,
+                worst_tier: None,
+                solve_ms: t0.elapsed().as_secs_f64() * 1e3,
+                invalid_events: 0,
+            };
+            self.seq += 1;
+            self.flush_tally[4] += 1;
+            self.decisions_out += decisions.len() as u64;
+            mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
+            if self.store.is_some() {
+                let rec = OnlineRecord {
+                    seq: stats.seq,
+                    time: self.last_time,
+                    events: 0,
+                    fallbacks: 1,
+                    deltas: Vec::new(),
+                    decisions: to_records(&decisions),
+                };
+                self.journal_online(rec);
+            }
+            sink.on_batch(&stats, &decisions);
+        }
+    }
+
     /// Marks a shard as poisoned: its solves are pre-cancelled and return
     /// the greedy floor immediately. Sibling shards are unaffected.
     pub fn poison_shard(&mut self, s: usize) {
@@ -398,9 +697,16 @@ impl<'p> DispatchService<'p> {
         outcome
     }
 
-    /// Drains the ingress queue through the batcher, dispatching every
-    /// batch that a watermark closes.
+    /// Drains the ingress queue: through the batcher in batch mode
+    /// (dispatching every batch a watermark closes), or event by event
+    /// through the online decision path when `online` is configured.
     pub fn pump(&mut self, sink: &mut impl DecisionSink) {
+        if self.online.is_some() {
+            while let Some(a) = self.queue.pop() {
+                self.dispatch_online(a, sink);
+            }
+            return;
+        }
         while let Some(a) = self.queue.pop() {
             if let Some(closed) = self.batcher.offer(a) {
                 self.dispatch(closed, sink);
@@ -497,6 +803,7 @@ impl<'p> DispatchService<'p> {
             FlushReason::Bytes => 1,
             FlushReason::Watermark => 2,
             FlushReason::Drain => 3,
+            FlushReason::Online => unreachable!("the batcher never emits online flushes"),
         }] += 1;
 
         // Pass 1: route every event so the touched-shard set (and thus the
@@ -720,17 +1027,7 @@ impl<'p> DispatchService<'p> {
                 last_time: batch.events.last().map_or(0.0, |a| a.time),
                 events: batch.events.len() as u32,
                 deltas,
-                decisions: decisions
-                    .iter()
-                    .map(|d| DecisionRecord {
-                        shard: d.shard,
-                        edge: d.edge,
-                        assign: matches!(d.action, Action::Assign),
-                        worker: d.worker,
-                        task: d.task,
-                        weight: d.weight,
-                    })
-                    .collect(),
+                decisions: to_records(&decisions),
             };
             self.journal(rec);
         }
@@ -890,6 +1187,7 @@ impl<'p> DispatchService<'p> {
         if let Some(closed) = self.batcher.drain() {
             self.dispatch(closed, sink);
         }
+        self.drain_online(sink);
 
         // Clean shutdown of the durability store: fsync the WAL and write
         // a final snapshot so recovery replays nothing.
@@ -989,6 +1287,18 @@ impl<'p> DispatchService<'p> {
 
         let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
         let lat = self.solve_lat;
+        let (online_events, online_fallbacks, online_exchanges) = self
+            .online
+            .as_ref()
+            .map_or((0, 0, 0), |rt| (rt.events, rt.fallbacks, rt.exchanges));
+        let (warm_solves, warm_hits) = self.online.as_ref().map_or((0, 0), |rt| {
+            let w = rt.warm_totals();
+            (w.solves, w.warm_hits)
+        });
+        let (p50_online_ms, p99_online_ms, max_online_ms) =
+            self.online.as_ref().map_or((0.0, 0.0, 0.0), |rt| {
+                (rt.lat.quantile(0.5), rt.lat.quantile(0.99), rt.lat.max())
+            });
         ServiceReport {
             n_shards: self.plan.n_shards(),
             cross_edges: self.plan.cross_edges,
@@ -1014,6 +1324,15 @@ impl<'p> DispatchService<'p> {
             flush_bytes: self.flush_tally[1],
             flush_watermark: self.flush_tally[2],
             flush_drain: self.flush_tally[3],
+            flush_online: self.flush_tally[4],
+            online_events,
+            online_fallbacks,
+            online_exchanges,
+            online_warm_solves: warm_solves,
+            online_warm_hits: warm_hits,
+            p50_online_ms,
+            p99_online_ms,
+            max_online_ms,
             solves: self.solves,
             tier_exact: self.tier_tally[QualityTier::Exact as usize],
             tier_approximate: self.tier_tally[QualityTier::Approximate as usize],
@@ -1109,6 +1428,7 @@ impl<'p> DispatchService<'p> {
             boundary_pass: self.boundary_pass,
             cross_seen: self.cross_seen,
             replan_threshold: self.replan_threshold,
+            online: self.online.map(OnlineRuntime::detach),
             seq: self.seq,
             events_in: self.events_in,
             events_processed: self.events_processed,
@@ -1130,6 +1450,7 @@ impl<'p> DispatchService<'p> {
             defer_retry_ok: self.defer_retry_ok,
             reseeds: self.reseeds,
             solve_lat: self.solve_lat,
+            last_time: self.last_time,
             started: self.started,
         }
     }
@@ -1203,6 +1524,17 @@ impl<'p> DispatchService<'p> {
                 .expect("carried assignment stays feasible restricted to its new shard");
         }
 
+        // Online mode: re-arm the flip logs only after the migration
+        // reseeds (the migration is journaled as a plan record, not as
+        // per-event decisions) and rebuild the warm/drift state for the
+        // new topology, keeping the carried run counters.
+        let online = carried.online.map(|c| {
+            for st in &mut states {
+                st.enable_log();
+            }
+            OnlineRuntime::resume(c, plan)
+        });
+
         let moved = migration_diff(
             &carried.old_worker_shard,
             &plan.worker_shard,
@@ -1242,6 +1574,7 @@ impl<'p> DispatchService<'p> {
             cross_seen: carried.cross_seen,
             cut,
             replan_threshold: carried.replan_threshold,
+            online,
             seq: carried.seq + 1,
             events_in: carried.events_in,
             events_processed: carried.events_processed,
@@ -1267,6 +1600,7 @@ impl<'p> DispatchService<'p> {
             defer_retry_ok: carried.defer_retry_ok,
             reseeds: carried.reseeds,
             solve_lat: carried.solve_lat,
+            last_time: carried.last_time,
             started: carried.started,
         };
         mbta_telemetry::counter_add("mbta_partition_replans_total", 1);
@@ -1346,12 +1680,13 @@ pub struct CarriedState {
     boundary_pass: bool,
     cross_seen: Vec<bool>,
     replan_threshold: Option<f64>,
+    online: Option<crate::online::OnlineCarried>,
     seq: u64,
     events_in: u64,
     events_processed: u64,
     invalid_events: u64,
     cross_benefit_drops: u64,
-    flush_tally: [u64; 4],
+    flush_tally: [u64; 5],
     solves: u64,
     tier_tally: [u64; 3],
     degraded_by_shard: Vec<u64>,
@@ -1367,6 +1702,7 @@ pub struct CarriedState {
     defer_retry_ok: u64,
     reseeds: u64,
     solve_lat: mbta_telemetry::Histogram,
+    last_time: f64,
     started: Instant,
 }
 
@@ -1425,6 +1761,21 @@ fn seed_plan_state<'p>(
         }
     }
     (states, live_weights, CutTracker::new(intra, cross))
+}
+
+/// Maps emitted decisions to their WAL form, preserving order.
+fn to_records(decisions: &[Decision]) -> Vec<DecisionRecord> {
+    decisions
+        .iter()
+        .map(|d| DecisionRecord {
+            shard: d.shard,
+            edge: d.edge,
+            assign: matches!(d.action, Action::Assign),
+            worker: d.worker,
+            task: d.task,
+            weight: d.weight,
+        })
+        .collect()
 }
 
 /// Two-pointer diff of sorted edge lists: `removed` for entries only in
@@ -1512,6 +1863,7 @@ mod tests {
             threads: 1,
             boundary_pass: false,
             replan_threshold: None,
+            online: None,
         }
     }
 
@@ -1956,5 +2308,189 @@ mod tests {
         assert!(report.solves > 0);
         // Every batch respected the count watermark.
         assert!(sink.batches.iter().all(|b| b.events <= 32));
+    }
+
+    fn online_cfg(drift_threshold: f64) -> ServiceConfig {
+        let mut cfg = deterministic_cfg();
+        cfg.online = Some(OnlineConfig { drift_threshold });
+        cfg
+    }
+
+    fn run_online(
+        g: &BipartiteGraph,
+        plan: &ShardPlan,
+        events: &[Arrival],
+        threshold: f64,
+        poison: Option<usize>,
+    ) -> (Vec<u8>, ServiceReport) {
+        let mut svc = DispatchService::new(g, plan, online_cfg(threshold));
+        if let Some(s) = poison {
+            svc.poison_shard(s);
+        }
+        let mut sink = WriteSink::new(Vec::new());
+        for &a in events {
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(&mut sink);
+            }
+            svc.pump(&mut sink);
+        }
+        for st in &svc.states {
+            st.check_invariants();
+        }
+        let report = svc.finish(&mut sink);
+        assert!(sink.error.is_none());
+        (sink.into_inner(), report)
+    }
+
+    #[test]
+    fn online_replay_is_byte_identical() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 7);
+        let (log_a, rep_a) = run_online(&g, &plan, &events, 0.1, None);
+        let (log_b, rep_b) = run_online(&g, &plan, &events, 0.1, None);
+        assert!(!log_a.is_empty(), "online replay produced no decisions");
+        assert_eq!(log_a, log_b, "online decision logs diverged");
+        assert_eq!(rep_a.decisions, rep_b.decisions);
+        assert_eq!(rep_a.online_events, rep_b.online_events);
+        assert_eq!(rep_a.online_fallbacks, rep_b.online_fallbacks);
+        assert_eq!(rep_a.online_exchanges, rep_b.online_exchanges);
+        assert_eq!(rep_a.final_assignments, rep_b.final_assignments);
+        assert_eq!(
+            rep_a.batches, rep_a.flush_online,
+            "every online batch is a per-event flush"
+        );
+        assert_eq!(rep_a.capacity_violations, 0);
+    }
+
+    #[test]
+    fn online_decisions_reconcile_and_fallbacks_fire() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 13);
+        let mut svc = DispatchService::new(&g, &plan, online_cfg(0.05));
+        let mut sink = CollectSink::default();
+        for &a in &events {
+            while let OfferOutcome::Deferred = svc.offer(a) {
+                svc.pump(&mut sink);
+            }
+            svc.pump(&mut sink);
+        }
+        for st in &svc.states {
+            st.check_invariants();
+        }
+        let report = svc.finish(&mut sink);
+        assert_eq!(report.capacity_violations, 0);
+        assert!(report.online_events > 0);
+        assert!(
+            report.online_fallbacks > 0,
+            "hair-trigger threshold never fell back"
+        );
+        assert_eq!(
+            report.online_warm_solves, report.online_fallbacks,
+            "healthy shards must solve on every fallback"
+        );
+        // Net assignment deltas equal the final assignment.
+        let net: i64 = sink
+            .decisions
+            .iter()
+            .map(|d| match d.action {
+                Action::Assign => 1i64,
+                Action::Unassign => -1i64,
+            })
+            .sum();
+        assert_eq!(net, report.final_assignments as i64);
+        // Ingress accounting closes in online mode too.
+        assert_eq!(
+            report.events_in,
+            report.events_processed + report.invalid_events + report.cross_benefit_drops
+        );
+    }
+
+    /// The online path's quality floor: with the warm fallback armed at
+    /// the default threshold, the per-event path retains nearly all of
+    /// the batch path's final matched weight on the same stream.
+    #[test]
+    fn online_weight_tracks_batch() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 2, Routing::HashId);
+        let events = stream(&g, 29);
+        let (_, batch) = run_to_log(&g, &plan, &events, None);
+        let (_, online) = run_online(&g, &plan, &events, 0.2, None);
+        assert_eq!(online.capacity_violations, 0);
+        // The closing drain ends every healthy shard on an exact warm
+        // solve over the same final weights batch mode converges to, so
+        // the two paths should land essentially on top of each other.
+        assert!(
+            online.final_value >= 0.99 * batch.final_value,
+            "online final value {} fell too far below batch {}",
+            online.final_value,
+            batch.final_value
+        );
+    }
+
+    /// A poisoned shard never warm-solves: its drift accumulator resets
+    /// on the greedy floor, siblings keep their exact fallbacks.
+    #[test]
+    fn online_poisoned_shard_stays_on_greedy_floor() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 4, Routing::HashId);
+        let events = stream(&g, 31);
+        let (_, report) = run_online(&g, &plan, &events, 0.05, Some(0));
+        assert_eq!(report.capacity_violations, 0);
+        assert!(report.online_events > 0);
+        assert!(
+            report.online_warm_solves <= report.online_fallbacks,
+            "a poisoned shard must not be solved"
+        );
+    }
+
+    /// Online mode survives drift-driven re-plan migrations: warm solvers
+    /// are rebuilt for the new topology and counters carry over.
+    #[test]
+    fn online_replan_loop_migrates_and_stays_feasible() {
+        let (g, w) = universe();
+        let events = stream(&g, 37);
+        let mut plan = ShardPlan::build(&g, &w, 4, Routing::MinCut);
+        let mut cfg = online_cfg(0.1);
+        cfg.replan_threshold = Some(1e-6);
+        let mut sink = CollectSink::default();
+        let mut idx = 0usize;
+        let mut carried: Option<CarriedState> = None;
+        let report = loop {
+            let mut svc = match carried.take() {
+                None => DispatchService::new(&g, &plan, cfg.clone()),
+                Some(c) => DispatchService::resume(&g, &plan, c, &mut sink),
+            };
+            while idx < events.len() {
+                let a = events[idx];
+                while let OfferOutcome::Deferred = svc.offer(a) {
+                    svc.pump(&mut sink);
+                }
+                idx += 1;
+                svc.pump(&mut sink);
+                if svc.replan_due() {
+                    break;
+                }
+            }
+            if idx >= events.len() {
+                break svc.finish(&mut sink);
+            }
+            let c = svc.detach();
+            plan = ShardPlan::build(&g, c.live_weights(), 4, plan.routing);
+            carried = Some(c);
+        };
+        assert!(report.replans > 0, "threshold 1e-6 never fired");
+        assert_eq!(report.capacity_violations, 0);
+        assert!(report.online_events > 0);
+        let net: i64 = sink
+            .decisions
+            .iter()
+            .map(|d| match d.action {
+                Action::Assign => 1i64,
+                Action::Unassign => -1i64,
+            })
+            .sum();
+        assert_eq!(net, report.final_assignments as i64);
     }
 }

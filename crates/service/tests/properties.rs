@@ -54,6 +54,7 @@ fn cfg(threads: usize, budget: BudgetMode) -> ServiceConfig {
         threads,
         boundary_pass: false,
         replan_threshold: None,
+        online: None,
     }
 }
 

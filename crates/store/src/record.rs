@@ -49,6 +49,9 @@ pub const KIND_BATCH: u8 = 1;
 /// Payload kind tag for a plan (re-shard) record.
 pub const KIND_PLAN: u8 = 2;
 
+/// Payload kind tag for an online (per-event decision) record.
+pub const KIND_ONLINE: u8 = 3;
+
 /// A benefit-weight update applied during the batch, in universe edge ids.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightDelta {
@@ -256,15 +259,119 @@ impl PlanRecord {
     }
 }
 
+/// Everything journaled for one online pump: the per-event decisions the
+/// incremental path made since the previous record. Replays exactly like
+/// a batch record (weight deltas, then assignment deltas); the extra
+/// metadata (`events`, `fallbacks`) is audit-only.
+///
+/// Online payload layout:
+///
+/// ```text
+/// u8  kind (3 = online record)
+/// u64 seq                    — shared sequence space with batch/plan
+/// f64 time                   — arrival time of the last folded event
+/// u32 events                 — events folded into this record
+/// u32 fallbacks              — drift-fallback re-solves performed
+/// u32 n_deltas,    n × { u32 edge, f64 weight }
+/// u32 n_decisions, n × { u32 shard, u32 edge, u8 assign,
+///                        u32 worker, u32 task, f64 weight }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineRecord {
+    /// Sequence slot (shared with batch and plan records).
+    pub seq: u64,
+    /// Arrival time of the last event folded in (0 when empty).
+    pub time: f64,
+    /// Events folded into this record.
+    pub events: u32,
+    /// Drift-fallback exact re-solves performed within this record.
+    pub fallbacks: u32,
+    /// Weight updates applied, in application order.
+    pub deltas: Vec<WeightDelta>,
+    /// Assignment deltas emitted, in canonical log order.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+impl OnlineRecord {
+    /// Encodes the record into its WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33 + 12 * self.deltas.len() + 25 * self.decisions.len());
+        put_u8(&mut out, KIND_ONLINE);
+        put_u64(&mut out, self.seq);
+        put_f64(&mut out, self.time);
+        put_u32(&mut out, self.events);
+        put_u32(&mut out, self.fallbacks);
+        put_u32(&mut out, self.deltas.len() as u32);
+        for d in &self.deltas {
+            put_u32(&mut out, d.edge);
+            put_f64(&mut out, d.weight);
+        }
+        put_u32(&mut out, self.decisions.len() as u32);
+        for d in &self.decisions {
+            put_u32(&mut out, d.shard);
+            put_u32(&mut out, d.edge);
+            put_u8(&mut out, d.assign as u8);
+            put_u32(&mut out, d.worker);
+            put_u32(&mut out, d.task);
+            put_f64(&mut out, d.weight);
+        }
+        out
+    }
+
+    /// Decodes a WAL payload. `f64` fields round-trip bit-for-bit.
+    pub fn decode(payload: &[u8]) -> Result<OnlineRecord, DecodeError> {
+        let mut r = Reader::new(payload);
+        let kind = r.u8()?;
+        if kind != KIND_ONLINE {
+            return Err(DecodeError::BadKind(kind));
+        }
+        let seq = r.u64()?;
+        let time = r.f64()?;
+        let events = r.u32()?;
+        let fallbacks = r.u32()?;
+        let n_deltas = r.len_prefix(12)?;
+        let mut deltas = Vec::with_capacity(n_deltas);
+        for _ in 0..n_deltas {
+            deltas.push(WeightDelta {
+                edge: r.u32()?,
+                weight: r.f64()?,
+            });
+        }
+        let n_decisions = r.len_prefix(25)?;
+        let mut decisions = Vec::with_capacity(n_decisions);
+        for _ in 0..n_decisions {
+            decisions.push(DecisionRecord {
+                shard: r.u32()?,
+                edge: r.u32()?,
+                assign: r.u8()? != 0,
+                worker: r.u32()?,
+                task: r.u32()?,
+                weight: r.f64()?,
+            });
+        }
+        r.finish()?;
+        Ok(OnlineRecord {
+            seq,
+            time,
+            events,
+            fallbacks,
+            deltas,
+            decisions,
+        })
+    }
+}
+
 /// Any record the WAL can hold. The sequence numbering is shared: plan
-/// records consume a slot exactly like batch records, so replay and
-/// followers stay strictly sequential across both kinds.
+/// and online records consume a slot exactly like batch records, so
+/// replay and followers stay strictly sequential across all kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// One committed dispatch batch.
     Batch(BatchRecord),
     /// One shard re-plan (inline shard-structure snapshot).
     Plan(PlanRecord),
+    /// One committed online pump (per-event decisions).
+    Online(OnlineRecord),
 }
 
 impl WalRecord {
@@ -273,6 +380,7 @@ impl WalRecord {
         match self {
             WalRecord::Batch(r) => r.seq,
             WalRecord::Plan(r) => r.seq,
+            WalRecord::Online(r) => r.seq,
         }
     }
 
@@ -281,6 +389,7 @@ impl WalRecord {
         match self {
             WalRecord::Batch(r) => r.encode(),
             WalRecord::Plan(r) => r.encode(),
+            WalRecord::Online(r) => r.encode(),
         }
     }
 
@@ -289,6 +398,7 @@ impl WalRecord {
         match payload.first() {
             Some(&KIND_BATCH) => Ok(WalRecord::Batch(BatchRecord::decode(payload)?)),
             Some(&KIND_PLAN) => Ok(WalRecord::Plan(PlanRecord::decode(payload)?)),
+            Some(&KIND_ONLINE) => Ok(WalRecord::Online(OnlineRecord::decode(payload)?)),
             Some(&k) => Err(DecodeError::BadKind(k)),
             None => Err(DecodeError::Truncated),
         }
@@ -392,14 +502,72 @@ mod tests {
         }
     }
 
+    pub(crate) fn sample_online(seq: u64) -> OnlineRecord {
+        OnlineRecord {
+            seq,
+            time: 1.5 + seq as f64,
+            events: 1,
+            fallbacks: u32::from(seq.is_multiple_of(4)),
+            deltas: vec![WeightDelta {
+                edge: 3,
+                weight: 0.75,
+            }],
+            decisions: vec![
+                DecisionRecord {
+                    shard: 0,
+                    edge: 3,
+                    assign: false,
+                    worker: 1,
+                    task: 2,
+                    weight: 0.2,
+                },
+                DecisionRecord {
+                    shard: 0,
+                    edge: 5,
+                    assign: true,
+                    worker: 1,
+                    task: 4,
+                    weight: 0.75,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn online_record_round_trips_and_rejects_malformed() {
+        let rec = sample_online(9);
+        let bytes = rec.encode();
+        assert_eq!(OnlineRecord::decode(&bytes).unwrap(), rec);
+        for cut in 0..bytes.len() {
+            assert!(
+                OnlineRecord::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(
+            OnlineRecord::decode(&extra),
+            Err(DecodeError::TrailingBytes)
+        );
+        // A corrupt delta count must not allocate or panic (count sits
+        // after kind + seq + time + events + fallbacks = 25 bytes).
+        let mut huge = bytes;
+        huge[25..29].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(OnlineRecord::decode(&huge), Err(DecodeError::Truncated));
+    }
+
     #[test]
     fn wal_record_dispatches_on_kind() {
         let b = WalRecord::Batch(sample(3));
         let p = WalRecord::Plan(sample_plan(4));
+        let o = WalRecord::Online(sample_online(5));
         assert_eq!(WalRecord::decode(&b.encode()).unwrap(), b);
         assert_eq!(WalRecord::decode(&p.encode()).unwrap(), p);
+        assert_eq!(WalRecord::decode(&o.encode()).unwrap(), o);
         assert_eq!(b.seq(), 3);
         assert_eq!(p.seq(), 4);
+        assert_eq!(o.seq(), 5);
         assert_eq!(WalRecord::decode(&[9]), Err(DecodeError::BadKind(9)));
         assert_eq!(WalRecord::decode(&[]), Err(DecodeError::Truncated));
     }

@@ -22,7 +22,9 @@
 //!    suffix of a valid store directory recovers to some valid prefix
 //!    state.
 
-use crate::record::{BatchRecord, PlanRecord, WalRecord};
+use crate::record::{
+    BatchRecord, DecisionRecord, OnlineRecord, PlanRecord, WalRecord, WeightDelta,
+};
 use crate::snapshot::{self, SnapshotState};
 use crate::wal::{self, FsyncPolicy, Wal, WalConfig};
 use std::collections::BTreeSet;
@@ -128,10 +130,13 @@ impl RecoveredState {
     }
 }
 
-pub(crate) fn apply_record(
+/// The shared fold both batch and online records replay with: weight
+/// deltas first, then assignment deltas.
+fn apply_changes(
     shards: &mut Vec<BTreeSet<u32>>,
     weights: &mut Vec<f64>,
-    rec: &BatchRecord,
+    deltas: &[WeightDelta],
+    decisions: &[DecisionRecord],
 ) {
     let touch = |weights: &mut Vec<f64>, edge: u32, w: f64| {
         let i = edge as usize;
@@ -140,10 +145,10 @@ pub(crate) fn apply_record(
         }
         weights[i] = w;
     };
-    for d in &rec.deltas {
+    for d in deltas {
         touch(weights, d.edge, d.weight);
     }
-    for d in &rec.decisions {
+    for d in decisions {
         let s = d.shard as usize;
         if shards.len() <= s {
             shards.resize_with(s + 1, BTreeSet::new);
@@ -158,6 +163,24 @@ pub(crate) fn apply_record(
             shards[s].remove(&d.edge);
         }
     }
+}
+
+pub(crate) fn apply_record(
+    shards: &mut Vec<BTreeSet<u32>>,
+    weights: &mut Vec<f64>,
+    rec: &BatchRecord,
+) {
+    apply_changes(shards, weights, &rec.deltas, &rec.decisions);
+}
+
+/// Applies an online (per-event decision) record — the identical fold as
+/// a batch record; only the audit metadata differs.
+pub(crate) fn apply_online(
+    shards: &mut Vec<BTreeSet<u32>>,
+    weights: &mut Vec<f64>,
+    rec: &OnlineRecord,
+) {
+    apply_changes(shards, weights, &rec.deltas, &rec.decisions);
 }
 
 /// Applies a shard-plan (migration) record: the record carries the full
@@ -202,6 +225,7 @@ fn scan(dir: &Path) -> io::Result<(RecoveredState, Option<(PathBuf, u64)>)> {
         match rec {
             WalRecord::Batch(rec) => apply_record(&mut shards, &mut out.weights, rec),
             WalRecord::Plan(rec) => apply_plan(&mut shards, rec),
+            WalRecord::Online(rec) => apply_online(&mut shards, &mut out.weights, rec),
         }
         out.watermark += 1;
         out.records_replayed += 1;
@@ -290,6 +314,19 @@ impl DurableStore {
             rec.seq, self.watermark
         );
         self.wal.append_plan(rec)?;
+        self.watermark += 1;
+        Ok(())
+    }
+
+    /// Journals one online (per-event decision) record. Same write-ahead
+    /// contract and sequence space as [`DurableStore::commit`].
+    pub fn commit_online(&mut self, rec: &OnlineRecord) -> io::Result<()> {
+        assert_eq!(
+            rec.seq, self.watermark,
+            "store commits must be sequential (got online seq {}, expected {})",
+            rec.seq, self.watermark
+        );
+        self.wal.append_online(rec)?;
         self.watermark += 1;
         Ok(())
     }
@@ -478,6 +515,55 @@ mod tests {
         let (shards, total) = expected(7);
         assert_eq!(state.shards, shards);
         assert!((state.total_weight() - total).abs() < 1e-12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn online_records_recover_like_batches() {
+        let dir = tmp("online");
+        let (mut store, _) = DurableStore::open(&dir, StoreConfig::default()).unwrap();
+        // Batch 0 assigns edge 0; online record 1 reweights edge 0 and
+        // swaps the assignment to edge 10; batch 2 assigns edge 2.
+        store.commit(&rec(0)).unwrap();
+        store
+            .commit_online(&OnlineRecord {
+                seq: 1,
+                time: 1.5,
+                events: 3,
+                fallbacks: 1,
+                deltas: vec![WeightDelta {
+                    edge: 0,
+                    weight: 0.25,
+                }],
+                decisions: vec![
+                    DecisionRecord {
+                        shard: 0,
+                        edge: 0,
+                        assign: false,
+                        worker: 0,
+                        task: 0,
+                        weight: 0.25,
+                    },
+                    DecisionRecord {
+                        shard: 1,
+                        edge: 10,
+                        assign: true,
+                        worker: 4,
+                        task: 5,
+                        weight: 9.0,
+                    },
+                ],
+            })
+            .unwrap();
+        store.commit(&rec(2)).unwrap();
+        drop(store); // no seal: recovery must replay all three kinds
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.watermark, 3);
+        assert_eq!(state.records_replayed, 3);
+        assert_eq!(state.shards[0], vec![2u32]);
+        assert_eq!(state.shards[1], vec![10u32]);
+        assert!((state.weights[0] - 0.25).abs() < 1e-12);
+        assert!((state.weights[10] - 9.0).abs() < 1e-12);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,7 +22,7 @@
 
 use crate::record::WalRecord;
 use crate::snapshot::SnapshotState;
-use crate::store::{apply_plan, apply_record, RecoveredState};
+use crate::store::{apply_online, apply_plan, apply_record, RecoveredState};
 use crate::wal::segment_files;
 use crate::{read_frame, FrameRead};
 use std::collections::BTreeSet;
@@ -250,6 +250,7 @@ impl FollowerState {
         match rec {
             WalRecord::Batch(rec) => apply_record(&mut self.shards, &mut self.weights, rec),
             WalRecord::Plan(rec) => apply_plan(&mut self.shards, rec),
+            WalRecord::Online(rec) => apply_online(&mut self.shards, &mut self.weights, rec),
         }
         self.watermark += 1;
         self.records_applied += 1;

@@ -16,7 +16,7 @@
 //! cheaper), `never` leaves flushing to the OS (benchmarks only).
 
 use crate::frame::{read_frame, write_frame, FrameRead};
-use crate::record::{BatchRecord, PlanRecord, WalRecord};
+use crate::record::{BatchRecord, OnlineRecord, PlanRecord, WalRecord};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -160,6 +160,12 @@ impl Wal {
     /// space with batch frames, so replay and followers see a single
     /// totally-ordered stream.
     pub fn append_plan(&mut self, rec: &PlanRecord) -> io::Result<()> {
+        self.append_payload(rec.seq, &rec.encode())
+    }
+
+    /// Appends one online (per-event decision) record. Online frames
+    /// share the sequence space with batch and plan frames.
+    pub fn append_online(&mut self, rec: &OnlineRecord) -> io::Result<()> {
         self.append_payload(rec.seq, &rec.encode())
     }
 

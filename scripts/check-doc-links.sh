@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in the operator-facing docs
+# resolves to a real file (or directory) in the repository. Absolute
+# URLs, mailto links, and in-page anchors are skipped; a `path#anchor`
+# link is checked for the path half only. Exits non-zero listing every
+# broken link, so CI fails loudly instead of shipping dead references.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md OPERATIONS.md EXPERIMENTS.md CONTRIBUTING.md)
+fail=0
+for doc in "${DOCS[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "missing doc: $doc"
+    fail=1
+    continue
+  fi
+  # Markdown links: [text](target). `grep` never fails the loop — a doc
+  # with no relative links is fine.
+  while IFS= read -r target; do
+    base=${target%%#*}
+    [ -z "$base" ] && continue
+    if [ ! -e "$base" ]; then
+      echo "$doc: broken relative link -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' |
+    grep -vE '^(https?:|mailto:|#)' || true)
+done
+if [ "$fail" -eq 0 ]; then
+  echo "doc links OK: ${DOCS[*]}"
+fi
+exit "$fail"
