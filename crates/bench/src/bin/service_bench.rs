@@ -63,6 +63,7 @@ fn serve_config(threads: usize) -> ServiceConfig {
         boundary_pass: false,
         replan_threshold: None,
         online: None,
+        owned_shard: None,
     }
 }
 

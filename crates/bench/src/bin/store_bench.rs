@@ -70,21 +70,28 @@ fn record(seq: u64, rng: &mut SplitMix64) -> BatchRecord {
 
 struct AppendRun {
     policy: FsyncPolicy,
+    group_every: u64,
     records_per_sec: f64,
     mb_per_sec: f64,
     wall_ms: f64,
     wal_bytes: u64,
 }
 
-/// Appends the full workload under one fsync policy and reports
-/// throughput. The final `sync` is included in the timing — a benchmark
-/// that leaves the page cache dirty would flatter `batch` and `never`.
-fn bench_append(policy: FsyncPolicy, recs: &[BatchRecord]) -> std::io::Result<AppendRun> {
-    let dir = tmp(policy.name());
+/// Appends the full workload under one fsync policy and group-commit
+/// window, and reports throughput. The final `sync` is included in the
+/// timing — a benchmark that leaves the page cache dirty would flatter
+/// `batch` and `never`.
+fn bench_append(
+    policy: FsyncPolicy,
+    group_every: u64,
+    recs: &[BatchRecord],
+) -> std::io::Result<AppendRun> {
+    let dir = tmp(&format!("{}-g{group_every}", policy.name()));
     let mut wal = Wal::open(
         &dir,
         WalConfig {
             fsync: policy,
+            group_every,
             ..WalConfig::default()
         },
     )?;
@@ -99,6 +106,7 @@ fn bench_append(policy: FsyncPolicy, recs: &[BatchRecord]) -> std::io::Result<Ap
     std::fs::remove_dir_all(&dir)?;
     Ok(AppendRun {
         policy,
+        group_every,
         records_per_sec: recs.len() as f64 / wall,
         mb_per_sec: bytes as f64 / (1024.0 * 1024.0) / wall,
         wall_ms: wall * 1000.0,
@@ -170,6 +178,7 @@ fn durability_json(runs: &[AppendRun], rec: &RecoveryRun) -> String {
                 concat!(
                     "      {{\n",
                     "        \"policy\": \"{}\",\n",
+                    "        \"group_every\": {},\n",
                     "        \"records_per_sec\": {:.0},\n",
                     "        \"mb_per_sec\": {:.2},\n",
                     "        \"wall_ms\": {:.1},\n",
@@ -177,6 +186,7 @@ fn durability_json(runs: &[AppendRun], rec: &RecoveryRun) -> String {
                     "      }}"
                 ),
                 r.policy.name(),
+                r.group_every,
                 r.records_per_sec,
                 r.mb_per_sec,
                 r.wall_ms,
@@ -256,13 +266,23 @@ fn main() -> ExitCode {
         payload / RECORDS as usize
     );
 
+    // Group-commit window 1 is write-through (the pre-existing behavior);
+    // the wider windows show what buffering N records per combined write
+    // buys under each policy — `always` amortizes the fsync itself,
+    // `batch` the syscall count.
     let mut runs = Vec::new();
-    for policy in [FsyncPolicy::Always, FsyncPolicy::Batch] {
-        match bench_append(policy, &recs) {
+    for (policy, group_every) in [
+        (FsyncPolicy::Always, 1),
+        (FsyncPolicy::Always, 8),
+        (FsyncPolicy::Batch, 1),
+        (FsyncPolicy::Batch, 64),
+    ] {
+        match bench_append(policy, group_every, &recs) {
             Ok(r) => {
                 eprintln!(
-                    "fsync={}: {:.0} records/sec, {:.2} MB/s ({:.1} ms)",
+                    "fsync={} group={}: {:.0} records/sec, {:.2} MB/s ({:.1} ms)",
                     r.policy.name(),
+                    r.group_every,
                     r.records_per_sec,
                     r.mb_per_sec,
                     r.wall_ms

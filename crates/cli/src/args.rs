@@ -34,7 +34,8 @@ usage:
               [--poison-shard S] [--max-wall-ms N] [--decisions FILE]
               [--metrics-out FILE] [--metrics-every N]
               [--wal-dir DIR] [--snapshot-every N]
-              [--fsync <always|batch|never>] [--listen ADDR]
+              [--fsync <always|batch|never>] [--group-commit N]
+              [--listen ADDR]
   mbta replay --trace FILE [serve flags; deterministic budgets]
   mbta plan-stats --trace FILE [--shards N,N,...]
   mbta recover --trace FILE --wal-dir DIR
@@ -42,7 +43,19 @@ usage:
               [--query-listen ADDR] [--heartbeat-ms N]
               [--poll-ms N] [--max-wait-ms N]
   mbta send   --addr ADDR (--trace FILE | --status) [--batch N]
-              [--drift F] [--connect-wait-ms N]
+              [--namespace N] [--drift F] [--connect-wait-ms N]
+  mbta shard-worker --traces FILE,FILE,... --shard S --shards N
+              [--listen ADDR] [--routing <hash|range|min-cut>]
+              [--placements FILE] [--wal-dir DIR] [--group-commit N]
+              [--fsync <always|batch|never>] [--snapshot-every N]
+              [--queue-cap N] [--threads N] [--online]
+              [--drift-threshold F] [--budget-ms N] [--linger-ms N]
+              [--decisions-dir DIR]
+  mbta route  --traces FILE,FILE,... --owners ADDR,ADDR,...
+              [--listen ADDR] [--routing <hash|range|min-cut>]
+              [--placements FILE] [--save-placements FILE]
+              [--queue-cap N] [--batch N] [--owner-retry-ms N]
+              [--report-wait-ms N]
   mbta sweep FILE [--steps N]
   mbta maxmin FILE [--combiner <balanced|harmonic|min|linear:L>]
   mbta budget FILE --limit B [--combiner C] [--iters N]
@@ -124,6 +137,9 @@ pub struct ServeOpts {
     pub snapshot_every: u64,
     /// With `--wal-dir`: fsync policy for WAL appends.
     pub fsync: FsyncPolicy,
+    /// With `--wal-dir`: group-commit window — buffer N records per
+    /// combined WAL write (`1` = write-through).
+    pub group_commit: u64,
     /// Accept events over framed TCP on this address instead of reading
     /// them from the trace (the trace still defines the market universe).
     pub listen: Option<String>,
@@ -162,6 +178,9 @@ pub struct SendOpts {
     pub trace: Option<PathBuf>,
     /// Events per `EVENT_BATCH` request.
     pub batch: usize,
+    /// Tenant namespace id stamped on every batch (single-tenant
+    /// endpoints ignore it; the cluster router routes by it).
+    pub namespace: u32,
     /// Benefit-drift injection rate in [0, 1], woven exactly as `serve
     /// --drift` would.
     pub drift: f64,
@@ -170,6 +189,73 @@ pub struct SendOpts {
     /// How long to keep retrying the initial connect (covers starting
     /// the client before the server has bound).
     pub connect_wait_ms: u64,
+}
+
+/// Options for `mbta shard-worker` (one cluster shard-owner process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWorkerOpts {
+    /// Ordered tenant trace list — the shared cluster topology. Must be
+    /// identical (same order) on the router and every worker.
+    pub traces: Vec<PathBuf>,
+    /// The one shard this worker owns.
+    pub shard: usize,
+    /// Total shards in the cluster plan.
+    pub shards: usize,
+    /// Listen address (`127.0.0.1:0` binds an ephemeral port, printed on
+    /// startup).
+    pub listen: String,
+    /// Task-to-shard routing (must match the router's).
+    pub routing: Routing,
+    /// Placement file pinning the plans (see `route --save-placements`).
+    pub placements: Option<PathBuf>,
+    /// Per-owner WAL root; namespace `i` journals under `ns-<i>`.
+    pub wal_dir: Option<PathBuf>,
+    /// With `--wal-dir`: fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// With `--wal-dir`: group-commit window (records per combined WAL
+    /// write; 1 = write-through).
+    pub group_commit: u64,
+    /// With `--wal-dir`: snapshot cadence in committed batches.
+    pub snapshot_every: u64,
+    /// Ingress queue capacity.
+    pub queue_cap: usize,
+    /// Solver threads per namespace service.
+    pub threads: usize,
+    /// Per-event online dispatch instead of micro-batching.
+    pub online: bool,
+    /// With `--online`: drift fraction triggering the exact fallback.
+    pub drift_threshold: f64,
+    /// Per-batch wall-clock solve budget in ms (`0` = deterministic).
+    pub budget_ms: u64,
+    /// How long to keep answering `QUERY_REPORT` after the FIN drain.
+    pub linger_ms: u64,
+    /// Directory for per-namespace decision logs (`ns-<i>.log`).
+    pub decisions_dir: Option<PathBuf>,
+}
+
+/// Options for `mbta route` (the cluster router process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOpts {
+    /// Ordered tenant trace list — must match the workers'.
+    pub traces: Vec<PathBuf>,
+    /// Owner addresses, indexed by shard id (`len` = shard count).
+    pub owners: Vec<String>,
+    /// Client-facing listen address.
+    pub listen: String,
+    /// Task-to-shard routing (must match the workers').
+    pub routing: Routing,
+    /// Placement file pinning the plans.
+    pub placements: Option<PathBuf>,
+    /// Export the built plans to this placement file before serving.
+    pub save_placements: Option<PathBuf>,
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// Events per forwarded `EVENT_BATCH` frame.
+    pub batch: usize,
+    /// Reconnect window before a failing owner poisons its shard.
+    pub owner_retry_ms: u64,
+    /// Max wait for each owner's final report after FIN.
+    pub report_wait_ms: u64,
 }
 
 /// A parsed command.
@@ -305,6 +391,11 @@ pub enum Command {
     /// Stream a trace's events to a serving ingress over TCP (or query
     /// an endpoint's status with `--status`).
     Send(SendOpts),
+    /// Run one cluster shard-owner worker process.
+    ShardWorker(ShardWorkerOpts),
+    /// Run the cluster router: client admission, placement routing, and
+    /// owner fan-out.
+    Route(RouteOpts),
     /// Rebuild assignment state from a WAL directory (latest snapshot +
     /// log-tail replay) and verify it against the trace's universe.
     Recover {
@@ -473,6 +564,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     let mut snapshot_every_set = false;
     let mut fsync = FsyncPolicy::Batch;
     let mut fsync_set = false;
+    let mut group_commit = 1u64;
+    let mut group_commit_set = false;
     let mut listen = None;
     while let Some(flag) = cur.next() {
         match flag {
@@ -572,6 +665,13 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
                 })?;
                 fsync_set = true;
             }
+            "--group-commit" => {
+                group_commit = parse_num(flag, cur.value_for(flag)?)?;
+                if group_commit == 0 {
+                    return err("--group-commit must be >= 1");
+                }
+                group_commit_set = true;
+            }
             "--listen" => listen = Some(cur.value_for(flag)?.to_string()),
             _ => return err(format!("unknown flag for {cmd}: '{flag}'")),
         }
@@ -587,8 +687,8 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
     if metrics_every.is_some() && metrics_out.is_none() {
         return err("--metrics-every needs --metrics-out");
     }
-    if wal_dir.is_none() && (snapshot_every_set || fsync_set) {
-        return err("--snapshot-every / --fsync need --wal-dir");
+    if wal_dir.is_none() && (snapshot_every_set || fsync_set || group_commit_set) {
+        return err("--snapshot-every / --fsync / --group-commit need --wal-dir");
     }
     if online && boundary_pass {
         return err("--online and --boundary-pass are incompatible (the rescue overlay is a batch construct)");
@@ -633,6 +733,7 @@ fn parse_serve_opts(cur: &mut Cursor<'_>, cmd: &str) -> Result<ServeOpts, ParseE
         wal_dir,
         snapshot_every,
         fsync,
+        group_commit,
         listen,
     })
 }
@@ -688,6 +789,7 @@ fn parse_send_opts(cur: &mut Cursor<'_>) -> Result<SendOpts, ParseError> {
     let mut addr = None;
     let mut trace = None;
     let mut batch = 64usize;
+    let mut namespace = 0u32;
     let mut drift = 0.0f64;
     let mut status = false;
     let mut connect_wait_ms = 5_000u64;
@@ -701,6 +803,7 @@ fn parse_send_opts(cur: &mut Cursor<'_>) -> Result<SendOpts, ParseError> {
                     return err("--batch must be >= 1");
                 }
             }
+            "--namespace" => namespace = parse_num(flag, cur.value_for(flag)?)?,
             "--drift" => {
                 drift = parse_num(flag, cur.value_for(flag)?)?;
                 if !(0.0..=1.0).contains(&drift) {
@@ -725,9 +828,204 @@ fn parse_send_opts(cur: &mut Cursor<'_>) -> Result<SendOpts, ParseError> {
         addr,
         trace,
         batch,
+        namespace,
         drift,
         status,
         connect_wait_ms,
+    })
+}
+
+fn parse_path_list(flag: &str, v: &str) -> Result<Vec<PathBuf>, ParseError> {
+    let paths: Vec<PathBuf> = v
+        .split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        return err(format!("{flag} needs a comma list of paths"));
+    }
+    Ok(paths)
+}
+
+fn parse_shard_worker_opts(cur: &mut Cursor<'_>) -> Result<ShardWorkerOpts, ParseError> {
+    let mut traces = None;
+    let mut shard = None;
+    let mut shards = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut routing = Routing::HashId;
+    let mut placements = None;
+    let mut wal_dir = None;
+    let mut fsync = FsyncPolicy::Batch;
+    let mut fsync_set = false;
+    let mut group_commit = 1u64;
+    let mut group_commit_set = false;
+    let mut snapshot_every = 0u64;
+    let mut snapshot_every_set = false;
+    let mut queue_cap = 4096usize;
+    let mut threads = 0usize;
+    let mut online = false;
+    let mut drift_threshold = 0.2f64;
+    let mut budget_ms = 50u64;
+    let mut linger_ms = 3_000u64;
+    let mut decisions_dir = None;
+    while let Some(flag) = cur.next() {
+        match flag {
+            "--traces" => traces = Some(parse_path_list(flag, cur.value_for(flag)?)?),
+            "--shard" => shard = Some(parse_num(flag, cur.value_for(flag)?)?),
+            "--shards" => {
+                let n: usize = parse_num(flag, cur.value_for(flag)?)?;
+                if n == 0 {
+                    return err("--shards must be >= 1");
+                }
+                shards = Some(n);
+            }
+            "--listen" => listen = cur.value_for(flag)?.to_string(),
+            "--routing" => routing = parse_routing(cur.value_for(flag)?)?,
+            "--placements" => placements = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--wal-dir" => wal_dir = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--fsync" => {
+                let v = cur.value_for(flag)?;
+                fsync = FsyncPolicy::parse(v).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown fsync policy '{v}' (try always|batch|never)"
+                    ))
+                })?;
+                fsync_set = true;
+            }
+            "--group-commit" => {
+                group_commit = parse_num(flag, cur.value_for(flag)?)?;
+                if group_commit == 0 {
+                    return err("--group-commit must be >= 1");
+                }
+                group_commit_set = true;
+            }
+            "--snapshot-every" => {
+                snapshot_every = parse_num(flag, cur.value_for(flag)?)?;
+                snapshot_every_set = true;
+            }
+            "--queue-cap" => {
+                queue_cap = parse_num(flag, cur.value_for(flag)?)?;
+                if queue_cap == 0 {
+                    return err("--queue-cap must be >= 1");
+                }
+            }
+            "--threads" => threads = parse_num(flag, cur.value_for(flag)?)?,
+            "--online" => online = true,
+            "--drift-threshold" => {
+                drift_threshold = parse_num(flag, cur.value_for(flag)?)?;
+                if !drift_threshold.is_finite() || drift_threshold <= 0.0 {
+                    return err("--drift-threshold must be a positive number");
+                }
+            }
+            "--budget-ms" => budget_ms = parse_num(flag, cur.value_for(flag)?)?,
+            "--linger-ms" => linger_ms = parse_num(flag, cur.value_for(flag)?)?,
+            "--decisions-dir" => decisions_dir = Some(PathBuf::from(cur.value_for(flag)?)),
+            _ => return err(format!("unknown flag for shard-worker: '{flag}'")),
+        }
+    }
+    let Some(traces) = traces else {
+        return err("shard-worker requires --traces");
+    };
+    let Some(shard) = shard else {
+        return err("shard-worker requires --shard");
+    };
+    let Some(shards) = shards else {
+        return err("shard-worker requires --shards");
+    };
+    if shard >= shards {
+        return err(format!(
+            "--shard {shard} out of range for --shards {shards}"
+        ));
+    }
+    if wal_dir.is_none() && (fsync_set || group_commit_set || snapshot_every_set) {
+        return err("--snapshot-every / --fsync / --group-commit need --wal-dir");
+    }
+    Ok(ShardWorkerOpts {
+        traces,
+        shard,
+        shards,
+        listen,
+        routing,
+        placements,
+        wal_dir,
+        fsync,
+        group_commit,
+        snapshot_every,
+        queue_cap,
+        threads,
+        online,
+        drift_threshold,
+        budget_ms,
+        linger_ms,
+        decisions_dir,
+    })
+}
+
+fn parse_route_opts(cur: &mut Cursor<'_>) -> Result<RouteOpts, ParseError> {
+    let mut traces = None;
+    let mut owners: Option<Vec<String>> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut routing = Routing::HashId;
+    let mut placements = None;
+    let mut save_placements = None;
+    let mut queue_cap = 4096usize;
+    let mut batch = 128usize;
+    let mut owner_retry_ms = 2_000u64;
+    let mut report_wait_ms = 10_000u64;
+    while let Some(flag) = cur.next() {
+        match flag {
+            "--traces" => traces = Some(parse_path_list(flag, cur.value_for(flag)?)?),
+            "--owners" => {
+                let list: Vec<String> = cur
+                    .value_for(flag)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if list.is_empty() {
+                    return err("--owners needs a comma list of addresses");
+                }
+                owners = Some(list);
+            }
+            "--listen" => listen = cur.value_for(flag)?.to_string(),
+            "--routing" => routing = parse_routing(cur.value_for(flag)?)?,
+            "--placements" => placements = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--save-placements" => save_placements = Some(PathBuf::from(cur.value_for(flag)?)),
+            "--queue-cap" => {
+                queue_cap = parse_num(flag, cur.value_for(flag)?)?;
+                if queue_cap == 0 {
+                    return err("--queue-cap must be >= 1");
+                }
+            }
+            "--batch" => {
+                batch = parse_num(flag, cur.value_for(flag)?)?;
+                if batch == 0 {
+                    return err("--batch must be >= 1");
+                }
+            }
+            "--owner-retry-ms" => owner_retry_ms = parse_num(flag, cur.value_for(flag)?)?,
+            "--report-wait-ms" => report_wait_ms = parse_num(flag, cur.value_for(flag)?)?,
+            _ => return err(format!("unknown flag for route: '{flag}'")),
+        }
+    }
+    let Some(traces) = traces else {
+        return err("route requires --traces");
+    };
+    let Some(owners) = owners else {
+        return err("route requires --owners");
+    };
+    Ok(RouteOpts {
+        traces,
+        owners,
+        listen,
+        routing,
+        placements,
+        save_placements,
+        queue_cap,
+        batch,
+        owner_retry_ms,
+        report_wait_ms,
     })
 }
 
@@ -929,6 +1227,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "replay" => Ok(Command::Replay(parse_serve_opts(&mut cur, "replay")?)),
         "follow" => Ok(Command::Follow(parse_follow_opts(&mut cur)?)),
         "send" => Ok(Command::Send(parse_send_opts(&mut cur)?)),
+        "shard-worker" => Ok(Command::ShardWorker(parse_shard_worker_opts(&mut cur)?)),
+        "route" => Ok(Command::Route(parse_route_opts(&mut cur)?)),
         "recover" => {
             let mut trace = None;
             let mut wal_dir = None;
@@ -1118,6 +1418,79 @@ mod tests {
 
     fn sv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_cluster_commands() {
+        let cmd = parse(&sv(&[
+            "shard-worker",
+            "--traces",
+            "a.trace,b.trace",
+            "--shard",
+            "1",
+            "--shards",
+            "4",
+            "--routing",
+            "min-cut",
+            "--wal-dir",
+            "wal",
+            "--group-commit",
+            "8",
+        ]))
+        .unwrap();
+        let Command::ShardWorker(o) = cmd else {
+            panic!("wrong command: {cmd:?}");
+        };
+        assert_eq!(
+            o.traces,
+            vec![PathBuf::from("a.trace"), PathBuf::from("b.trace")]
+        );
+        assert_eq!((o.shard, o.shards), (1, 4));
+        assert_eq!(o.routing, Routing::MinCut);
+        assert_eq!(o.group_commit, 8);
+        assert_eq!(o.listen, "127.0.0.1:0");
+
+        let cmd = parse(&sv(&[
+            "route",
+            "--traces",
+            "a.trace",
+            "--owners",
+            "127.0.0.1:7001, 127.0.0.1:7002",
+            "--owner-retry-ms",
+            "500",
+        ]))
+        .unwrap();
+        let Command::Route(o) = cmd else {
+            panic!("wrong command: {cmd:?}");
+        };
+        assert_eq!(o.owners, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(o.owner_retry_ms, 500);
+
+        // Validation: shard range, required flags, wal-gated flags.
+        assert!(parse(&sv(&[
+            "shard-worker",
+            "--traces",
+            "t",
+            "--shard",
+            "4",
+            "--shards",
+            "4"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "shard-worker",
+            "--traces",
+            "t",
+            "--shard",
+            "0",
+            "--shards",
+            "2",
+            "--group-commit",
+            "4"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&["route", "--traces", "t"])).is_err());
+        assert!(parse(&sv(&["route", "--owners", "x:1"])).is_err());
     }
 
     #[test]
@@ -1492,6 +1865,8 @@ mod tests {
             "16",
             "--fsync",
             "always",
+            "--group-commit",
+            "8",
         ]))
         .unwrap()
         {
@@ -1499,21 +1874,36 @@ mod tests {
                 assert_eq!(o.wal_dir, Some(PathBuf::from("/tmp/wal")));
                 assert_eq!(o.snapshot_every, 16);
                 assert_eq!(o.fsync, FsyncPolicy::Always);
+                assert_eq!(o.group_commit, 8);
             }
             _ => panic!("wrong command"),
         }
-        // Defaults: no WAL, batch fsync, snapshot every 64 batches.
+        // Defaults: no WAL, batch fsync, snapshot every 64 batches,
+        // write-through appends.
         match parse(&sv(&["serve", "--trace", "t.trace"])).unwrap() {
             Command::Serve(o) => {
                 assert_eq!(o.wal_dir, None);
                 assert_eq!(o.snapshot_every, 64);
                 assert_eq!(o.fsync, FsyncPolicy::Batch);
+                assert_eq!(o.group_commit, 1);
             }
             _ => panic!("wrong command"),
         }
         // Durability tuning knobs require the WAL itself.
         assert!(parse(&sv(&["serve", "--trace", "t", "--fsync", "never"])).is_err());
         assert!(parse(&sv(&["serve", "--trace", "t", "--snapshot-every", "8"])).is_err());
+        assert!(parse(&sv(&["serve", "--trace", "t", "--group-commit", "8"])).is_err());
+        // A zero window would never flush.
+        assert!(parse(&sv(&[
+            "serve",
+            "--trace",
+            "t",
+            "--wal-dir",
+            "/tmp/w",
+            "--group-commit",
+            "0"
+        ]))
+        .is_err());
         // And the fsync policy must be a known one.
         assert!(parse(&sv(&[
             "serve",

@@ -1,6 +1,8 @@
 //! Command implementations.
 
-use crate::args::{Command, FallbackMode, FollowOpts, SendOpts, ServeOpts, USAGE};
+use crate::args::{
+    Command, FallbackMode, FollowOpts, RouteOpts, SendOpts, ServeOpts, ShardWorkerOpts, USAGE,
+};
 use mbta_core::algorithms::solve;
 use mbta_core::budget::{greedy_budgeted, lagrangian_budgeted};
 use mbta_core::engine::{solve_robust, EngineConfig, EngineError, QualityTier};
@@ -378,6 +380,8 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
         Command::PlanStats { trace, shards } => run_plan_stats(&trace, &shards),
         Command::Follow(opts) => run_follow(&opts),
         Command::Send(opts) => run_send(&opts),
+        Command::ShardWorker(opts) => run_shard_worker(&opts),
+        Command::Route(opts) => run_route(&opts),
         Command::Recover { trace, wal_dir } => run_recover(&trace, &wal_dir),
         Command::Sweep { file, steps } => {
             let g = load(&file)?;
@@ -597,7 +601,7 @@ fn drive_net<S: DecisionSink>(
             }
         }
         match ingress.pop_wait(Duration::from_millis(50)) {
-            Some(a) => {
+            Some((_ns, a)) => {
                 while let OfferOutcome::Deferred = svc.offer(a) {
                     svc.pump(sink);
                 }
@@ -713,12 +717,14 @@ fn run_service(opts: &ServeOpts, deterministic: bool) -> Result<(), Box<dyn Erro
         online: opts.online.then_some(OnlineConfig {
             drift_threshold: opts.drift_threshold,
         }),
+        owned_shard: None,
     };
     let store = match &opts.wal_dir {
         Some(dir) => {
             let store_cfg = StoreConfig {
                 fsync: opts.fsync,
                 snapshot_every: opts.snapshot_every,
+                group_every: opts.group_commit,
                 ..StoreConfig::default()
             };
             let (store, recovered) = DurableStore::open(dir, store_cfg)
@@ -1028,13 +1034,26 @@ fn run_follow(o: &FollowOpts) -> Result<(), Box<dyn Error>> {
     let tf = TraceFile::parse(&text)?;
     let g = tf.spec.generate().realize(&BenefitParams::default())?;
 
+    // Anchor a relative --wal-dir to the startup cwd once: the heartbeat
+    // file is re-read on every poll, and resolving the path at poll time
+    // would silently follow any later cwd change to a different (stale)
+    // heartbeat. Not `canonicalize` — the primary may not have created
+    // the directory yet.
+    let wal_dir = if o.wal_dir.is_absolute() {
+        o.wal_dir.clone()
+    } else {
+        std::env::current_dir()
+            .map_err(|e| format!("cannot resolve current dir for --wal-dir: {e}"))?
+            .join(&o.wal_dir)
+    };
+
     // Wait for the primary to exist: WAL dir with a first heartbeat.
     let deadline = Instant::now() + Duration::from_millis(o.max_wait_ms);
-    while !matches!(heartbeat_age(&o.wal_dir), Ok(Some(_))) {
+    while !matches!(heartbeat_age(&wal_dir), Ok(Some(_))) {
         if Instant::now() >= deadline {
             return Err(format!(
                 "no primary heartbeat in {} after {} ms",
-                o.wal_dir.display(),
+                wal_dir.display(),
                 o.max_wait_ms
             )
             .into());
@@ -1043,10 +1062,10 @@ fn run_follow(o: &FollowOpts) -> Result<(), Box<dyn Error>> {
     }
 
     // Warm start from the durable state, then follow the live tail.
-    let state = recover(&o.wal_dir)
-        .map_err(|e| format!("cannot recover from {}: {e}", o.wal_dir.display()))?;
+    let state =
+        recover(&wal_dir).map_err(|e| format!("cannot recover from {}: {e}", wal_dir.display()))?;
     let mut follower = FollowerState::from_recovered(&state);
-    let mut tail = WalTail::resume_from(&o.wal_dir, follower.watermark());
+    let mut tail = WalTail::resume_from(&wal_dir, follower.watermark());
     println!(
         "follow: warm at watermark {}, {} assignments",
         follower.watermark(),
@@ -1076,16 +1095,16 @@ fn run_follow(o: &FollowOpts) -> Result<(), Box<dyn Error>> {
             // The primary compacted past our position: re-seed from the
             // latest snapshot instead of replaying a hole.
             mbta_telemetry::counter_add("mbta_follow_gaps_total", 1);
-            let state = recover(&o.wal_dir)
-                .map_err(|e| format!("cannot re-recover from {}: {e}", o.wal_dir.display()))?;
+            let state = recover(&wal_dir)
+                .map_err(|e| format!("cannot re-recover from {}: {e}", wal_dir.display()))?;
             follower = FollowerState::from_recovered(&state);
-            tail = WalTail::resume_from(&o.wal_dir, follower.watermark());
+            tail = WalTail::resume_from(&wal_dir, follower.watermark());
         }
         if let Some(s) = &status {
             s.update(follower_status(&follower, Role::Follower));
         }
 
-        let age = heartbeat_age(&o.wal_dir)?.unwrap_or(Duration::MAX);
+        let age = heartbeat_age(&wal_dir)?.unwrap_or(Duration::MAX);
         if age >= Duration::from_millis(o.heartbeat_ms)
             && o.listen.as_deref().is_none_or(port_is_dead)
         {
@@ -1102,7 +1121,7 @@ fn run_follow(o: &FollowOpts) -> Result<(), Box<dyn Error>> {
         follower.apply(rec);
     }
     let violations = recovered_capacity_violations(&g, &follower.to_recovered());
-    let snap_path = mbta_store::snapshot::write(&o.wal_dir, &follower.to_snapshot())
+    let snap_path = mbta_store::snapshot::write(&wal_dir, &follower.to_snapshot())
         .map_err(|e| format!("cannot write promotion snapshot: {e}"))?;
     if let Some(s) = &status {
         s.update(follower_status(&follower, Role::Primary));
@@ -1162,7 +1181,7 @@ fn run_send(o: &SendOpts) -> Result<(), Box<dyn Error>> {
 
     let mut backoff = DeferBackoff::new(5, 500, tf.spec.seed);
     let start = Instant::now();
-    let summary = send_events(&mut client, &events, o.batch, &mut backoff)?;
+    let summary = send_events(&mut client, o.namespace, &events, o.batch, &mut backoff)?;
     client.request(&Request::Fin)?;
     // Stable one-line summary (the CI overload smoke greps it).
     println!(
@@ -1177,6 +1196,161 @@ fn run_send(o: &SendOpts) -> Result<(), Box<dyn Error>> {
             "server acknowledged {} of {} events",
             summary.sent,
             events.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// `mbta shard-worker`: one cluster shard-owner process. Prints the bound
+/// address on startup (scripts capture ephemeral ports from it), serves
+/// until the router FINs, then prints per-namespace reports. Fails if any
+/// namespace ended with capacity violations.
+fn run_shard_worker(o: &ShardWorkerOpts) -> Result<(), Box<dyn Error>> {
+    let mut cfg = mbta_cluster::WorkerConfig::new(o.traces.clone(), o.shard, o.shards);
+    cfg.listen = o.listen.clone();
+    cfg.routing = o.routing;
+    cfg.placements = o.placements.clone();
+    cfg.wal_dir = o.wal_dir.clone();
+    cfg.fsync = o.fsync;
+    cfg.group_commit = o.group_commit;
+    cfg.snapshot_every = o.snapshot_every;
+    cfg.queue_cap = o.queue_cap;
+    cfg.threads = o.threads;
+    cfg.online = o.online.then_some(o.drift_threshold);
+    cfg.budget_ms = o.budget_ms;
+    cfg.linger_ms = o.linger_ms;
+    cfg.decisions_dir = o.decisions_dir.clone();
+
+    let (shard, shards) = (o.shard, o.shards);
+    let summary = mbta_cluster::worker::run(cfg, |addr| {
+        // Stable one-line banner (scripts grep the address out of it).
+        println!("shard-worker: shard {shard}/{shards} listening on {addr}");
+    })?;
+
+    let mut t = Table::new(
+        format!("shard-worker report: shard {shard}/{shards}"),
+        &[
+            "ns",
+            "events_in",
+            "processed",
+            "foreign",
+            "decisions",
+            "batches",
+            "violations",
+            "value",
+        ],
+    );
+    for (ns, r) in summary.reports.iter().enumerate() {
+        t.row(vec![
+            ns.to_string(),
+            r.events_in.to_string(),
+            r.events_processed.to_string(),
+            r.foreign_events.to_string(),
+            r.decisions.to_string(),
+            r.batches.to_string(),
+            r.capacity_violations.to_string(),
+            fnum(r.final_value, 4),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "shard-worker: {} events, {} unknown-namespace, {} violations",
+        summary.events,
+        summary.unknown_namespace,
+        summary.violations()
+    );
+    if summary.violations() > 0 {
+        return Err(format!(
+            "shard {shard} finished with {} capacity violations",
+            summary.violations()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// `mbta route`: the cluster router. Admits client events exactly-once,
+/// routes them with the shared per-namespace plans, fans out to the
+/// shard owners, and reports the aggregated outcome. Poisoned shards
+/// degrade the run (and are surfaced here) but never abort it; the exit
+/// is non-zero only if events went *unaccounted*.
+fn run_route(o: &RouteOpts) -> Result<(), Box<dyn Error>> {
+    let cfg = mbta_cluster::RouterConfig {
+        listen: o.listen.clone(),
+        owners: o.owners.clone(),
+        traces: o.traces.clone(),
+        routing: o.routing,
+        placements: o.placements.clone(),
+        save_placements: o.save_placements.clone(),
+        queue_cap: o.queue_cap,
+        batch: o.batch,
+        owner_retry_ms: o.owner_retry_ms,
+        report_wait_ms: o.report_wait_ms,
+    };
+    let (n_owners, n_tenants) = (o.owners.len(), o.traces.len());
+    let summary = mbta_cluster::router::run(cfg, |addr| {
+        println!("route: listening on {addr} ({n_owners} owners, {n_tenants} tenants)");
+    })?;
+
+    let mut t = Table::new(
+        "router report: per-owner outcome".to_string(),
+        &[
+            "shard",
+            "owner",
+            "sent",
+            "state",
+            "events",
+            "decisions",
+            "assignments",
+            "weight",
+        ],
+    );
+    for (s, addr) in o.owners.iter().enumerate() {
+        let state = if summary.poisoned[s] {
+            "POISONED"
+        } else {
+            "ok"
+        };
+        let (events, decisions, assignments, weight) = match &summary.owner_reports[s] {
+            Some(r) => (
+                r.events.to_string(),
+                r.decisions.to_string(),
+                r.assignments.to_string(),
+                fnum(r.total_weight, 4),
+            ),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        t.row(vec![
+            s.to_string(),
+            addr.clone(),
+            summary.per_owner_sent[s].to_string(),
+            state.to_string(),
+            events,
+            decisions,
+            assignments,
+            weight,
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "route: {} admitted = {} forwarded + {} degraded + {} invalid + {} cross + {} unknown-ns",
+        summary.admitted,
+        summary.forwarded,
+        summary.degraded,
+        summary.invalid,
+        summary.cross_benefit,
+        summary.unknown_namespace
+    );
+    if !summary.conserved() {
+        return Err(format!(
+            "router lost track of {} admitted events",
+            summary.admitted
+                - summary.forwarded
+                - summary.degraded
+                - summary.invalid
+                - summary.cross_benefit
+                - summary.unknown_namespace
         )
         .into());
     }
@@ -1337,6 +1511,7 @@ mod tests {
             wal_dir: None,
             snapshot_every: 64,
             fsync: mbta_service::FsyncPolicy::Batch,
+            group_commit: 1,
             listen: None,
         }
     }
@@ -1476,6 +1651,7 @@ mod tests {
             batch: 64,
             drift: 0.1,
             status: false,
+            namespace: 0,
             connect_wait_ms: 20_000,
         }))
         .unwrap();

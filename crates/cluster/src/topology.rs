@@ -1,0 +1,137 @@
+//! Shared cluster topology: tenant universes and per-namespace plans.
+//!
+//! Router, workers, and the client simulator all call [`load_tenants`]
+//! with the *same ordered trace list* and [`build_plans`] with the same
+//! shard count and routing, so every process reconstructs identical
+//! universes and identical [`ShardPlan`]s without any cluster-membership
+//! protocol: the trace list *is* the cluster configuration. A placement
+//! file (see `mbta-partition`) can pin the plans explicitly — useful when
+//! a min-cut plan should survive re-planning on one node without the
+//! others noticing.
+
+use mbta_market::benefit::edge_weights;
+use mbta_market::{BenefitParams, Combiner};
+use mbta_partition::{load_placements, save_placements, PlacementMap};
+use mbta_service::{Arrival, Routing, ShardPlan};
+use mbta_workload::trace::TraceFile;
+use std::path::{Path, PathBuf};
+
+/// One tenant: a realized universe plus its normalized event stream.
+pub struct Tenant {
+    /// Namespace id — the tenant's index in the ordered trace list.
+    pub ns: u32,
+    /// The realized worker–task universe.
+    pub graph: mbta_graph::BipartiteGraph,
+    /// Balanced mutual-benefit edge weights over `graph`.
+    pub weights: Vec<f64>,
+    /// The trace's event stream as service arrivals.
+    pub events: Vec<Arrival>,
+    /// The trace's generator seed (drives ingress jitter and drift).
+    pub seed: u64,
+}
+
+impl Tenant {
+    /// Builds a tenant from a parsed trace file.
+    pub fn from_trace_file(ns: u32, tf: TraceFile) -> Result<Tenant, String> {
+        let seed = tf.spec.seed;
+        let market = tf.spec.generate();
+        let graph = market
+            .realize(&BenefitParams::default())
+            .map_err(|e| format!("tenant {ns}: {e}"))?;
+        let weights = edge_weights(&graph, Combiner::balanced());
+        let events = tf.events.into_iter().map(Arrival::from_trace).collect();
+        Ok(Tenant {
+            ns,
+            graph,
+            weights,
+            events,
+            seed,
+        })
+    }
+}
+
+/// Loads the ordered tenant list from trace files on disk.
+///
+/// The order defines the namespace ids; every cluster process must be
+/// given the identical list.
+pub fn load_tenants(traces: &[PathBuf]) -> Result<Vec<Tenant>, String> {
+    if traces.is_empty() {
+        return Err("at least one tenant trace is required".into());
+    }
+    traces
+        .iter()
+        .enumerate()
+        .map(|(i, path)| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?;
+            let tf = TraceFile::parse(&text)
+                .map_err(|e| format!("cannot parse trace {}: {e}", path.display()))?;
+            Tenant::from_trace_file(i as u32, tf)
+        })
+        .collect()
+}
+
+/// Builds (or imports) one [`ShardPlan`] per tenant.
+///
+/// Without a placement file the plan is rebuilt deterministically from the
+/// tenant universe — identical on every process. With one, the node→shard
+/// maps are imported verbatim, after validating that the file's tenant
+/// count, shard count, and universe dimensions match this topology.
+pub fn build_plans(
+    tenants: &[Tenant],
+    n_shards: usize,
+    routing: Routing,
+    placements: Option<&Path>,
+) -> Result<Vec<ShardPlan>, String> {
+    if n_shards == 0 {
+        return Err("need at least one shard".into());
+    }
+    let Some(path) = placements else {
+        return Ok(tenants
+            .iter()
+            .map(|t| ShardPlan::build(&t.graph, &t.weights, n_shards, routing))
+            .collect());
+    };
+    let maps = load_placements(path)
+        .map_err(|e| format!("cannot load placements {}: {e}", path.display()))?;
+    if maps.len() != tenants.len() {
+        return Err(format!(
+            "placement file {} holds {} namespaces, topology has {}",
+            path.display(),
+            maps.len(),
+            tenants.len()
+        ));
+    }
+    tenants
+        .iter()
+        .zip(&maps)
+        .map(|(t, map)| {
+            if map.n_shards as usize != n_shards {
+                return Err(format!(
+                    "namespace {}: placement has {} shards, topology has {n_shards}",
+                    t.ns, map.n_shards
+                ));
+            }
+            if map.task_shard.len() != t.graph.n_tasks()
+                || map.worker_shard.len() != t.graph.n_workers()
+            {
+                return Err(format!(
+                    "namespace {}: placement dimensions {}x{} do not match universe {}x{}",
+                    t.ns,
+                    map.worker_shard.len(),
+                    map.task_shard.len(),
+                    t.graph.n_workers(),
+                    t.graph.n_tasks()
+                ));
+            }
+            Ok(ShardPlan::from_placement(&t.graph, &t.weights, map))
+        })
+        .collect()
+}
+
+/// Exports the per-tenant plans to a placement file other processes can
+/// import via [`build_plans`].
+pub fn save_plans(plans: &[ShardPlan], path: &Path) -> std::io::Result<()> {
+    let maps: Vec<PlacementMap> = plans.iter().map(|p| p.placement()).collect();
+    save_placements(path, &maps)
+}

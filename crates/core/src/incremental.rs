@@ -437,6 +437,15 @@ impl<'g> IncrementalAssignment<'g> {
         std::mem::take(&mut self.log)
     }
 
+    /// Appends the accumulated flip log to `out` and clears it. The
+    /// allocation-free counterpart of [`Self::drain_log`]: both the
+    /// internal log buffer and the caller's pooled `out` keep their
+    /// capacity across events.
+    pub fn drain_log_into(&mut self, out: &mut Vec<(EdgeId, bool)>) {
+        out.extend_from_slice(&self.log);
+        self.log.clear();
+    }
+
     /// Whether edge `e` is currently assigned.
     pub fn edge_assigned(&self, e: EdgeId) -> bool {
         self.in_matching[e.index()]

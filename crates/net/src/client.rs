@@ -134,12 +134,13 @@ pub struct SendSummary {
     pub retries: u64,
 }
 
-/// Streams `events` in batches of `batch`, retrying each bounced batch
-/// under `backoff` until admitted. Returns once every event is
-/// acknowledged; an `ERR` reply or transport failure aborts with the
-/// error (nothing after the failed batch was sent).
+/// Streams `events` in batches of `batch` under tenant namespace `ns`,
+/// retrying each bounced batch under `backoff` until admitted. Returns
+/// once every event is acknowledged; an `ERR` reply or transport failure
+/// aborts with the error (nothing after the failed batch was sent).
 pub fn send_events(
     client: &mut Client,
+    ns: u32,
     events: &[Arrival],
     batch: usize,
     backoff: &mut DeferBackoff,
@@ -147,7 +148,10 @@ pub fn send_events(
     let mut summary = SendSummary::default();
     for chunk in events.chunks(batch.max(1)) {
         loop {
-            let req = Request::EventBatch(chunk.to_vec());
+            let req = Request::EventBatch {
+                ns,
+                events: chunk.to_vec(),
+            };
             match client.request(&req)? {
                 Reply::Ok { accepted } => {
                     summary.sent += accepted as u64;
@@ -166,7 +170,7 @@ pub fn send_events(
                         msg,
                     })
                 }
-                Reply::Status(_) => {
+                Reply::Status(_) | Reply::ShardReport(_) => {
                     return Err(ClientError::Wire(WireError::BadReplyTag(
                         crate::wire::TAG_STATUS,
                     )))

@@ -43,6 +43,6 @@ pub use client::{send_events, Client, ClientError, SendSummary};
 pub use server::{NetConfig, NetIngress, NetStats, StatusServer};
 pub use wire::{
     decode_reply, decode_request, encode_reply, encode_request, read_message, write_message,
-    ErrCode, FrameError, Reply, Request, Role, StatusInfo, WireError, MAX_BATCH_EVENTS,
-    MAX_NET_FRAME,
+    ErrCode, FrameError, Reply, Request, Role, ShardReportInfo, StatusInfo, WireError,
+    MAX_BATCH_EVENTS, MAX_NET_FRAME,
 };

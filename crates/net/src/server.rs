@@ -25,9 +25,10 @@
 
 use crate::wire::{
     decode_request, encode_reply, read_message, write_message, ErrCode, FrameError, Reply, Request,
-    Role, StatusInfo,
+    Role, ShardReportInfo, StatusInfo,
 };
 use mbta_service::{Arrival, BoundedQueue, DeferBackoff, DropPolicy, OfferOutcome};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -86,13 +87,22 @@ pub struct NetStats {
     pub queue_high_watermark: usize,
 }
 
+/// The ingress queue plus a lockstep deque of namespace tags: entry `i`
+/// of `tags` is the tenant of the `i`-th queued arrival. Both sides are
+/// only ever touched together under the queue mutex, so they cannot skew.
+struct NsQueue {
+    q: BoundedQueue,
+    tags: VecDeque<u32>,
+}
+
 struct Shared {
-    queue: Mutex<BoundedQueue>,
+    queue: Mutex<NsQueue>,
     ready: Condvar,
     cap: usize,
     fin: AtomicBool,
     shutdown: AtomicBool,
     status: Mutex<StatusInfo>,
+    report: Mutex<ShardReportInfo>,
     conns: AtomicU64,
     frames: AtomicU64,
     accepted: AtomicU64,
@@ -110,21 +120,22 @@ impl Shared {
     /// Admits the whole batch or nothing. The all-or-nothing check runs
     /// under the queue lock, so concurrent producers cannot interleave
     /// partial batches.
-    fn push_batch(&self, events: &[Arrival]) -> bool {
-        let mut q = self.queue.lock().unwrap();
-        if self.cap - q.len() < events.len() {
+    fn push_batch(&self, ns: u32, events: &[Arrival]) -> bool {
+        let mut nq = self.queue.lock().unwrap();
+        if self.cap - nq.q.len() < events.len() {
             // Count one deferral for the bounced batch (not per event):
             // the queue's own counter feeds the service report. Crucially
             // nothing is enqueued — the batch is all-or-nothing, so the
             // client's identical resend stays exactly-once.
-            q.note_deferral();
+            nq.q.note_deferral();
             return false;
         }
         for &a in events {
-            let outcome = q.offer(a);
+            let outcome = nq.q.offer(a);
             debug_assert_eq!(outcome, OfferOutcome::Accepted, "capacity checked above");
+            nq.tags.push_back(ns);
         }
-        drop(q);
+        drop(nq);
         self.ready.notify_all();
         true
     }
@@ -146,7 +157,10 @@ impl NetIngress {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            queue: Mutex::new(BoundedQueue::new(cfg.queue_cap.max(1), DropPolicy::Defer)),
+            queue: Mutex::new(NsQueue {
+                q: BoundedQueue::new(cfg.queue_cap.max(1), DropPolicy::Defer),
+                tags: VecDeque::new(),
+            }),
             ready: Condvar::new(),
             cap: cfg.queue_cap.max(1),
             fin: AtomicBool::new(false),
@@ -157,6 +171,7 @@ impl NetIngress {
                 assignments: 0,
                 total_weight: 0.0,
             }),
+            report: Mutex::new(ShardReportInfo::default()),
             conns: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -186,19 +201,23 @@ impl NetIngress {
         self.local_addr
     }
 
-    /// Pops the oldest admitted event, waiting up to `timeout` for one
-    /// to arrive. `None` on timeout.
-    pub fn pop_wait(&self, timeout: Duration) -> Option<Arrival> {
-        let mut q = self.shared.queue.lock().unwrap();
-        if let Some(a) = q.pop() {
-            return Some(a);
+    /// Pops the oldest admitted event and its namespace tag, waiting up
+    /// to `timeout` for one to arrive. `None` on timeout. Single-tenant
+    /// drivers can ignore the tag (their clients always send ns 0).
+    pub fn pop_wait(&self, timeout: Duration) -> Option<(u32, Arrival)> {
+        let mut nq = self.shared.queue.lock().unwrap();
+        if let Some(a) = nq.q.pop() {
+            let ns = nq.tags.pop_front().expect("tags tracks queue in lockstep");
+            return Some((ns, a));
         }
-        let (mut q, _) = self
+        let (mut nq, _) = self
             .shared
             .ready
-            .wait_timeout_while(q, timeout, |q| q.is_empty())
+            .wait_timeout_while(nq, timeout, |nq| nq.q.is_empty())
             .unwrap();
-        q.pop()
+        let a = nq.q.pop()?;
+        let ns = nq.tags.pop_front().expect("tags tracks queue in lockstep");
+        Some((ns, a))
     }
 
     /// Whether any client has sent `FIN`.
@@ -208,7 +227,7 @@ impl NetIngress {
 
     /// Whether the stream is over: `FIN` seen and the queue drained.
     pub fn is_drained(&self) -> bool {
-        self.fin_received() && self.shared.queue.lock().unwrap().is_empty()
+        self.fin_received() && self.shared.queue.lock().unwrap().q.is_empty()
     }
 
     /// Publishes the state a `QUERY_STATUS` reply reports. Called by the
@@ -218,6 +237,12 @@ impl NetIngress {
         s.watermark = watermark;
         s.assignments = assignments as u64;
         s.total_weight = total_weight;
+    }
+
+    /// Publishes the snapshot a `QUERY_REPORT` reply carries. Called by
+    /// a shard-owner drive loop alongside [`NetIngress::set_status`].
+    pub fn set_report(&self, report: ShardReportInfo) {
+        *self.shared.report.lock().unwrap() = report;
     }
 
     /// Lifetime counters.
@@ -230,7 +255,7 @@ impl NetIngress {
             retry_after: self.shared.retry_after.load(Ordering::Relaxed),
             malformed: self.shared.malformed.load(Ordering::Relaxed),
             bytes_in: self.shared.bytes_in.load(Ordering::Relaxed),
-            queue_high_watermark: q.high_watermark(),
+            queue_high_watermark: q.q.high_watermark(),
         }
     }
 
@@ -315,7 +340,7 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
         mbta_telemetry::counter_add("mbta_net_frames_total", 1);
         mbta_telemetry::counter_add("mbta_net_bytes_total", payload.len() as u64 + 8);
         let reply = match decode_request(&payload) {
-            Ok(Request::EventBatch(events)) => {
+            Ok(Request::EventBatch { ns, events }) => {
                 if events.len() > shared.cap {
                     Reply::Err {
                         code: ErrCode::TooLarge,
@@ -325,7 +350,7 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
                             shared.cap
                         ),
                     }
-                } else if shared.push_batch(&events) {
+                } else if shared.push_batch(ns, &events) {
                     let n = events.len() as u64;
                     shared.accepted.fetch_add(n, Ordering::Relaxed);
                     mbta_telemetry::counter_add("mbta_net_accepted_total", n);
@@ -350,6 +375,7 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, id: u64) {
                 return;
             }
             Ok(Request::QueryStatus) => Reply::Status(*shared.status.lock().unwrap()),
+            Ok(Request::QueryReport) => Reply::ShardReport(*shared.report.lock().unwrap()),
             Err(e) => {
                 // The frame was intact — only its payload is garbage — so
                 // the stream is still in sync and the connection survives.
@@ -474,10 +500,12 @@ fn handle_status_conn(mut stream: TcpStream, shared: Arc<StatusShared>) {
         };
         let reply = match decode_request(&payload) {
             Ok(Request::QueryStatus) => Reply::Status(*shared.status.lock().unwrap()),
-            Ok(Request::EventBatch(_)) | Ok(Request::Fin) => Reply::Err {
-                code: ErrCode::ReadOnly,
-                msg: "read-only endpoint: status queries only".to_string(),
-            },
+            Ok(Request::EventBatch { .. }) | Ok(Request::Fin) | Ok(Request::QueryReport) => {
+                Reply::Err {
+                    code: ErrCode::ReadOnly,
+                    msg: "read-only endpoint: status queries only".to_string(),
+                }
+            }
             Err(e) => Reply::Err {
                 code: ErrCode::Payload,
                 msg: e.to_string(),

@@ -7,16 +7,26 @@
 //! ```text
 //! requests                         replies
 //! 0x01 EVENT_BATCH                 0x81 OK          u32 accepted
-//!      u32 count, count × event    0x82 RETRY_AFTER u32 hint_ms
-//! 0x02 FIN                         0x83 ERR         u8 code, u16 len, msg
-//! 0x03 QUERY_STATUS                0x84 STATUS      u8 role, u64 watermark,
-//!                                                   u64 assignments,
-//!                                                   f64 total_weight
+//!      u32 ns, u32 count,          0x82 RETRY_AFTER u32 hint_ms
+//!      count × event               0x83 ERR         u8 code, u16 len, msg
+//! 0x02 FIN                         0x84 STATUS      u8 role, u64 watermark,
+//! 0x03 QUERY_STATUS                                 u64 assignments,
+//! 0x04 QUERY_REPORT                                 f64 total_weight
+//!                                  0x85 SHARD_REPORT
+//!                                       u32 shard, u32 n_shards,
+//!                                       u8 poisoned, u32 namespaces,
+//!                                       u64 events, u64 foreign,
+//!                                       u64 decisions, u64 assignments,
+//!                                       f64 total_weight
 //!
 //! event: u8 kind, f64 time, then
 //!   kind 1..=5 (join/leave/post/cancel/complete): u32 id
 //!   kind 6 (benefit update):                      u32 edge, f64 weight
 //! ```
+//!
+//! `ns` is the tenant/namespace id: independent markets multiplexed over
+//! one cluster. A single-tenant `serve` endpoint treats every batch as
+//! namespace 0; the router and shard workers demultiplex by it.
 //!
 //! The network reuses the store's framing so one set of acceptance rules
 //! governs both the journal and the socket — but with a much smaller
@@ -47,6 +57,8 @@ pub const TAG_EVENT_BATCH: u8 = 0x01;
 pub const TAG_FIN: u8 = 0x02;
 /// Request tag: read-only status query.
 pub const TAG_QUERY_STATUS: u8 = 0x03;
+/// Request tag: read-only shard-report query (cluster aggregation).
+pub const TAG_QUERY_REPORT: u8 = 0x04;
 /// Reply tag: batch fully admitted.
 pub const TAG_OK: u8 = 0x81;
 /// Reply tag: ingress saturated; retry the same batch after a delay.
@@ -55,6 +67,8 @@ pub const TAG_RETRY_AFTER: u8 = 0x82;
 pub const TAG_ERR: u8 = 0x83;
 /// Reply tag: status snapshot.
 pub const TAG_STATUS: u8 = 0x84;
+/// Reply tag: per-shard-owner report snapshot.
+pub const TAG_SHARD_REPORT: u8 = 0x85;
 
 /// Error codes carried in an `ERR` reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,15 +147,48 @@ pub struct StatusInfo {
     pub total_weight: f64,
 }
 
+/// Payload of a `SHARD_REPORT` reply: one shard owner's live tallies,
+/// aggregated by the router into the cluster-wide run report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardReportInfo {
+    /// Shard this owner serves.
+    pub shard: u32,
+    /// Total shards in the owner's plan.
+    pub n_shards: u32,
+    /// Whether the owner currently marks its shard poisoned.
+    pub poisoned: bool,
+    /// Namespaces (tenants) this owner hosts.
+    pub namespaces: u32,
+    /// Events admitted across all namespaces.
+    pub events: u64,
+    /// Events received for a shard this owner does not own (misroutes —
+    /// dropped, never applied).
+    pub foreign_events: u64,
+    /// Decision records emitted across all namespaces.
+    pub decisions: u64,
+    /// Live assigned-edge count across all namespaces.
+    pub assignments: u64,
+    /// Live total assignment value across all namespaces.
+    pub total_weight: f64,
+}
+
 /// A decoded request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// A batch of timestamped events to admit atomically.
-    EventBatch(Vec<Arrival>),
+    /// A batch of timestamped events to admit atomically, scoped to one
+    /// tenant namespace (`ns` = 0 for single-tenant endpoints).
+    EventBatch {
+        /// Tenant namespace the events belong to.
+        ns: u32,
+        /// The timestamped events.
+        events: Vec<Arrival>,
+    },
     /// The client has no more events; the server may drain and finish.
     Fin,
     /// Read-only status query.
     QueryStatus,
+    /// Read-only shard-report query (answered by shard owners).
+    QueryReport,
 }
 
 /// A decoded reply.
@@ -167,6 +214,8 @@ pub enum Reply {
     },
     /// Status snapshot.
     Status(StatusInfo),
+    /// Shard-owner report snapshot.
+    ShardReport(ShardReportInfo),
 }
 
 /// Why a payload failed to decode. Total over arbitrary bytes: garbage
@@ -351,10 +400,11 @@ fn decode_event(r: &mut Reader<'_>) -> Result<Arrival, WireError> {
 /// [`write_message`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     match req {
-        Request::EventBatch(events) => {
+        Request::EventBatch { ns, events } => {
             debug_assert!(events.len() <= MAX_BATCH_EVENTS);
-            let mut out = Vec::with_capacity(5 + events.len() * 25);
+            let mut out = Vec::with_capacity(9 + events.len() * 25);
             out.push(TAG_EVENT_BATCH);
+            put_u32(&mut out, *ns);
             put_u32(&mut out, events.len() as u32);
             for a in events {
                 encode_event(&mut out, a);
@@ -363,6 +413,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Fin => vec![TAG_FIN],
         Request::QueryStatus => vec![TAG_QUERY_STATUS],
+        Request::QueryReport => vec![TAG_QUERY_REPORT],
     }
 }
 
@@ -373,6 +424,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let tag = r.u8()?;
     match tag {
         TAG_EVENT_BATCH => {
+            let ns = r.u32()?;
             let count = r.u32()?;
             // The count is attacker-controlled; bound it by the hard batch
             // limit and by what the remaining bytes could possibly encode
@@ -386,7 +438,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 events.push(decode_event(&mut r)?);
             }
             r.finish()?;
-            Ok(Request::EventBatch(events))
+            Ok(Request::EventBatch { ns, events })
         }
         TAG_FIN => {
             r.finish()?;
@@ -395,6 +447,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         TAG_QUERY_STATUS => {
             r.finish()?;
             Ok(Request::QueryStatus)
+        }
+        TAG_QUERY_REPORT => {
+            r.finish()?;
+            Ok(Request::QueryReport)
         }
         other => Err(WireError::BadRequestTag(other)),
     }
@@ -434,6 +490,19 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             put_f64(&mut out, s.total_weight);
             out
         }
+        Reply::ShardReport(s) => {
+            let mut out = vec![TAG_SHARD_REPORT];
+            put_u32(&mut out, s.shard);
+            put_u32(&mut out, s.n_shards);
+            out.push(u8::from(s.poisoned));
+            put_u32(&mut out, s.namespaces);
+            put_u64(&mut out, s.events);
+            put_u64(&mut out, s.foreign_events);
+            put_u64(&mut out, s.decisions);
+            put_u64(&mut out, s.assignments);
+            put_f64(&mut out, s.total_weight);
+            out
+        }
     }
 }
 
@@ -466,6 +535,17 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
                 total_weight: r.f64()?,
             })
         }
+        TAG_SHARD_REPORT => Reply::ShardReport(ShardReportInfo {
+            shard: r.u32()?,
+            n_shards: r.u32()?,
+            poisoned: r.u8()? != 0,
+            namespaces: r.u32()?,
+            events: r.u64()?,
+            foreign_events: r.u64()?,
+            decisions: r.u64()?,
+            assignments: r.u64()?,
+            total_weight: r.f64()?,
+        }),
         other => return Err(WireError::BadReplyTag(other)),
     };
     r.finish()?;
@@ -592,10 +672,17 @@ mod tests {
     #[test]
     fn request_round_trips() {
         for req in [
-            Request::EventBatch(sample_events()),
-            Request::EventBatch(Vec::new()),
+            Request::EventBatch {
+                ns: 0,
+                events: sample_events(),
+            },
+            Request::EventBatch {
+                ns: 7,
+                events: Vec::new(),
+            },
             Request::Fin,
             Request::QueryStatus,
+            Request::QueryReport,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes), Ok(req));
@@ -617,6 +704,17 @@ mod tests {
                 assignments: 120,
                 total_weight: 88.25,
             }),
+            Reply::ShardReport(ShardReportInfo {
+                shard: 2,
+                n_shards: 4,
+                poisoned: true,
+                namespaces: 3,
+                events: 1_000,
+                foreign_events: 5,
+                decisions: 740,
+                assignments: 61,
+                total_weight: 44.5,
+            }),
         ] {
             let bytes = encode_reply(&reply);
             assert_eq!(decode_reply(&bytes), Ok(reply));
@@ -625,9 +723,10 @@ mod tests {
 
     #[test]
     fn batch_count_is_bounded_before_allocation() {
-        // A tag + huge count and no event bytes must be rejected as a bad
-        // count, not attempted as a 4-billion-element Vec.
+        // A tag + ns + huge count and no event bytes must be rejected as a
+        // bad count, not attempted as a 4-billion-element Vec.
         let mut payload = vec![TAG_EVENT_BATCH];
+        payload.extend_from_slice(&0u32.to_le_bytes());
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             decode_request(&payload),
@@ -635,6 +734,7 @@ mod tests {
         );
         // Exceeding MAX_BATCH_EVENTS is rejected even with bytes present.
         let mut payload = vec![TAG_EVENT_BATCH];
+        payload.extend_from_slice(&0u32.to_le_bytes());
         payload.extend_from_slice(&((MAX_BATCH_EVENTS as u32 + 1).to_le_bytes()));
         payload.resize(payload.len() + (MAX_BATCH_EVENTS + 1) * MIN_EVENT_BYTES, 0);
         assert_eq!(
@@ -652,7 +752,10 @@ mod tests {
 
     #[test]
     fn socket_framing_round_trips_and_rejects_damage() {
-        let payload = encode_request(&Request::EventBatch(sample_events()));
+        let payload = encode_request(&Request::EventBatch {
+            ns: 1,
+            events: sample_events(),
+        });
         let mut buf = Vec::new();
         write_message(&mut buf, &payload).unwrap();
         let mut cursor = io::Cursor::new(buf.clone());

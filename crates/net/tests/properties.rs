@@ -7,7 +7,7 @@
 
 use mbta_net::{
     decode_reply, decode_request, encode_reply, encode_request, read_message, write_message,
-    ErrCode, FrameError, Reply, Request, Role, StatusInfo,
+    ErrCode, FrameError, Reply, Request, Role, ShardReportInfo, StatusInfo,
 };
 use mbta_service::{Arrival, ServiceEvent};
 use proptest::collection::vec;
@@ -29,33 +29,50 @@ fn arb_arrival() -> impl Strategy<Value = Arrival> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u32..3, vec(arb_arrival(), 0..64)).prop_map(|(pick, batch)| match pick {
-        0 => Request::EventBatch(batch),
+    (0u32..4, any::<u32>(), vec(arb_arrival(), 0..64)).prop_map(|(pick, ns, batch)| match pick {
+        0 => Request::EventBatch { ns, events: batch },
         1 => Request::Fin,
-        _ => Request::QueryStatus,
+        2 => Request::QueryStatus,
+        _ => Request::QueryReport,
     })
 }
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        (0u32..4, any::<u32>(), any::<u8>(), vec(32u8..127, 0..40)),
+        (0u32..5, any::<u32>(), any::<u8>(), vec(32u8..127, 0..40)),
         (any::<bool>(), any::<u64>(), any::<u64>(), -1.0e6f64..1.0e6),
+        (any::<u32>(), any::<u32>(), any::<u64>()),
     )
         .prop_map(
-            |((pick, n, code, msg), (primary, watermark, assignments, total_weight))| match pick {
+            |(
+                (pick, n, code, msg),
+                (primary, watermark, assignments, total_weight),
+                (shard, namespaces, events),
+            )| match pick {
                 0 => Reply::Ok { accepted: n },
                 1 => Reply::RetryAfter { hint_ms: n },
                 2 => Reply::Err {
                     code: ErrCode::from_u8(code),
                     msg: String::from_utf8(msg).expect("printable ASCII"),
                 },
-                _ => Reply::Status(StatusInfo {
+                3 => Reply::Status(StatusInfo {
                     role: if primary {
                         Role::Primary
                     } else {
                         Role::Follower
                     },
                     watermark,
+                    assignments,
+                    total_weight,
+                }),
+                _ => Reply::ShardReport(ShardReportInfo {
+                    shard,
+                    n_shards: shard.wrapping_add(1),
+                    poisoned: primary,
+                    namespaces,
+                    events,
+                    foreign_events: events / 2,
+                    decisions: assignments,
                     assignments,
                     total_weight,
                 }),

@@ -3,8 +3,8 @@
 //! acceptance criteria, all against a real socket.
 
 use mbta_net::{
-    send_events, Client, ClientError, NetConfig, NetIngress, Reply, Request, Role, StatusInfo,
-    StatusServer,
+    send_events, Client, ClientError, NetConfig, NetIngress, Reply, Request, Role, ShardReportInfo,
+    StatusInfo, StatusServer,
 };
 use mbta_service::{Arrival, DeferBackoff, ServiceEvent};
 use std::io::Write;
@@ -39,14 +39,20 @@ fn batch_flows_through_in_order_and_fin_drains() {
     let mut client = connect(&server);
     let events: Vec<Arrival> = (0..10).map(ev).collect();
     let reply = client
-        .request(&Request::EventBatch(events.clone()))
+        .request(&Request::EventBatch {
+            ns: 3,
+            events: events.clone(),
+        })
         .unwrap();
     assert_eq!(reply, Reply::Ok { accepted: 10 });
     assert!(!server.fin_received());
-    let got: Vec<Arrival> = (0..10)
+    let got: Vec<(u32, Arrival)> = (0..10)
         .map(|_| server.pop_wait(Duration::from_secs(2)).unwrap())
         .collect();
-    assert_eq!(got, events);
+    // The namespace tag rides along with every queued arrival.
+    assert!(got.iter().all(|(ns, _)| *ns == 3));
+    let drained: Vec<Arrival> = got.into_iter().map(|(_, a)| a).collect();
+    assert_eq!(drained, events);
     assert_eq!(
         client.request(&Request::Fin).unwrap(),
         Reply::Ok { accepted: 0 }
@@ -85,7 +91,10 @@ fn malformed_payload_gets_error_reply_and_connection_survives() {
     let mut frame = Vec::new();
     mbta_net::write_message(
         &mut frame,
-        &mbta_net::encode_request(&Request::EventBatch(vec![ev(1)])),
+        &mbta_net::encode_request(&Request::EventBatch {
+            ns: 0,
+            events: vec![ev(1)],
+        }),
     )
     .unwrap();
     raw.write_all(&frame).unwrap();
@@ -96,7 +105,12 @@ fn malformed_payload_gets_error_reply_and_connection_survives() {
     );
     // And the unrelated client connection was never disturbed.
     assert_eq!(
-        client.request(&Request::EventBatch(vec![ev(2)])).unwrap(),
+        client
+            .request(&Request::EventBatch {
+                ns: 0,
+                events: vec![ev(2)],
+            })
+            .unwrap(),
         Reply::Ok { accepted: 1 }
     );
     assert!(server.stats().malformed >= 1);
@@ -112,7 +126,10 @@ fn damaged_frame_gets_error_reply_then_close() {
     let mut frame = Vec::new();
     mbta_net::write_message(
         &mut frame,
-        &mbta_net::encode_request(&Request::EventBatch(vec![ev(1)])),
+        &mbta_net::encode_request(&Request::EventBatch {
+            ns: 0,
+            events: vec![ev(1)],
+        }),
     )
     .unwrap();
     frame[5] ^= 0xff; // CRC byte
@@ -135,12 +152,20 @@ fn saturated_queue_bounces_with_retry_after_and_never_stalls_accepts() {
     // Fill the queue exactly; nothing drains it.
     let fill: Vec<Arrival> = (0..8).map(ev).collect();
     assert_eq!(
-        client.request(&Request::EventBatch(fill)).unwrap(),
+        client
+            .request(&Request::EventBatch {
+                ns: 0,
+                events: fill,
+            })
+            .unwrap(),
         Reply::Ok { accepted: 8 }
     );
     // The next batch bounces atomically: RETRY_AFTER, nothing admitted.
     let bounced = client
-        .request(&Request::EventBatch(vec![ev(100), ev(101)]))
+        .request(&Request::EventBatch {
+            ns: 0,
+            events: vec![ev(100), ev(101)],
+        })
         .unwrap();
     match bounced {
         Reply::RetryAfter { hint_ms } => assert!(hint_ms >= 1),
@@ -148,7 +173,13 @@ fn saturated_queue_bounces_with_retry_after_and_never_stalls_accepts() {
     }
     // An over-capacity batch can never fit: a typed rejection, not a wait.
     let too_large: Vec<Arrival> = (0..9).map(ev).collect();
-    match client.request(&Request::EventBatch(too_large)).unwrap() {
+    match client
+        .request(&Request::EventBatch {
+            ns: 0,
+            events: too_large,
+        })
+        .unwrap()
+    {
         Reply::Err { code, .. } => assert_eq!(code.as_u8(), 3),
         other => panic!("expected TOO_LARGE, got {other:?}"),
     }
@@ -176,7 +207,7 @@ fn backoff_retry_delivers_every_accepted_event_exactly_once() {
         scope.spawn(|| {
             let mut got = 0usize;
             while got < events.len() {
-                if let Some(a) = server.pop_wait(Duration::from_millis(50)) {
+                if let Some((_, a)) = server.pop_wait(Duration::from_millis(50)) {
                     std::thread::sleep(Duration::from_millis(1));
                     tx.send(a).unwrap();
                     got += 1;
@@ -185,7 +216,7 @@ fn backoff_retry_delivers_every_accepted_event_exactly_once() {
         });
         let mut client = connect(&server);
         let mut backoff = DeferBackoff::new(1, 16, 7);
-        let summary = send_events(&mut client, &events, 8, &mut backoff).unwrap();
+        let summary = send_events(&mut client, 0, &events, 8, &mut backoff).unwrap();
         assert_eq!(summary.sent, 200, "every event acknowledged");
         assert_eq!(summary.batches, 25);
         assert!(
@@ -223,7 +254,13 @@ fn status_server_answers_queries_and_refuses_writes() {
     }
     // Event traffic is refused with the read-only class; the query
     // connection survives the refusal.
-    match client.request(&Request::EventBatch(vec![ev(1)])).unwrap() {
+    match client
+        .request(&Request::EventBatch {
+            ns: 0,
+            events: vec![ev(1)],
+        })
+        .unwrap()
+    {
         Reply::Err { code, .. } => assert_eq!(code.as_u8(), 4),
         other => panic!("expected READ_ONLY, got {other:?}"),
     }
@@ -244,6 +281,33 @@ fn status_server_answers_queries_and_refuses_writes() {
 }
 
 #[test]
+fn query_report_returns_the_published_shard_report() {
+    let server = NetIngress::bind(test_cfg(64)).unwrap();
+    let mut client = connect(&server);
+    // Before anything is published the report is the zero default.
+    match client.request(&Request::QueryReport).unwrap() {
+        Reply::ShardReport(r) => assert_eq!(r, ShardReportInfo::default()),
+        other => panic!("expected SHARD_REPORT, got {other:?}"),
+    }
+    let published = ShardReportInfo {
+        shard: 2,
+        n_shards: 4,
+        poisoned: false,
+        namespaces: 3,
+        events: 128,
+        foreign_events: 5,
+        decisions: 90,
+        assignments: 40,
+        total_weight: 17.25,
+    };
+    server.set_report(published);
+    match client.request(&Request::QueryReport).unwrap() {
+        Reply::ShardReport(r) => assert_eq!(r, published),
+        other => panic!("expected SHARD_REPORT, got {other:?}"),
+    }
+}
+
+#[test]
 fn send_events_surfaces_server_rejection() {
     let server = NetIngress::bind(test_cfg(4)).unwrap();
     let mut client = connect(&server);
@@ -251,7 +315,7 @@ fn send_events_surfaces_server_rejection() {
     // Batch size 5 can never fit capacity 4: the client gets the typed
     // rejection instead of retrying forever.
     let events: Vec<Arrival> = (0..5).map(ev).collect();
-    match send_events(&mut client, &events, 5, &mut backoff) {
+    match send_events(&mut client, 0, &events, 5, &mut backoff) {
         Err(ClientError::Rejected { code, .. }) => assert_eq!(code, 3),
         other => panic!("expected rejection, got {other:?}"),
     }

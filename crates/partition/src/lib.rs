@@ -21,6 +21,11 @@
 //! 3. [`drift`] — bookkeeping for drift-driven re-planning: an
 //!    incremental cut tracker that watches benefit updates erode the
 //!    current cut, and the migration diff between two plans.
+//! 4. [`placement`] — the serialized node→shard maps a multi-process
+//!    cluster shares: the router computes placement once, exports a
+//!    checksummed [`placement::PlacementMap`] per tenant namespace, and
+//!    every shard-owner process imports the identical file instead of
+//!    re-deriving it.
 //!
 //! The crate deliberately depends only on `mbta-graph`: it computes node
 //! assignments, residual specs, and diffs — never solves, journals, or
@@ -31,8 +36,13 @@
 
 pub mod drift;
 pub mod partitioner;
+pub mod placement;
 pub mod rescue;
 
 pub use drift::{migration_diff, CutTracker, MigrationStats};
 pub use partitioner::{partition, Partition, PartitionConfig};
+pub use placement::{
+    decode_placements, encode_placements, load_placements, save_placements, PlacementError,
+    PlacementMap,
+};
 pub use rescue::{residual_candidates, validate_rescue, RescueSpec};

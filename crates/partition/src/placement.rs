@@ -1,0 +1,301 @@
+//! Serialized shard placement: the node→shard maps, detached from the
+//! plan that computed them.
+//!
+//! A multi-process cluster needs every process to agree on where each
+//! worker and task lives, or two owners would both believe they hold a
+//! worker's capacity. Min-cut placement is deterministic given identical
+//! inputs, but "identical inputs" is exactly the kind of assumption that
+//! rots across binaries and versions — so the router computes placement
+//! *once*, exports it as a [`PlacementMap`] per tenant namespace, and
+//! every shard owner imports the same file. The map is the agreement; the
+//! algorithm that produced it no longer matters.
+//!
+//! The file format follows the repo's durability idioms: a magic header,
+//! length-prefixed little-endian fields, and a checksum over the body so
+//! a truncated or bit-rotted file is a typed error, never a silently
+//! different placement. Decoding is total — arbitrary bytes come back as
+//! `Ok` or [`PlacementError`], never a panic.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// File magic: `MBTAPLC` + format version `1`.
+pub const PLACEMENT_MAGIC: &[u8; 8] = b"MBTAPLC1";
+
+/// The node→shard assignment of one tenant namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementMap {
+    /// Number of shards the maps index into.
+    pub n_shards: u32,
+    /// Tag of the routing that produced the maps (display only — the
+    /// maps themselves are the placement): 0 hash, 1 range, 2 min-cut.
+    pub routing_tag: u8,
+    /// Universe task id → shard.
+    pub task_shard: Vec<u32>,
+    /// Universe worker id → shard.
+    pub worker_shard: Vec<u32>,
+}
+
+impl PlacementMap {
+    /// Checks internal consistency: at least one shard, every entry in
+    /// range.
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        if self.n_shards == 0 {
+            return Err(PlacementError::NoShards);
+        }
+        let bad = |v: &[u32]| v.iter().any(|&s| s >= self.n_shards);
+        if bad(&self.task_shard) || bad(&self.worker_shard) {
+            return Err(PlacementError::ShardOutOfRange);
+        }
+        Ok(())
+    }
+}
+
+/// Why a placement file failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The magic header is missing or from another format version.
+    BadMagic,
+    /// The buffer ended before the declared content did.
+    Truncated,
+    /// The body checksum does not match.
+    Corrupt,
+    /// A declared length is implausibly large for the buffer.
+    Oversize,
+    /// A map declares zero shards.
+    NoShards,
+    /// A map entry points past its own shard count.
+    ShardOutOfRange,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::BadMagic => write!(f, "not a placement file (bad magic)"),
+            PlacementError::Truncated => write!(f, "placement file truncated"),
+            PlacementError::Corrupt => write!(f, "placement checksum mismatch"),
+            PlacementError::Oversize => {
+                write!(f, "placement declares more entries than the file holds")
+            }
+            PlacementError::NoShards => write!(f, "placement declares zero shards"),
+            PlacementError::ShardOutOfRange => {
+                write!(f, "placement entry points past its shard count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// 64-bit FNV-1a over the body bytes. Not cryptographic — it catches
+/// truncation and bit rot, the same failure classes the WAL's CRC does.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes an ordered set of per-namespace maps (namespace `i` is entry
+/// `i`) into the placement file format.
+pub fn encode_placements(maps: &[PlacementMap]) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u32(&mut body, maps.len() as u32);
+    for m in maps {
+        put_u32(&mut body, m.n_shards);
+        body.push(m.routing_tag);
+        put_u32(&mut body, m.task_shard.len() as u32);
+        for &s in &m.task_shard {
+            put_u32(&mut body, s);
+        }
+        put_u32(&mut body, m.worker_shard.len() as u32);
+        for &s in &m.worker_shard {
+            put_u32(&mut body, s);
+        }
+    }
+    let mut out = Vec::with_capacity(PLACEMENT_MAGIC.len() + 8 + body.len());
+    out.extend_from_slice(PLACEMENT_MAGIC);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PlacementError> {
+        let end = self.pos.checked_add(n).ok_or(PlacementError::Oversize)?;
+        if end > self.buf.len() {
+            return Err(PlacementError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, PlacementError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PlacementError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed u32 vector, with the count bounded by the bytes
+    /// actually remaining so garbage lengths cannot drive allocation.
+    fn u32_vec(&mut self) -> Result<Vec<u32>, PlacementError> {
+        let count = self.u32()? as usize;
+        if count > (self.buf.len() - self.pos) / 4 {
+            return Err(PlacementError::Oversize);
+        }
+        (0..count).map(|_| self.u32()).collect()
+    }
+}
+
+/// Decodes a placement file. Total: arbitrary bytes are `Ok` or a typed
+/// error, and every returned map is [`PlacementMap::validate`]-clean.
+pub fn decode_placements(bytes: &[u8]) -> Result<Vec<PlacementMap>, PlacementError> {
+    if bytes.len() < PLACEMENT_MAGIC.len() + 8 {
+        return Err(PlacementError::BadMagic);
+    }
+    if &bytes[..PLACEMENT_MAGIC.len()] != PLACEMENT_MAGIC {
+        return Err(PlacementError::BadMagic);
+    }
+    let sum = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let body = &bytes[16..];
+    if fnv1a(body) != sum {
+        return Err(PlacementError::Corrupt);
+    }
+    let mut r = Reader { buf: body, pos: 0 };
+    let count = r.u32()? as usize;
+    let mut maps = Vec::new();
+    for _ in 0..count {
+        let n_shards = r.u32()?;
+        let routing_tag = r.u8()?;
+        let task_shard = r.u32_vec()?;
+        let worker_shard = r.u32_vec()?;
+        let m = PlacementMap {
+            n_shards,
+            routing_tag,
+            task_shard,
+            worker_shard,
+        };
+        m.validate()?;
+        maps.push(m);
+    }
+    if r.pos != body.len() {
+        // Trailing bytes mean the writer and reader disagree on the
+        // format — refuse rather than silently ignore.
+        return Err(PlacementError::Corrupt);
+    }
+    Ok(maps)
+}
+
+/// Writes maps to `path` (atomic enough for the single-writer router:
+/// whole-file write, no partial appends).
+pub fn save_placements(path: &Path, maps: &[PlacementMap]) -> io::Result<()> {
+    fs::write(path, encode_placements(maps))
+}
+
+/// Reads maps back from `path`; decode failures surface as
+/// `InvalidData`.
+pub fn load_placements(path: &Path) -> io::Result<Vec<PlacementMap>> {
+    let bytes = fs::read(path)?;
+    decode_placements(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PlacementMap> {
+        vec![
+            PlacementMap {
+                n_shards: 4,
+                routing_tag: 2,
+                task_shard: vec![0, 1, 2, 3, 0, 1],
+                worker_shard: vec![3, 2, 1, 0],
+            },
+            PlacementMap {
+                n_shards: 2,
+                routing_tag: 0,
+                task_shard: vec![1, 0],
+                worker_shard: vec![0, 0, 1],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let maps = sample();
+        let bytes = encode_placements(&maps);
+        assert_eq!(decode_placements(&bytes).unwrap(), maps);
+        // Empty set round-trips too.
+        assert_eq!(
+            decode_placements(&encode_placements(&[])).unwrap(),
+            Vec::<PlacementMap>::new()
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mbta-placement-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cluster.placement");
+        let maps = sample();
+        save_placements(&path, &maps).unwrap();
+        assert_eq!(load_placements(&path).unwrap(), maps);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_is_total_on_damage() {
+        let good = encode_placements(&sample());
+        // Truncation at every boundary: typed error, never a panic.
+        for cut in 0..good.len() {
+            assert!(decode_placements(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped bit anywhere fails the checksum or the magic.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_placements(&bad).is_err(), "flip at {i}");
+        }
+        // Trailing garbage is refused, not ignored.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_placements(&padded).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_maps() {
+        let mut m = sample().remove(0);
+        m.task_shard[0] = m.n_shards;
+        assert_eq!(m.validate(), Err(PlacementError::ShardOutOfRange));
+        let zero = PlacementMap {
+            n_shards: 0,
+            routing_tag: 0,
+            task_shard: vec![],
+            worker_shard: vec![],
+        };
+        assert_eq!(zero.validate(), Err(PlacementError::NoShards));
+        // And a hand-built file with an out-of-range entry fails decode
+        // even though its checksum is intact.
+        let bytes = encode_placements(&[m]);
+        assert_eq!(
+            decode_placements(&bytes),
+            Err(PlacementError::ShardOutOfRange)
+        );
+    }
+}

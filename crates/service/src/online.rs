@@ -28,6 +28,7 @@
 //! DESIGN.md §14 for the full contract.
 
 use crate::shard::ShardPlan;
+use crate::sink::Decision;
 use mbta_core::incremental::IncrementalAssignment;
 use mbta_core::warm::{WarmSolver, WarmSolverStats};
 use mbta_graph::EdgeId;
@@ -92,6 +93,53 @@ pub(crate) struct OnlineRuntime {
     prior_warm: WarmSolverStats,
     /// Per-event decision latency (wall-clock ms).
     pub lat: Histogram,
+    /// Pooled per-event buffers (see [`OnlineScratch`]).
+    pub scratch: OnlineScratch,
+}
+
+/// Pooled working buffers for the per-event decision path. The flip
+/// log, its parity fold, and the outgoing decision list are the Vecs a
+/// profile shows on every online event; owning them here and recycling
+/// them (`mem::take` out for the event, hand back cleared) makes the
+/// steady-state path allocation-free once the buffers have grown to the
+/// event-size high-water mark. Capacity is deliberately *not* carried
+/// across a re-plan — shard topology changes reset the water mark too.
+#[derive(Default)]
+pub(crate) struct OnlineScratch {
+    /// Raw flips drained for the current event (greedy + fallback).
+    pub flips: Vec<(EdgeId, bool)>,
+    /// Sort buffer for the parity fold.
+    sorted: Vec<(EdgeId, bool)>,
+    /// Folded net flips, ascending by edge id.
+    net: Vec<(EdgeId, bool)>,
+    /// The event's outgoing decisions, in canonical order.
+    pub decisions: Vec<Decision>,
+}
+
+impl OnlineScratch {
+    /// Folds `flips` by parity into the pooled `net` buffer and returns
+    /// it — the same contract as `net_flips` (the test oracle below),
+    /// minus the allocations.
+    pub fn fold(&mut self, flips: &[(EdgeId, bool)]) -> &[(EdgeId, bool)] {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(flips);
+        // Stable sort: chronological order within each edge survives.
+        self.sorted.sort_by_key(|&(e, _)| e);
+        self.net.clear();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let e = self.sorted[i].0;
+            let mut j = i;
+            while j < self.sorted.len() && self.sorted[j].0 == e {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                self.net.push((e, self.sorted[j - 1].1));
+            }
+            i = j;
+        }
+        &self.net
+    }
 }
 
 impl OnlineRuntime {
@@ -113,6 +161,7 @@ impl OnlineRuntime {
             exchanges: 0,
             prior_warm: WarmSolverStats::default(),
             lat: Histogram::new(),
+            scratch: OnlineScratch::default(),
         }
     }
 
@@ -176,24 +225,13 @@ pub(crate) struct OnlineCarried {
 /// strictly alternate (an assigned edge cannot be inserted again), so an
 /// edge with an odd flip count net-changed state, in the direction of
 /// its last flip; even counts cancel out. Output ascends by edge id.
+///
+/// Allocating convenience over [`OnlineScratch::fold`] — the per-event
+/// hot path goes through the runtime's pooled scratch instead, so this
+/// survives only as the test oracle for the fold.
+#[cfg(test)]
 pub(crate) fn net_flips(flips: &[(EdgeId, bool)]) -> Vec<(EdgeId, bool)> {
-    let mut sorted = flips.to_vec();
-    // Stable sort: chronological order within each edge survives.
-    sorted.sort_by_key(|&(e, _)| e);
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < sorted.len() {
-        let e = sorted[i].0;
-        let mut j = i;
-        while j < sorted.len() && sorted[j].0 == e {
-            j += 1;
-        }
-        if (j - i) % 2 == 1 {
-            out.push((e, sorted[j - 1].1));
-        }
-        i = j;
-    }
-    out
+    OnlineScratch::default().fold(flips).to_vec()
 }
 
 /// Depth-1 exchange for an unassigned edge whose endpoints are
@@ -289,6 +327,22 @@ mod tests {
         assert!(net_flips(&[]).is_empty());
         // A bare removal survives the fold.
         assert_eq!(net_flips(&[(eid(5), false)]), vec![(eid(5), false)]);
+    }
+
+    #[test]
+    fn scratch_fold_matches_net_flips_across_reuse() {
+        // One scratch, many folds: reuse must never leak a previous
+        // event's flips into the next fold.
+        let mut scratch = OnlineScratch::default();
+        let logs: Vec<Vec<(EdgeId, bool)>> = vec![
+            vec![(eid(7), false), (eid(2), true), (eid(7), true)],
+            vec![],
+            vec![(eid(1), true), (eid(1), false), (eid(1), true)],
+            vec![(eid(9), false)],
+        ];
+        for log in &logs {
+            assert_eq!(scratch.fold(log), net_flips(log).as_slice());
+        }
     }
 
     #[test]

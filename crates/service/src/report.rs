@@ -57,6 +57,10 @@ pub struct ServiceReport {
     pub invalid_events: u64,
     /// Benefit updates dropped because their edge crosses shards.
     pub cross_benefit_drops: u64,
+    /// Events that routed to a shard this process does not own (nonzero
+    /// only in the cluster's single-shard ownership mode; a correctly
+    /// routing upstream sends none).
+    pub foreign_events: u64,
     /// Deepest the ingress queue ever got.
     pub queue_high_watermark: usize,
 
@@ -161,6 +165,7 @@ impl ServiceReport {
                 "retry ok",
                 "invalid",
                 "x-shard benefit",
+                "foreign",
                 "queue peak",
             ],
         );
@@ -172,6 +177,7 @@ impl ServiceReport {
             self.defer_retry_ok.to_string(),
             self.invalid_events.to_string(),
             self.cross_benefit_drops.to_string(),
+            self.foreign_events.to_string(),
             self.queue_high_watermark.to_string(),
         ]);
 
@@ -345,6 +351,7 @@ mod tests {
             defer_retry_ok: 2,
             invalid_events: 1,
             cross_benefit_drops: 3,
+            foreign_events: 0,
             queue_high_watermark: 17,
             batches: 7,
             flush_count: 4,

@@ -121,6 +121,13 @@ pub struct ServiceConfig {
     /// configured threshold). Incompatible with `boundary_pass` — the
     /// rescue overlay is a batch-boundary construct.
     pub online: Option<OnlineConfig>,
+    /// Single-shard ownership (the cluster's shard-owner mode): this
+    /// process owns exactly one shard of the plan. Events routing to any
+    /// other shard are counted as *foreign* and skipped — a correctly
+    /// routing upstream never sends them, so the counter doubles as a
+    /// routing-agreement check. Incompatible with `boundary_pass`, which
+    /// needs every shard's residual state in one process.
+    pub owned_shard: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -134,6 +141,7 @@ impl Default for ServiceConfig {
             boundary_pass: false,
             replan_threshold: None,
             online: None,
+            owned_shard: None,
         }
     }
 }
@@ -230,6 +238,10 @@ pub struct DispatchService<'p> {
     /// Per-instance batch solve-latency histogram; the report's p50/p99
     /// derive from its buckets instead of a private sample buffer.
     solve_lat: mbta_telemetry::Histogram,
+    /// Single-shard ownership (see [`ServiceConfig::owned_shard`]).
+    owned_shard: Option<usize>,
+    foreign_events: u64,
+
     /// Largest stream timestamp seen on the online path — stamps the
     /// closing drain records, which have no triggering arrival.
     last_time: f64,
@@ -241,6 +253,8 @@ enum Routed {
     Shard(usize),
     Invalid,
     CrossBenefit,
+    /// Routed cleanly, but to a shard this process does not own.
+    Foreign,
 }
 
 impl<'p> DispatchService<'p> {
@@ -251,6 +265,17 @@ impl<'p> DispatchService<'p> {
             !(cfg.boundary_pass && cfg.online.is_some()),
             "online mode is incompatible with the boundary pass"
         );
+        assert!(
+            !(cfg.boundary_pass && cfg.owned_shard.is_some()),
+            "single-shard ownership is incompatible with the boundary pass"
+        );
+        if let Some(own) = cfg.owned_shard {
+            assert!(
+                own < plan.n_shards(),
+                "owned shard {own} out of range (plan has {} shards)",
+                plan.n_shards()
+            );
+        }
         let (mut states, live_weights, cut) = seed_plan_state(universe, plan, None);
         let online = cfg.online.map(|oc| {
             for st in &mut states {
@@ -277,11 +302,13 @@ impl<'p> DispatchService<'p> {
             cut,
             replan_threshold: cfg.replan_threshold,
             online,
+            owned_shard: cfg.owned_shard,
             seq: 0,
             events_in: 0,
             events_processed: 0,
             invalid_events: 0,
             cross_benefit_drops: 0,
+            foreign_events: 0,
             flush_tally: [0; 5],
             solves: 0,
             tier_tally: [0; 3],
@@ -401,8 +428,9 @@ impl<'p> DispatchService<'p> {
 
     /// Warm-started exact re-solve of shard `s` (the caller has ruled
     /// out poisoned and degenerate shards), adopting the solution when
-    /// it improves on the incremental state. Returns the applied flips.
-    fn warm_solve_shard(&mut self, s: usize, ctl: &SolveCtl) -> Vec<(EdgeId, bool)> {
+    /// it improves on the incremental state. Appends the applied flips
+    /// to the caller's (pooled) `out` buffer.
+    fn warm_solve_shard(&mut self, s: usize, ctl: &SolveCtl, out: &mut Vec<(EdgeId, bool)>) {
         let rt = self.online.as_mut().expect("online solve requires runtime");
         let st = &mut self.states[s];
         let aw = st.active_weights();
@@ -415,7 +443,7 @@ impl<'p> DispatchService<'p> {
             self.reseeds += 1;
             mbta_telemetry::counter_add("mbta_service_reseeds_total", 1);
         }
-        st.drain_log()
+        st.drain_log_into(out);
     }
 
     /// The per-event online decision path (see the [`crate::online`]
@@ -437,6 +465,11 @@ impl<'p> DispatchService<'p> {
             // cross-shard benefit update has no decision surface.
             Routed::CrossBenefit => {
                 self.cross_benefit_drops += 1;
+                return;
+            }
+            Routed::Foreign => {
+                self.foreign_events += 1;
+                mbta_telemetry::counter_add("mbta_service_foreign_events_total", 1);
                 return;
             }
         };
@@ -472,10 +505,25 @@ impl<'p> DispatchService<'p> {
 
         // Drift: |Δw| of the update plus every net-removed edge's weight
         // (departures and evictions — plain greedy fills accrue nothing).
-        let mut flips = self.states[s].drain_log();
+        // The flip and decision buffers are pooled in the runtime:
+        // `mem::take` them out for this event, hand them back cleared.
+        let mut flips = std::mem::take(
+            &mut self
+                .online
+                .as_mut()
+                .expect("online dispatch requires runtime")
+                .scratch
+                .flips,
+        );
+        flips.clear();
+        self.states[s].drain_log_into(&mut flips);
         {
+            let rt = self
+                .online
+                .as_mut()
+                .expect("online dispatch requires runtime");
             let st = &self.states[s];
-            for (e, added) in online::net_flips(&flips) {
+            for &(e, added) in rt.scratch.fold(&flips) {
                 if !added {
                     drift += st.weight_of(e).max(0.0);
                 }
@@ -501,7 +549,7 @@ impl<'p> DispatchService<'p> {
                 }
                 BudgetMode::Deterministic => SolveCtl::unlimited(),
             };
-            flips.extend(self.warm_solve_shard(s, &ctl));
+            self.warm_solve_shard(s, &ctl, &mut flips);
             fell_back = true;
         }
         let rt = self
@@ -516,8 +564,16 @@ impl<'p> DispatchService<'p> {
             mbta_telemetry::counter_add("mbta_service_online_fallbacks_total", 1);
         }
 
-        // Net decisions for this event, in universe ids.
-        let decisions = self.online_decisions(s, &flips);
+        // Net decisions for this event, in universe ids (pooled buffer).
+        let mut decisions = std::mem::take(
+            &mut self
+                .online
+                .as_mut()
+                .expect("online dispatch requires runtime")
+                .scratch
+                .decisions,
+        );
+        self.online_decisions_into(s, &flips, &mut decisions);
 
         let event_ms = t0.elapsed().as_secs_f64() * 1e3;
         let rt = self
@@ -529,63 +585,86 @@ impl<'p> DispatchService<'p> {
 
         // Events that changed nothing durable consume no sequence slot:
         // the WAL stays contiguous and sinks see only deciding events.
-        if decisions.is_empty() && deltas.is_empty() {
-            return;
-        }
-        let stats = BatchStats {
-            seq: self.seq,
-            reason: FlushReason::Online,
-            events: 1,
-            queue_depth: self.queue.len(),
-            shards_touched: 1,
-            degraded_shards: 0,
-            worst_tier: None,
-            solve_ms: event_ms,
-            invalid_events: 0,
-        };
-        self.seq += 1;
-        self.flush_tally[4] += 1;
-        self.decisions_out += decisions.len() as u64;
-        mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
-        // Write-ahead ordering, identical to the batch path: the record
-        // is durable before any decision escapes.
-        if self.store.is_some() {
-            let rec = OnlineRecord {
-                seq: stats.seq,
-                time: a.time,
+        if !decisions.is_empty() || !deltas.is_empty() {
+            let stats = BatchStats {
+                seq: self.seq,
+                reason: FlushReason::Online,
                 events: 1,
-                fallbacks: u32::from(fell_back),
-                deltas,
-                decisions: to_records(&decisions),
+                queue_depth: self.queue.len(),
+                shards_touched: 1,
+                degraded_shards: 0,
+                worst_tier: None,
+                solve_ms: event_ms,
+                invalid_events: 0,
             };
-            self.journal_online(rec);
+            self.seq += 1;
+            self.flush_tally[4] += 1;
+            self.decisions_out += decisions.len() as u64;
+            mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
+            // Write-ahead ordering, identical to the batch path: the
+            // record is durable before any decision escapes.
+            if self.store.is_some() {
+                let rec = OnlineRecord {
+                    seq: stats.seq,
+                    time: a.time,
+                    events: 1,
+                    fallbacks: u32::from(fell_back),
+                    deltas,
+                    decisions: to_records(&decisions),
+                };
+                self.journal_online(rec);
+            }
+            sink.on_batch(&stats, &decisions);
         }
-        sink.on_batch(&stats, &decisions);
+        self.recycle_online_buffers(flips, decisions);
     }
 
-    /// Folds shard `s`'s flip log into canonical universe-id decisions.
-    fn online_decisions(&self, s: usize, flips: &[(EdgeId, bool)]) -> Vec<Decision> {
+    /// Returns the event's pooled buffers to the runtime scratch.
+    fn recycle_online_buffers(
+        &mut self,
+        mut flips: Vec<(EdgeId, bool)>,
+        mut decisions: Vec<Decision>,
+    ) {
+        flips.clear();
+        decisions.clear();
+        let rt = self
+            .online
+            .as_mut()
+            .expect("online dispatch requires runtime");
+        rt.scratch.flips = flips;
+        rt.scratch.decisions = decisions;
+    }
+
+    /// Folds shard `s`'s flip log into canonical universe-id decisions,
+    /// written into the pooled `out` buffer (cleared first).
+    fn online_decisions_into(
+        &mut self,
+        s: usize,
+        flips: &[(EdgeId, bool)],
+        out: &mut Vec<Decision>,
+    ) {
+        out.clear();
+        let rt = self
+            .online
+            .as_mut()
+            .expect("online decisions require runtime");
         let slice = &self.plan.shards[s];
-        let mut decisions: Vec<Decision> = online::net_flips(flips)
-            .into_iter()
-            .map(|(local, added)| {
-                let parent = slice.sub.edge_back[local.index()];
-                Decision {
-                    shard: s as u32,
-                    edge: parent.raw(),
-                    action: if added {
-                        Action::Assign
-                    } else {
-                        Action::Unassign
-                    },
-                    worker: self.universe.worker_of(parent).raw(),
-                    task: self.universe.task_of(parent).raw(),
-                    weight: self.live_weights[parent.index()],
-                }
-            })
-            .collect();
-        canonical_order(&mut decisions);
-        decisions
+        for &(local, added) in rt.scratch.fold(flips) {
+            let parent = slice.sub.edge_back[local.index()];
+            out.push(Decision {
+                shard: s as u32,
+                edge: parent.raw(),
+                action: if added {
+                    Action::Assign
+                } else {
+                    Action::Unassign
+                },
+                worker: self.universe.worker_of(parent).raw(),
+                task: self.universe.task_of(parent).raw(),
+                weight: self.live_weights[parent.index()],
+            });
+        }
+        canonical_order(out);
     }
 
     /// The online analog of the batcher's final partial batch: one
@@ -600,6 +679,9 @@ impl<'p> DispatchService<'p> {
             return;
         }
         for s in 0..self.plan.n_shards() {
+            if self.owned_shard.is_some_and(|own| own != s) {
+                continue;
+            }
             if self.poisoned[s] || self.shard_degenerate(s) {
                 continue;
             }
@@ -607,42 +689,46 @@ impl<'p> DispatchService<'p> {
             // Shutdown is off the latency path, so the closing solve runs
             // unbudgeted: a wall-clock budget sized for steady-state events
             // would truncate the one solve whose whole point is to converge.
-            let flips = self.warm_solve_shard(s, &SolveCtl::unlimited());
+            let rt = self.online.as_mut().expect("online drain requires runtime");
+            let mut flips = std::mem::take(&mut rt.scratch.flips);
+            flips.clear();
+            self.warm_solve_shard(s, &SolveCtl::unlimited(), &mut flips);
             let rt = self.online.as_mut().expect("online drain requires runtime");
             rt.shards[s].acc = 0.0;
             rt.fallbacks += 1;
+            let mut decisions = std::mem::take(&mut rt.scratch.decisions);
             mbta_telemetry::counter_add("mbta_service_online_fallbacks_total", 1);
-            let decisions = self.online_decisions(s, &flips);
-            if decisions.is_empty() {
-                continue;
-            }
-            let stats = BatchStats {
-                seq: self.seq,
-                reason: FlushReason::Online,
-                events: 0,
-                queue_depth: 0,
-                shards_touched: 1,
-                degraded_shards: 0,
-                worst_tier: None,
-                solve_ms: t0.elapsed().as_secs_f64() * 1e3,
-                invalid_events: 0,
-            };
-            self.seq += 1;
-            self.flush_tally[4] += 1;
-            self.decisions_out += decisions.len() as u64;
-            mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
-            if self.store.is_some() {
-                let rec = OnlineRecord {
-                    seq: stats.seq,
-                    time: self.last_time,
+            self.online_decisions_into(s, &flips, &mut decisions);
+            if !decisions.is_empty() {
+                let stats = BatchStats {
+                    seq: self.seq,
+                    reason: FlushReason::Online,
                     events: 0,
-                    fallbacks: 1,
-                    deltas: Vec::new(),
-                    decisions: to_records(&decisions),
+                    queue_depth: 0,
+                    shards_touched: 1,
+                    degraded_shards: 0,
+                    worst_tier: None,
+                    solve_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    invalid_events: 0,
                 };
-                self.journal_online(rec);
+                self.seq += 1;
+                self.flush_tally[4] += 1;
+                self.decisions_out += decisions.len() as u64;
+                mbta_telemetry::counter_add("mbta_service_decisions_total", decisions.len() as u64);
+                if self.store.is_some() {
+                    let rec = OnlineRecord {
+                        seq: stats.seq,
+                        time: self.last_time,
+                        events: 0,
+                        fallbacks: 1,
+                        deltas: Vec::new(),
+                        decisions: to_records(&decisions),
+                    };
+                    self.journal_online(rec);
+                }
+                sink.on_batch(&stats, &decisions);
             }
-            sink.on_batch(&stats, &decisions);
+            self.recycle_online_buffers(flips, decisions);
         }
     }
 
@@ -732,6 +818,13 @@ impl<'p> DispatchService<'p> {
     }
 
     fn route(&self, ev: &ServiceEvent) -> Routed {
+        match self.route_universe(ev) {
+            Routed::Shard(s) if self.owned_shard.is_some_and(|own| own != s) => Routed::Foreign,
+            r => r,
+        }
+    }
+
+    fn route_universe(&self, ev: &ServiceEvent) -> Routed {
         match *ev {
             ServiceEvent::WorkerJoin(w) | ServiceEvent::WorkerLeave(w) => {
                 if (w as usize) < self.universe.n_workers() {
@@ -812,6 +905,7 @@ impl<'p> DispatchService<'p> {
         let mut seen = vec![false; self.plan.n_shards()];
         let mut routes = Vec::with_capacity(batch.events.len());
         let mut invalid = 0usize;
+        let mut foreign = 0usize;
         for a in &batch.events {
             let r = self.route(&a.event);
             match r {
@@ -826,12 +920,15 @@ impl<'p> DispatchService<'p> {
                 // feed the rescue market instead of being dropped.
                 Routed::CrossBenefit if !self.boundary_pass => self.cross_benefit_drops += 1,
                 Routed::CrossBenefit => {}
+                Routed::Foreign => foreign += 1,
             }
             routes.push(r);
         }
         touched.sort_unstable();
         self.invalid_events += invalid as u64;
         mbta_telemetry::counter_add("mbta_service_invalid_events_total", invalid as u64);
+        self.foreign_events += foreign as u64;
+        mbta_telemetry::counter_add("mbta_service_foreign_events_total", foreign as u64);
 
         let before: Vec<Matching> = touched.iter().map(|&s| self.states[s].matching()).collect();
 
@@ -1318,6 +1415,7 @@ impl<'p> DispatchService<'p> {
             defer_retry_ok: self.defer_retry_ok,
             invalid_events: self.invalid_events,
             cross_benefit_drops: self.cross_benefit_drops,
+            foreign_events: self.foreign_events,
             queue_high_watermark: self.queue.high_watermark(),
             batches: self.seq,
             flush_count: self.flush_tally[0],
@@ -1429,11 +1527,13 @@ impl<'p> DispatchService<'p> {
             cross_seen: self.cross_seen,
             replan_threshold: self.replan_threshold,
             online: self.online.map(OnlineRuntime::detach),
+            owned_shard: self.owned_shard,
             seq: self.seq,
             events_in: self.events_in,
             events_processed: self.events_processed,
             invalid_events: self.invalid_events,
             cross_benefit_drops: self.cross_benefit_drops,
+            foreign_events: self.foreign_events,
             flush_tally: self.flush_tally,
             solves: self.solves,
             tier_tally: self.tier_tally,
@@ -1575,11 +1675,13 @@ impl<'p> DispatchService<'p> {
             cut,
             replan_threshold: carried.replan_threshold,
             online,
+            owned_shard: carried.owned_shard,
             seq: carried.seq + 1,
             events_in: carried.events_in,
             events_processed: carried.events_processed,
             invalid_events: carried.invalid_events,
             cross_benefit_drops: carried.cross_benefit_drops,
+            foreign_events: carried.foreign_events,
             flush_tally: carried.flush_tally,
             solves: carried.solves,
             tier_tally: carried.tier_tally,
@@ -1681,11 +1783,13 @@ pub struct CarriedState {
     cross_seen: Vec<bool>,
     replan_threshold: Option<f64>,
     online: Option<crate::online::OnlineCarried>,
+    owned_shard: Option<usize>,
     seq: u64,
     events_in: u64,
     events_processed: u64,
     invalid_events: u64,
     cross_benefit_drops: u64,
+    foreign_events: u64,
     flush_tally: [u64; 5],
     solves: u64,
     tier_tally: [u64; 3],
@@ -1864,6 +1968,7 @@ mod tests {
             boundary_pass: false,
             replan_threshold: None,
             online: None,
+            owned_shard: None,
         }
     }
 
@@ -1902,6 +2007,65 @@ mod tests {
         assert_eq!(rep_a.batches, rep_b.batches);
         assert_eq!(rep_a.reseeds, rep_b.reseeds);
         assert_eq!(rep_a.final_assignments, rep_b.final_assignments);
+    }
+
+    /// Single-shard ownership composes: feeding the *full* stream to one
+    /// owned service per shard yields exactly the full run's decisions,
+    /// partitioned by shard, with everything else counted as foreign.
+    #[test]
+    fn owned_shard_runs_partition_the_full_run() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 3, Routing::HashId);
+        let events = stream(&g, 29);
+
+        let run = |owned: Option<usize>| {
+            let mut cfg = deterministic_cfg();
+            cfg.owned_shard = owned;
+            let mut svc = DispatchService::new(&g, &plan, cfg);
+            let mut sink = CollectSink::default();
+            for &a in &events {
+                while let OfferOutcome::Deferred = svc.offer(a) {
+                    svc.pump(&mut sink);
+                }
+                svc.pump(&mut sink);
+            }
+            let report = svc.finish(&mut sink);
+            (sink.decisions, report)
+        };
+
+        let (full, full_rep) = run(None);
+        assert!(!full.is_empty());
+        let mut union: Vec<Decision> = Vec::new();
+        let mut processed = 0u64;
+        for s in 0..plan.n_shards() {
+            let (dec, rep) = run(Some(s));
+            assert!(
+                dec.iter().all(|d| d.shard == s as u32),
+                "owned run emitted a decision for a shard it does not own"
+            );
+            assert_eq!(rep.capacity_violations, 0);
+            // Conservation: every ingress event is processed, invalid,
+            // cross-shard, or foreign — nothing vanishes silently.
+            assert_eq!(
+                rep.events_in,
+                rep.events_processed
+                    + rep.invalid_events
+                    + rep.cross_benefit_drops
+                    + rep.foreign_events
+            );
+            assert!(rep.foreign_events > 0, "3 shards must see foreign events");
+            processed += rep.events_processed;
+            union.extend(dec);
+        }
+        assert_eq!(processed, full_rep.events_processed);
+        // Same decisions, shard by shard, in the full run's order.
+        let key = |d: &Decision| (d.shard, d.edge, d.action as u8, d.weight.to_bits());
+        let mut full_sorted: Vec<_> = full.iter().map(key).collect();
+        let mut union_sorted: Vec<_> = union.iter().map(key).collect();
+        full_sorted.sort_unstable();
+        union_sorted.sort_unstable();
+        assert_eq!(full_sorted, union_sorted);
+        assert_eq!(full_rep.foreign_events, 0, "full run owns every shard");
     }
 
     /// The pool's determinism contract at the service level: a 4-thread

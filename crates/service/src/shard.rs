@@ -65,6 +65,25 @@ impl Routing {
             Routing::MinCut => "min-cut",
         }
     }
+
+    /// Stable byte tag for the serialized placement format.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Routing::HashId => 0,
+            Routing::Range => 1,
+            Routing::MinCut => 2,
+        }
+    }
+
+    /// Inverse of [`Routing::tag`]; unknown tags fall back to hash (the
+    /// tag is display metadata — the placement maps are authoritative).
+    pub fn from_tag(tag: u8) -> Routing {
+        match tag {
+            1 => Routing::Range,
+            2 => Routing::MinCut,
+            _ => Routing::HashId,
+        }
+    }
 }
 
 /// One shard's slice of the universe.
@@ -121,7 +140,64 @@ impl ShardPlan {
         assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
 
         let (task_shard, worker_shard) = assign_nodes(g, weights, n_shards, routing);
+        ShardPlan::from_assignment(g, weights, n_shards, routing, task_shard, worker_shard)
+    }
 
+    /// Rebuilds a plan from an exported placement (see
+    /// `mbta_partition::placement`): same slices, same forward maps, no
+    /// re-partitioning. Every process that imports the same map over the
+    /// same universe reconstructs the identical plan.
+    ///
+    /// # Panics
+    /// Panics when the map's dimensions do not match the universe — a
+    /// placement for a different trace is a deployment error, not a
+    /// recoverable condition.
+    pub fn from_placement(
+        g: &BipartiteGraph,
+        weights: &[f64],
+        map: &mbta_partition::PlacementMap,
+    ) -> ShardPlan {
+        assert_eq!(weights.len(), g.n_edges(), "weight slice length mismatch");
+        assert_eq!(
+            map.task_shard.len(),
+            g.n_tasks(),
+            "placement task count does not match the universe"
+        );
+        assert_eq!(
+            map.worker_shard.len(),
+            g.n_workers(),
+            "placement worker count does not match the universe"
+        );
+        map.validate().expect("placement map failed validation");
+        ShardPlan::from_assignment(
+            g,
+            weights,
+            map.n_shards as usize,
+            Routing::from_tag(map.routing_tag),
+            map.task_shard.clone(),
+            map.worker_shard.clone(),
+        )
+    }
+
+    /// Exports this plan's node→shard maps for other processes to import
+    /// via [`ShardPlan::from_placement`].
+    pub fn placement(&self) -> mbta_partition::PlacementMap {
+        mbta_partition::PlacementMap {
+            n_shards: self.n_shards() as u32,
+            routing_tag: self.routing.tag(),
+            task_shard: self.task_shard.clone(),
+            worker_shard: self.worker_shard.clone(),
+        }
+    }
+
+    fn from_assignment(
+        g: &BipartiteGraph,
+        weights: &[f64],
+        n_shards: usize,
+        routing: Routing,
+        task_shard: Vec<u32>,
+        worker_shard: Vec<u32>,
+    ) -> ShardPlan {
         // Induce one subgraph per shard. The edge filter keeps an edge iff
         // its worker homed on the task's shard; worker-side membership is
         // already enforced by the worker selection.
@@ -357,6 +433,43 @@ mod tests {
             plan.worker_shard[1], 0,
             "equal weight must tie-break to the lowest shard"
         );
+    }
+
+    #[test]
+    fn placement_export_import_rebuilds_the_identical_plan() {
+        let (g, w) = universe();
+        for routing in [Routing::HashId, Routing::MinCut] {
+            let plan = ShardPlan::build(&g, &w, 4, routing);
+            let map = plan.placement();
+            map.validate().unwrap();
+            // Serialize through the file format too, not just the struct.
+            let bytes = mbta_partition::encode_placements(&[map]);
+            let decoded = mbta_partition::decode_placements(&bytes).unwrap();
+            let rebuilt = ShardPlan::from_placement(&g, &w, &decoded[0]);
+            assert_eq!(rebuilt.worker_shard, plan.worker_shard);
+            assert_eq!(rebuilt.task_shard, plan.task_shard);
+            assert_eq!(rebuilt.edge_shard, plan.edge_shard);
+            assert_eq!(rebuilt.edge_local, plan.edge_local);
+            assert_eq!(rebuilt.cross_edges, plan.cross_edges);
+            assert_eq!(rebuilt.routing, plan.routing);
+            assert!((rebuilt.retained_weight - plan.retained_weight).abs() < 1e-12);
+            for (a, b) in rebuilt.shards.iter().zip(plan.shards.iter()) {
+                assert_eq!(a.sub.worker_back, b.sub.worker_back);
+                assert_eq!(a.sub.task_back, b.sub.task_back);
+                assert_eq!(a.sub.edge_back, b.sub.edge_back);
+                assert_eq!(a.weights, b.weights);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "placement task count")]
+    fn placement_for_another_universe_is_refused() {
+        let (g, w) = universe();
+        let plan = ShardPlan::build(&g, &w, 2, Routing::HashId);
+        let mut map = plan.placement();
+        map.task_shard.pop();
+        let _ = ShardPlan::from_placement(&g, &w, &map);
     }
 
     #[test]

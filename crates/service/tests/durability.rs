@@ -79,6 +79,7 @@ fn cfg() -> ServiceConfig {
         boundary_pass: false,
         replan_threshold: None,
         online: None,
+        owned_shard: None,
     }
 }
 
@@ -88,6 +89,7 @@ fn store_cfg(snapshot_every: u64) -> StoreConfig {
         snapshot_every,
         segment_bytes: 4 << 10, // small segments so compaction really runs
         batch_fsync_every: 16,
+        group_every: 1,
     }
 }
 

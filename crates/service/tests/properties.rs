@@ -55,6 +55,7 @@ fn cfg(threads: usize, budget: BudgetMode) -> ServiceConfig {
         boundary_pass: false,
         replan_threshold: None,
         online: None,
+        owned_shard: None,
     }
 }
 

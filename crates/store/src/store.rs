@@ -45,6 +45,9 @@ pub struct StoreConfig {
     pub segment_bytes: u64,
     /// Fsync cadence under [`FsyncPolicy::Batch`].
     pub batch_fsync_every: u64,
+    /// Group-commit window (see [`WalConfig::group_every`]): records per
+    /// combined WAL write. `1` = write-through.
+    pub group_every: u64,
 }
 
 impl Default for StoreConfig {
@@ -54,6 +57,7 @@ impl Default for StoreConfig {
             snapshot_every: 64,
             segment_bytes: 8 << 20,
             batch_fsync_every: 16,
+            group_every: 1,
         }
     }
 }
@@ -277,6 +281,7 @@ impl DurableStore {
                 fsync: cfg.fsync,
                 segment_bytes: cfg.segment_bytes,
                 batch_fsync_every: cfg.batch_fsync_every,
+                group_every: cfg.group_every,
             },
         )?;
         let store = DurableStore {
